@@ -1,0 +1,153 @@
+//! AppRI-style robust index (Xin, Chen & Han, VLDB 2006) — the paper's
+//! other convex-layer-family comparator (Section VII-A).
+//!
+//! AppRI's observation: a tuple `t` can appear in a top-k result only if
+//! its best possible rank over all weight vectors is ≤ k. Every dominator
+//! of `t` beats it under *every* positive linear function, so
+//! `best_rank(t) ≥ 1 + |dominators(t)|` — and assigning `t` to layer
+//! `1 + |dominators(t)|` is sound for the top-k ⊆ first-k-layers
+//! guarantee while producing much thinner deep layers than Onion's convex
+//! peeling. (Full AppRI tightens the bound further with per-tuple linear
+//! programs; the dominance-count approximation is its first, sound
+//! stage, and what we implement here.)
+//!
+//! Queries give complete access to the first k layers, as the paper
+//! says of the convex-layer family.
+
+use drtopk_common::weights::ScoredTuple;
+use drtopk_common::{dominates, Cost, Relation, TupleId, Weights};
+
+/// A built AppRI-style index: tuples bucketed by `1 + dominator count`.
+#[derive(Debug, Clone)]
+pub struct AppRiIndex {
+    rel: Relation,
+    /// `layers[j]` holds the tuples with exactly `j` dominators.
+    layers: Vec<Vec<TupleId>>,
+}
+
+impl AppRiIndex {
+    /// Builds the index by counting dominators per tuple (sum-sorted
+    /// prefilter keeps the quadratic scan tight).
+    pub fn build(rel: &Relation) -> Self {
+        let n = rel.len();
+        let mut by_sum: Vec<(f64, TupleId)> = (0..n as TupleId)
+            .map(|t| (rel.tuple(t).iter().sum::<f64>(), t))
+            .collect();
+        by_sum.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut dom_count = vec![0u32; n];
+        // Dominance implies a strictly smaller attribute sum, so only
+        // earlier tuples in sum order can dominate later ones.
+        for i in 0..by_sum.len() {
+            let (_, t) = by_sum[i];
+            let tv = rel.tuple(t);
+            for &(_, s) in &by_sum[..i] {
+                if dominates(rel.tuple(s), tv) {
+                    dom_count[t as usize] += 1;
+                }
+            }
+        }
+        let max_layer = dom_count.iter().copied().max().unwrap_or(0) as usize;
+        let mut layers = vec![Vec::new(); max_layer + 1];
+        for (t, &c) in dom_count.iter().enumerate() {
+            layers[c as usize].push(t as TupleId);
+        }
+        AppRiIndex {
+            rel: rel.clone(),
+            layers,
+        }
+    }
+
+    /// The layer list (layer j = tuples with j dominators; may be empty).
+    pub fn layers(&self) -> &[Vec<TupleId>] {
+        &self.layers
+    }
+
+    /// Answers a top-k query by scanning the first k layers completely.
+    pub fn topk(&self, w: &Weights, k: usize) -> (Vec<TupleId>, Cost) {
+        assert_eq!(w.dims(), self.rel.dims());
+        let mut cost = Cost::new();
+        let k_eff = k.min(self.rel.len());
+        if k_eff == 0 {
+            return (Vec::new(), cost);
+        }
+        let mut candidates: Vec<ScoredTuple> = Vec::new();
+        for layer in self.layers.iter().take(k_eff) {
+            for &t in layer {
+                cost.tick();
+                candidates.push(ScoredTuple {
+                    score: w.score(self.rel.tuple(t)),
+                    id: t,
+                });
+            }
+        }
+        candidates.sort_unstable();
+        candidates.truncate(k_eff);
+        (candidates.into_iter().map(|s| s.id).collect(), cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onion::OnionIndex;
+    use drtopk_common::{topk_bruteforce, Distribution, WorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+            for d in 2..=4 {
+                let rel = WorkloadSpec::new(dist, d, 400, 41).generate();
+                let idx = AppRiIndex::build(&rel);
+                for k in [1, 10, 60, 400] {
+                    let w = Weights::random(d, &mut rng);
+                    assert_eq!(
+                        idx.topk(&w, k).0,
+                        topk_bruteforce(&rel, &w, k),
+                        "{dist:?} d={d} k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layer_1_is_the_skyline() {
+        let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 3, 300, 9).generate();
+        let idx = AppRiIndex::build(&rel);
+        let all: Vec<TupleId> = (0..300).collect();
+        let mut sky = drtopk_skyline::algorithms::sfs(&rel, &all);
+        sky.sort_unstable();
+        let mut l1 = idx.layers()[0].clone();
+        l1.sort_unstable();
+        assert_eq!(l1, sky, "zero-dominator tuples are exactly the skyline");
+    }
+
+    #[test]
+    fn appri_prefix_smaller_than_onion_prefix() {
+        // The robustness claim: AppRI's first-k-layers hold fewer tuples
+        // than Onion's (complete-access cost comparison at equal k).
+        let rel = WorkloadSpec::new(Distribution::Independent, 4, 1500, 8).generate();
+        let appri = AppRiIndex::build(&rel);
+        let onion = OnionIndex::build(&rel, 0);
+        for k in [5, 10, 20] {
+            let a: usize = appri.layers().iter().take(k).map(|l| l.len()).sum();
+            let o: usize = onion.layers().iter().take(k).map(|l| l.len()).sum();
+            assert!(
+                a <= o,
+                "AppRI prefix {a} must not exceed Onion prefix {o} at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn layers_partition() {
+        let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 3, 250, 6).generate();
+        let idx = AppRiIndex::build(&rel);
+        let mut all: Vec<TupleId> = idx.layers().iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..250).collect::<Vec<TupleId>>());
+    }
+}

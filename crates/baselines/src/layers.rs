@@ -1,0 +1,127 @@
+//! Shared "fat" convex-layer peeling for Onion and the hybrid-layer index.
+//!
+//! Layers are hull-vertex supersets of the convex skyline (see
+//! [`drtopk_geometry::csky::hull_vertices`]): each layer provably contains
+//! the minimizer of every strictly positive weight vector over the
+//! remainder, which is what the top-j ⊆ first-j-layers guarantee of
+//! convex-layer indexes needs. Degenerate remainders (affinely flat) fall
+//! back to the skyline, which enjoys the same guarantee.
+
+use drtopk_common::{Relation, TupleId};
+use drtopk_geometry::hull_vertices;
+use drtopk_skyline::{algorithms::sfs, skyline_layers, SkylineAlgo};
+
+/// Peels `ids` into convex layers. At most `max_layers` are peeled
+/// (0 = unlimited); any remainder becomes one final *overflow* layer that
+/// carries no convexity guarantee and must be scanned completely if a
+/// query ever reaches it.
+pub fn fat_convex_layers(
+    rel: &Relation,
+    ids: &[TupleId],
+    max_layers: usize,
+) -> (Vec<Vec<TupleId>>, bool) {
+    let mut remaining: Vec<TupleId> = ids.to_vec();
+    let mut layers: Vec<Vec<TupleId>> = Vec::new();
+    while !remaining.is_empty() {
+        if max_layers > 0 && layers.len() == max_layers {
+            layers.push(std::mem::take(&mut remaining));
+            return (layers, true);
+        }
+        let layer: Vec<TupleId> = match hull_vertices(rel, &remaining) {
+            Some(pos) if !pos.is_empty() => pos.iter().map(|&p| remaining[p as usize]).collect(),
+            _ => {
+                // Degenerate (flat or tiny) remainder: the skyline is also a
+                // sound layer; if even that fails to shrink, finish by
+                // peeling skyline layers outright.
+                let sky = sfs(rel, &remaining);
+                if sky.len() == remaining.len() {
+                    for l in skyline_layers(rel, &remaining, SkylineAlgo::Sfs) {
+                        layers.push(l);
+                    }
+                    return (layers, false);
+                }
+                sky
+            }
+        };
+        let mut in_layer = vec![false; remaining.len()];
+        {
+            // Map back: layer entries are ids; mark their positions.
+            let mut pos_of = std::collections::HashMap::with_capacity(remaining.len());
+            for (pos, &id) in remaining.iter().enumerate() {
+                pos_of.insert(id, pos);
+            }
+            for &id in &layer {
+                in_layer[pos_of[&id]] = true;
+            }
+        }
+        let mut next = Vec::with_capacity(remaining.len() - layer.len());
+        for (pos, &id) in remaining.iter().enumerate() {
+            if !in_layer[pos] {
+                next.push(id);
+            }
+        }
+        remaining = next;
+        layers.push(layer);
+    }
+    (layers, false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtopk_common::{Distribution, Weights, WorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn layers_partition() {
+        for d in 2..=4 {
+            let rel = WorkloadSpec::new(Distribution::AntiCorrelated, d, 400, 5).generate();
+            let all: Vec<TupleId> = (0..rel.len() as TupleId).collect();
+            let (layers, overflow) = fat_convex_layers(&rel, &all, 0);
+            assert!(!overflow);
+            let mut flat: Vec<TupleId> = layers.iter().flatten().copied().collect();
+            flat.sort_unstable();
+            assert_eq!(flat, all);
+        }
+    }
+
+    #[test]
+    fn per_layer_minima_nondecreasing() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for d in 2..=4 {
+            let rel = WorkloadSpec::new(Distribution::Independent, d, 500, 6).generate();
+            let all: Vec<TupleId> = (0..rel.len() as TupleId).collect();
+            let (layers, _) = fat_convex_layers(&rel, &all, 0);
+            for _ in 0..10 {
+                let w = Weights::random(d, &mut rng);
+                let minima: Vec<f64> = layers
+                    .iter()
+                    .map(|l| {
+                        l.iter()
+                            .map(|&t| w.score(rel.tuple(t)))
+                            .fold(f64::INFINITY, f64::min)
+                    })
+                    .collect();
+                for pair in minima.windows(2) {
+                    assert!(
+                        pair[0] <= pair[1] + 1e-12,
+                        "minima must be non-decreasing (d={d})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_cap() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 3, 500, 2).generate();
+        let all: Vec<TupleId> = (0..rel.len() as TupleId).collect();
+        let (layers, overflow) = fat_convex_layers(&rel, &all, 3);
+        assert!(overflow);
+        assert_eq!(layers.len(), 4, "3 convex layers + 1 overflow");
+        let mut flat: Vec<TupleId> = layers.iter().flatten().copied().collect();
+        flat.sort_unstable();
+        assert_eq!(flat, all);
+    }
+}

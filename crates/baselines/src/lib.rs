@@ -1,0 +1,30 @@
+//! The paper's comparator indexes, implemented in full:
+//!
+//! * [`onion`] — Onion (Chang et al., SIGMOD 2000): convex layers with
+//!   complete per-layer access;
+//! * [`hl`] — the hybrid-layer index HL / HL+ (Heo, Cho & Whang, ICDE
+//!   2010): convex layers stored as per-attribute sorted lists, queried
+//!   with the Threshold Algorithm; HL+ tightens thresholds by accessing
+//!   layers in a globally-coordinated round-robin;
+//! * [`appri`] — an AppRI-style robust index (Xin, Chen & Han, VLDB
+//!   2006): dominance-count layer assignment, thinner deep layers than
+//!   Onion;
+//! * [`dg`] — the Dominant Graph DG / DG+ (Zou & Chen, ICDE 2008),
+//!   expressed as dual-resolution indexes without fine splitting (which is
+//!   exactly the paper's framing: "DG … employs only coarse-level layers
+//!   … and cannot take advantage of ∃-dominance relationships").
+
+pub mod appri;
+pub mod dg;
+pub mod hl;
+pub mod layers;
+pub mod onion;
+pub mod pli;
+pub mod prefer;
+
+pub use appri::AppRiIndex;
+pub use dg::{dg_index, dg_plus_index};
+pub use hl::HlIndex;
+pub use onion::OnionIndex;
+pub use pli::PliIndex;
+pub use prefer::PreferIndex;

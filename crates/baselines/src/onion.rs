@@ -1,0 +1,141 @@
+//! The Onion index (Chang et al., SIGMOD 2000).
+//!
+//! Convex layers with *complete access*: a query evaluates whole layers in
+//! order until the answer provably cannot improve. Layer minima are
+//! non-decreasing in the layer number for every positive weight vector, so
+//! processing stops once the current k-th best score is at most the minimum
+//! score seen in the last evaluated layer.
+
+use crate::layers::fat_convex_layers;
+use drtopk_common::weights::ScoredTuple;
+use drtopk_common::{Cost, Relation, TupleId, Weights};
+
+/// A built Onion index.
+#[derive(Debug, Clone)]
+pub struct OnionIndex {
+    rel: Relation,
+    layers: Vec<Vec<TupleId>>,
+    /// Whether the last layer is an uncapped overflow remainder (carries no
+    /// convexity guarantee; scanned fully if reached).
+    overflow: bool,
+}
+
+impl OnionIndex {
+    /// Builds the index. `max_layers = 0` peels the whole relation; any
+    /// positive cap leaves an overflow layer (sound, see [`fat_convex_layers`]).
+    pub fn build(rel: &Relation, max_layers: usize) -> Self {
+        let all: Vec<TupleId> = (0..rel.len() as TupleId).collect();
+        let (layers, overflow) = fat_convex_layers(rel, &all, max_layers);
+        OnionIndex {
+            rel: rel.clone(),
+            layers,
+            overflow,
+        }
+    }
+
+    /// The peeled layers.
+    pub fn layers(&self) -> &[Vec<TupleId>] {
+        &self.layers
+    }
+
+    /// Answers a top-k query, reporting the paper's cost metric.
+    pub fn topk(&self, w: &Weights, k: usize) -> (Vec<TupleId>, Cost) {
+        assert_eq!(w.dims(), self.rel.dims());
+        let mut cost = Cost::new();
+        let k_eff = k.min(self.rel.len());
+        if k_eff == 0 {
+            return (Vec::new(), cost);
+        }
+        let mut candidates: Vec<ScoredTuple> = Vec::new();
+        let convex_count = self.layers.len() - usize::from(self.overflow);
+        for (li, layer) in self.layers.iter().enumerate() {
+            let is_overflow = li >= convex_count;
+            let mut layer_min = f64::INFINITY;
+            for &t in layer {
+                let score = w.score(self.rel.tuple(t));
+                cost.tick();
+                layer_min = layer_min.min(score);
+                candidates.push(ScoredTuple { score, id: t });
+            }
+            candidates.sort_unstable();
+            candidates.truncate(k_eff);
+            // Stop once deeper layers cannot contribute: their minima are
+            // >= this layer's minimum (convex layers only), and after k
+            // layers the answer is complete anyway — unless the overflow
+            // remainder is in range, which must be scanned.
+            let enough = candidates.len() >= k_eff;
+            // Strict: an equal-score tuple deeper down could still win the id tie-break.
+            let by_bound = enough && !is_overflow && candidates[k_eff - 1].score < layer_min;
+            let by_depth = enough && li + 1 >= k_eff.min(convex_count);
+            let overflow_pending = self.overflow && li + 1 == convex_count && !by_bound;
+            if by_bound || (by_depth && !overflow_pending) {
+                break;
+            }
+        }
+        (candidates.into_iter().map(|s| s.id).collect(), cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtopk_common::{topk_bruteforce, Distribution, WorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+            for d in 2..=4 {
+                let rel = WorkloadSpec::new(dist, d, 300, 19).generate();
+                let idx = OnionIndex::build(&rel, 0);
+                for k in [1, 10, 60] {
+                    let w = Weights::random(d, &mut rng);
+                    let (got, _) = idx.topk(&w, k);
+                    assert_eq!(got, topk_bruteforce(&rel, &w, k), "{dist:?} d={d} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capped_build_matches_bruteforce() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let rel = WorkloadSpec::new(Distribution::Independent, 3, 400, 7).generate();
+        let idx = OnionIndex::build(&rel, 4);
+        for k in [1, 5, 50, 200] {
+            let w = Weights::random(3, &mut rng);
+            let (got, _) = idx.topk(&w, k);
+            assert_eq!(got, topk_bruteforce(&rel, &w, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn cost_is_complete_per_layer() {
+        // Onion's cost must equal the total size of the layers it touched.
+        let rel = WorkloadSpec::new(Distribution::Independent, 3, 300, 3).generate();
+        let idx = OnionIndex::build(&rel, 0);
+        let w = Weights::uniform(3);
+        let (_, cost) = idx.topk(&w, 5);
+        let mut acc = 0usize;
+        let mut valid = false;
+        for layer in idx.layers() {
+            acc += layer.len();
+            if acc as u64 == cost.evaluated {
+                valid = true;
+                break;
+            }
+        }
+        assert!(valid, "cost {} is not a layer-prefix sum", cost.evaluated);
+    }
+
+    #[test]
+    fn k_edge_cases() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 2, 40, 4).generate();
+        let idx = OnionIndex::build(&rel, 0);
+        let w = Weights::uniform(2);
+        assert!(idx.topk(&w, 0).0.is_empty());
+        assert_eq!(idx.topk(&w, 100).0, topk_bruteforce(&rel, &w, 40));
+    }
+}

@@ -1,0 +1,572 @@
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation (Section VI).
+//!
+//! ```text
+//! repro <experiment> [--scale small|full] [--queries N] [--n N] [--json PATH]
+//!
+//! experiments:
+//!   table2   measured selectivity per approach (1st layer vs rest)
+//!   table4   index construction time (HL, HL+, DG, DG+, DL, DL+)
+//!   fig8     DL vs DL+, varying k          fig9    DL vs DL+, varying d
+//!   fig10    DG vs DL, varying k           fig11   DG+ vs DL+, varying k
+//!   fig12    HL+ vs DL+, varying k         fig13   DG vs DL, varying d
+//!   fig14    DG+ vs DL+, varying d         fig15   HL+ vs DL+, varying d
+//!   fig16    DG+ vs DL+, varying n
+//!   ablation design-choice ablations (EDS policy, fine cap, clusters)
+//!   families one representative per approach family (layer/list/view)
+//!   all      every table and figure above
+//! ```
+//!
+//! Cost is the paper's Definition 9: tuples evaluated by the scoring
+//! function per query, averaged over random weight vectors.
+
+use drtopk_bench::{build_index, dataset, measure_cost, Algo, BuiltIndex, Measurement, Scale};
+use drtopk_common::Distribution;
+use std::collections::HashMap;
+
+const K_SWEEP: [usize; 5] = [10, 20, 30, 40, 50];
+const D_SWEEP: [usize; 4] = [2, 3, 4, 5];
+const DEFAULT_D: usize = 4;
+const DEFAULT_K: usize = 10;
+
+struct Config {
+    scale: Scale,
+    queries: usize,
+    n_override: Option<usize>,
+    json: Option<String>,
+}
+
+impl Config {
+    fn n(&self) -> usize {
+        self.n_override.unwrap_or(self.scale.default_n())
+    }
+}
+
+/// Caches built indexes per (distribution, d, n, index kind) so sweeps over
+/// k reuse one build, as a real deployment would.
+#[derive(Default)]
+struct Cache {
+    map: HashMap<(String, usize, usize, &'static str), BuiltIndex>,
+    build_secs: HashMap<(String, usize, usize, &'static str), f64>,
+}
+
+impl Cache {
+    fn get(&mut self, dist: Distribution, d: usize, n: usize, algo: Algo) -> &BuiltIndex {
+        // HL and HL+ share one index; DG/DG+/DL/DL+ are distinct builds.
+        let kind = match algo {
+            Algo::Hl | Algo::HlPlus => "HL",
+            other => other.name(),
+        };
+        let key = (dist.code().to_string(), d, n, kind);
+        if !self.map.contains_key(&key) {
+            eprintln!("  [build {kind} {} d={d} n={n} …]", dist.code());
+            let rel = dataset(dist, d, n);
+            let (built, secs) = build_index(&rel, algo);
+            self.build_secs.insert(key.clone(), secs);
+            self.map.insert(key.clone(), built);
+        }
+        &self.map[&key]
+    }
+
+    fn build_time(&mut self, dist: Distribution, d: usize, n: usize, algo: Algo) -> f64 {
+        self.get(dist, d, n, algo);
+        let kind = match algo {
+            Algo::Hl | Algo::HlPlus => "HL",
+            other => other.name(),
+        };
+        self.build_secs[&(dist.code().to_string(), d, n, kind)]
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        return;
+    }
+    let experiment = args[0].clone();
+    let mut cfg = Config {
+        scale: Scale::Small,
+        queries: 50,
+        n_override: None,
+        json: None,
+    };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                cfg.scale = match args.get(i).map(|s| s.as_str()) {
+                    Some("full") => Scale::Full,
+                    _ => Scale::Small,
+                };
+            }
+            "--queries" => {
+                i += 1;
+                cfg.queries = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(50);
+            }
+            "--n" => {
+                i += 1;
+                cfg.n_override = args.get(i).and_then(|s| s.parse().ok());
+            }
+            "--json" => {
+                i += 1;
+                cfg.json = args.get(i).cloned();
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                print_usage();
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut cache = Cache::default();
+    let mut out: Vec<Measurement> = Vec::new();
+    match experiment.as_str() {
+        "table2" => table2(&cfg, &mut cache, &mut out),
+        "table4" => table4(&cfg, &mut cache),
+        "fig8" => fig_k_sweep(&cfg, &mut cache, &mut out, "fig8", Algo::Dl, Algo::DlPlus),
+        "fig9" => fig_d_sweep(&cfg, &mut cache, &mut out, "fig9", Algo::Dl, Algo::DlPlus),
+        "fig10" => fig_k_sweep(&cfg, &mut cache, &mut out, "fig10", Algo::Dg, Algo::Dl),
+        "fig11" => fig_k_sweep(
+            &cfg,
+            &mut cache,
+            &mut out,
+            "fig11",
+            Algo::DgPlus,
+            Algo::DlPlus,
+        ),
+        "fig12" => fig_k_sweep(
+            &cfg,
+            &mut cache,
+            &mut out,
+            "fig12",
+            Algo::HlPlus,
+            Algo::DlPlus,
+        ),
+        "fig13" => fig_d_sweep(&cfg, &mut cache, &mut out, "fig13", Algo::Dg, Algo::Dl),
+        "fig14" => fig_d_sweep(
+            &cfg,
+            &mut cache,
+            &mut out,
+            "fig14",
+            Algo::DgPlus,
+            Algo::DlPlus,
+        ),
+        "fig15" => fig_d_sweep(
+            &cfg,
+            &mut cache,
+            &mut out,
+            "fig15",
+            Algo::HlPlus,
+            Algo::DlPlus,
+        ),
+        "fig16" => fig16(&cfg, &mut cache, &mut out),
+        "ablation" => ablation(&cfg, &mut out),
+        "families" => families(&cfg, &mut out),
+        "all" => {
+            table2(&cfg, &mut cache, &mut out);
+            table4(&cfg, &mut cache);
+            fig_k_sweep(&cfg, &mut cache, &mut out, "fig8", Algo::Dl, Algo::DlPlus);
+            fig_d_sweep(&cfg, &mut cache, &mut out, "fig9", Algo::Dl, Algo::DlPlus);
+            fig_k_sweep(&cfg, &mut cache, &mut out, "fig10", Algo::Dg, Algo::Dl);
+            fig_k_sweep(
+                &cfg,
+                &mut cache,
+                &mut out,
+                "fig11",
+                Algo::DgPlus,
+                Algo::DlPlus,
+            );
+            fig_k_sweep(
+                &cfg,
+                &mut cache,
+                &mut out,
+                "fig12",
+                Algo::HlPlus,
+                Algo::DlPlus,
+            );
+            fig_d_sweep(&cfg, &mut cache, &mut out, "fig13", Algo::Dg, Algo::Dl);
+            fig_d_sweep(
+                &cfg,
+                &mut cache,
+                &mut out,
+                "fig14",
+                Algo::DgPlus,
+                Algo::DlPlus,
+            );
+            fig_d_sweep(
+                &cfg,
+                &mut cache,
+                &mut out,
+                "fig15",
+                Algo::HlPlus,
+                Algo::DlPlus,
+            );
+            fig16(&cfg, &mut cache, &mut out);
+        }
+        other => {
+            eprintln!("unknown experiment {other}");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+
+    if let Some(path) = &cfg.json {
+        let json = serde_json::to_string_pretty(&out).expect("serializable");
+        std::fs::write(path, json).expect("write json");
+        eprintln!("wrote {} measurements to {path}", out.len());
+    }
+}
+
+fn print_usage() {
+    println!(
+        "usage: repro <table2|table4|fig8..fig16|ablation|families|all> \
+         [--scale small|full] [--queries N] [--n N] [--json PATH]"
+    );
+}
+
+fn dists() -> [Distribution; 2] {
+    [Distribution::Independent, Distribution::AntiCorrelated]
+}
+
+/// Table II (measured): per-approach mean cost split into first-coarse-
+/// layer access vs deeper access is not separable for all baselines, so we
+/// report the overall selectivity each approach achieves at the default
+/// parameters — the quantity Table II ranks qualitatively.
+fn table2(cfg: &Config, cache: &mut Cache, out: &mut Vec<Measurement>) {
+    let (d, n, k) = (DEFAULT_D, cfg.n(), DEFAULT_K);
+    println!("\nTable II (measured) — mean tuples evaluated, d={d}, n={n}, k={k}");
+    println!("{:<10} {:>14} {:>14}", "approach", "IND", "ANT");
+    for algo in [
+        Algo::Onion,
+        Algo::AppRi,
+        Algo::HlPlus,
+        Algo::Dg,
+        Algo::Dl,
+        Algo::DlPlus,
+    ] {
+        let mut row = format!("{:<10}", algo.name());
+        for dist in dists() {
+            let built = cache.get(dist, d, n, algo);
+            let m = measure_cost("table2", dist, n, d, k, cfg.queries, built, algo);
+            row += &format!(" {:>14.1}", m.mean_cost);
+            out.push(m);
+        }
+        println!("{row}");
+    }
+}
+
+/// Table IV: index construction time.
+fn table4(cfg: &Config, cache: &mut Cache) {
+    let (d, n) = (DEFAULT_D, cfg.n());
+    println!("\nTable IV — index construction time (sec), d={d}, n={n}");
+    println!(
+        "{:<6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "Dist.", "HL", "HL+", "DG", "DG+", "DL", "DL+"
+    );
+    for dist in dists() {
+        let hl = cache.build_time(dist, d, n, Algo::Hl);
+        let dg = cache.build_time(dist, d, n, Algo::Dg);
+        let dgp = cache.build_time(dist, d, n, Algo::DgPlus);
+        let dl = cache.build_time(dist, d, n, Algo::Dl);
+        let dlp = cache.build_time(dist, d, n, Algo::DlPlus);
+        println!(
+            "{:<6} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            dist.code(),
+            hl,
+            hl, // HL+ shares HL's index
+            dg,
+            dgp,
+            dl,
+            dlp
+        );
+    }
+}
+
+/// Figures 8, 10, 11, 12: two algorithms, varying retrieval size k.
+fn fig_k_sweep(
+    cfg: &Config,
+    cache: &mut Cache,
+    out: &mut Vec<Measurement>,
+    name: &str,
+    a: Algo,
+    b: Algo,
+) {
+    let (d, n) = (DEFAULT_D, cfg.n());
+    for dist in dists() {
+        println!(
+            "\n{} — {} vs {}, varying k ({}, d={d}, n={n}, {} queries)",
+            name,
+            a.name(),
+            b.name(),
+            dist.code(),
+            cfg.queries
+        );
+        println!(
+            "{:>4} {:>14} {:>14} {:>8}",
+            "k",
+            a.name(),
+            b.name(),
+            "ratio"
+        );
+        for k in K_SWEEP {
+            let ma = {
+                let built = cache.get(dist, d, n, a);
+                measure_cost(name, dist, n, d, k, cfg.queries, built, a)
+            };
+            let mb = {
+                let built = cache.get(dist, d, n, b);
+                measure_cost(name, dist, n, d, k, cfg.queries, built, b)
+            };
+            println!(
+                "{:>4} {:>14.1} {:>14.1} {:>8.2}",
+                k,
+                ma.mean_cost,
+                mb.mean_cost,
+                ma.mean_cost / mb.mean_cost.max(1e-9)
+            );
+            out.push(ma);
+            out.push(mb);
+        }
+    }
+}
+
+/// Figures 9, 13, 14, 15: two algorithms, varying dimensionality d.
+fn fig_d_sweep(
+    cfg: &Config,
+    cache: &mut Cache,
+    out: &mut Vec<Measurement>,
+    name: &str,
+    a: Algo,
+    b: Algo,
+) {
+    let (k, n) = (DEFAULT_K, cfg.n());
+    for dist in dists() {
+        println!(
+            "\n{} — {} vs {}, varying d ({}, k={k}, n={n}, {} queries)",
+            name,
+            a.name(),
+            b.name(),
+            dist.code(),
+            cfg.queries
+        );
+        println!(
+            "{:>4} {:>14} {:>14} {:>8}",
+            "d",
+            a.name(),
+            b.name(),
+            "ratio"
+        );
+        for d in D_SWEEP {
+            let ma = {
+                let built = cache.get(dist, d, n, a);
+                measure_cost(name, dist, n, d, k, cfg.queries, built, a)
+            };
+            let mb = {
+                let built = cache.get(dist, d, n, b);
+                measure_cost(name, dist, n, d, k, cfg.queries, built, b)
+            };
+            println!(
+                "{:>4} {:>14.1} {:>14.1} {:>8.2}",
+                d,
+                ma.mean_cost,
+                mb.mean_cost,
+                ma.mean_cost / mb.mean_cost.max(1e-9)
+            );
+            out.push(ma);
+            out.push(mb);
+        }
+    }
+}
+
+/// Figure 16: DG+ vs DL+, varying cardinality n.
+fn fig16(cfg: &Config, cache: &mut Cache, out: &mut Vec<Measurement>) {
+    let (d, k) = (DEFAULT_D, DEFAULT_K);
+    for dist in dists() {
+        println!(
+            "\nfig16 — DG+ vs DL+, varying n ({}, d={d}, k={k}, {} queries)",
+            dist.code(),
+            cfg.queries
+        );
+        println!("{:>8} {:>14} {:>14} {:>8}", "n", "DG+", "DL+", "ratio");
+        for n in cfg.scale.cardinality_sweep() {
+            let ma = {
+                let built = cache.get(dist, d, n, Algo::DgPlus);
+                measure_cost("fig16", dist, n, d, k, cfg.queries, built, Algo::DgPlus)
+            };
+            let mb = {
+                let built = cache.get(dist, d, n, Algo::DlPlus);
+                measure_cost("fig16", dist, n, d, k, cfg.queries, built, Algo::DlPlus)
+            };
+            println!(
+                "{:>8} {:>14.1} {:>14.1} {:>8.2}",
+                n,
+                ma.mean_cost,
+                mb.mean_cost,
+                ma.mean_cost / mb.mean_cost.max(1e-9)
+            );
+            out.push(ma);
+            out.push(mb);
+        }
+    }
+}
+
+/// Ablations of DESIGN.md §4: ∃-edge policy, fine-sublayer cap, and
+/// zero-layer cluster count, measured as mean query cost plus structural
+/// counters on the anti-correlated default workload.
+fn ablation(cfg: &Config, out: &mut Vec<Measurement>) {
+    use drtopk_core::{DlOptions, DualLayerIndex, EdsPolicy, ZeroMode};
+    let (d, k) = (DEFAULT_D, DEFAULT_K);
+    let n = cfg.n_override.unwrap_or(5_000);
+    let dist = Distribution::AntiCorrelated;
+    let rel = dataset(dist, d, n);
+    let weights = drtopk_bench::query_weights(d, cfg.queries, 0xC0FFEE);
+    let mut run = |name: &str, opts: DlOptions| {
+        let t0 = std::time::Instant::now();
+        let idx = DualLayerIndex::build(&rel, opts);
+        let secs = t0.elapsed().as_secs_f64();
+        let total: u64 = weights.iter().map(|w| idx.topk(w, k).cost.total()).sum();
+        let mean = total as f64 / weights.len() as f64;
+        let s = idx.stats();
+        println!(
+            "  {:<26} cost {:>10.1}  build {:>7.2}s  ∃-edges {:>9}  fine-layers {:>5}  pseudo {:>4}",
+            name, mean, secs, s.exists_edges, s.fine_layers, s.pseudo_tuples
+        );
+        out.push(Measurement {
+            experiment: format!("ablation:{name}"),
+            dist: dist.code().to_string(),
+            algo: "DL*",
+            n,
+            d,
+            k,
+            mean_cost: mean,
+            queries: weights.len(),
+        });
+    };
+
+    println!("\nAblation — ∃-edge (EDS) policy (ANT, d={d}, n={n}, k={k})");
+    run("eds=FirstFacet", DlOptions::dl());
+    run(
+        "eds=AllFacets",
+        DlOptions {
+            eds_policy: EdsPolicy::AllFacets,
+            ..DlOptions::dl()
+        },
+    );
+    run(
+        "eds=BestUniform",
+        DlOptions {
+            eds_policy: EdsPolicy::BestUniform,
+            ..DlOptions::dl()
+        },
+    );
+
+    println!("\nAblation — fine-sublayer cap (1 ≈ DG; 0 = unlimited)");
+    for cap in [1usize, 2, 4, 8, 0] {
+        run(
+            &format!("max_fine_layers={cap}"),
+            DlOptions {
+                max_fine_layers: cap,
+                ..DlOptions::dl()
+            },
+        );
+    }
+
+    println!("\nAblation — zero-layer cluster count (0 = √|L1| default)");
+    for c in [0usize, 4, 16, 64, 256] {
+        run(
+            &format!("clusters={c}"),
+            DlOptions {
+                zero: ZeroMode::Clustered { clusters: c },
+                ..DlOptions::dl_plus()
+            },
+        );
+    }
+
+    println!("\nAblation — 2-d zero layer: exact weight ranges vs clustered");
+    let rel2 = dataset(dist, 2, n);
+    let weights2 = drtopk_bench::query_weights(2, cfg.queries, 0xC0FFEE);
+    for (name, opts) in [
+        ("2d zero=none (DL)", DlOptions::dl()),
+        (
+            "2d zero=exact",
+            DlOptions {
+                zero: ZeroMode::Exact2d,
+                ..DlOptions::dl_plus()
+            },
+        ),
+        (
+            "2d zero=clustered",
+            DlOptions {
+                zero: ZeroMode::Clustered { clusters: 0 },
+                ..DlOptions::dl_plus()
+            },
+        ),
+    ] {
+        let idx = DualLayerIndex::build(&rel2, opts);
+        let total: u64 = weights2.iter().map(|w| idx.topk(w, k).cost.total()).sum();
+        println!(
+            "  {:<26} cost {:>10.1}",
+            name,
+            total as f64 / weights2.len() as f64
+        );
+    }
+}
+
+/// Section VII's taxonomy, measured: one representative per family —
+/// layer-based (DL+), list-based (TA, NRA over the whole relation), and
+/// view-based (PREFER with 8 materialized views).
+fn families(cfg: &Config, out: &mut Vec<Measurement>) {
+    use drtopk_baselines::PreferIndex;
+    use drtopk_lists::{nra_topk, ta_topk};
+    let (d, k) = (DEFAULT_D, DEFAULT_K);
+    let n = cfg.n_override.unwrap_or(5_000);
+    println!(
+        "\nFamilies — mean tuples evaluated (d={d}, n={n}, k={k}, {} queries)",
+        cfg.queries
+    );
+    println!("{:<22} {:>14} {:>14}", "approach", "IND", "ANT");
+    let mut rows: Vec<(String, Vec<f64>)> = vec![
+        ("layer: DL+".into(), Vec::new()),
+        ("list: TA".into(), Vec::new()),
+        ("list: NRA".into(), Vec::new()),
+        ("view: PREFER(8)".into(), Vec::new()),
+    ];
+    for dist in dists() {
+        let rel = dataset(dist, d, n);
+        let weights = drtopk_bench::query_weights(d, cfg.queries, 0xC0FFEE);
+        let dl = drtopk_core::DualLayerIndex::build(&rel, drtopk_core::DlOptions::dl_plus());
+        let prefer = PreferIndex::build_with_default_views(&rel, 8);
+        let means: Vec<f64> = {
+            let mut sums = [0u64; 4];
+            for w in &weights {
+                sums[0] += dl.topk(w, k).cost.total();
+                sums[1] += ta_topk(&rel, w, k).1.total();
+                sums[2] += nra_topk(&rel, w, k).1.total();
+                sums[3] += prefer.topk(w, k).1.total();
+            }
+            sums.iter()
+                .map(|&s| s as f64 / weights.len() as f64)
+                .collect()
+        };
+        for (row, &m) in rows.iter_mut().zip(&means) {
+            row.1.push(m);
+            out.push(Measurement {
+                experiment: "families".into(),
+                dist: dist.code().to_string(),
+                algo: "family",
+                n,
+                d,
+                k,
+                mean_cost: m,
+                queries: cfg.queries,
+            });
+        }
+    }
+    for (name, vals) in rows {
+        println!("{:<22} {:>14.1} {:>14.1}", name, vals[0], vals[1]);
+    }
+}

@@ -1,0 +1,480 @@
+//! Implementation of the `drtopk` command-line tool.
+//!
+//! All command logic lives in this library so it is unit-testable; the
+//! binary (`src/main.rs`) only forwards `std::env::args` and maps errors
+//! to exit codes.
+//!
+//! ```text
+//! drtopk generate --dist ant --dims 4 --n 20000 --seed 7 --out data.drt
+//! drtopk import   --csv hotels.csv --columns 1:low,2:high,3:low --out data.drt
+//! drtopk build    --data data.drt --out index.drt [--variant dl+|dl|dg|dg+] [--parallel]
+//! drtopk stats    --index index.drt
+//! drtopk query    --index index.drt --weights 0.3,0.3,0.4 --k 10
+//! ```
+
+use drtopk_common::{
+    relation_from_csv, ColumnSpec, Direction, Distribution, Weights, WorkloadSpec,
+};
+use drtopk_core::{DlOptions, DualLayerIndex, ZeroMode};
+use drtopk_storage::{load_index, load_relation, save_index, save_relation};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A CLI failure: message for stderr plus the process exit code.
+#[derive(Debug)]
+pub struct CliError {
+    pub message: String,
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> Self {
+        CliError {
+            message: msg.into(),
+            code: 2,
+        }
+    }
+
+    fn runtime(msg: impl Into<String>) -> Self {
+        CliError {
+            message: msg.into(),
+            code: 1,
+        }
+    }
+}
+
+/// Parsed `--flag value` arguments after the subcommand.
+struct Flags {
+    values: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut values = HashMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = &args[i];
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(CliError::usage(format!(
+                    "unexpected positional argument {a:?}"
+                )));
+            };
+            // Boolean switches take no value.
+            if name == "parallel" {
+                switches.push(name.to_string());
+                i += 1;
+                continue;
+            }
+            const KNOWN: &[&str] = &[
+                "dist", "dims", "n", "seed", "out", "csv", "columns", "data", "variant",
+                "clusters", "index", "weights", "k",
+            ];
+            if !KNOWN.contains(&name) {
+                return Err(CliError::usage(format!("unknown flag --{name}")));
+            }
+            let Some(v) = args.get(i + 1) else {
+                return Err(CliError::usage(format!("--{name} requires a value")));
+            };
+            values.insert(name.to_string(), v.clone());
+            i += 2;
+        }
+        Ok(Flags { values, switches })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name)
+            .ok_or_else(|| CliError::usage(format!("missing required --{name}")))
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::usage(format!("--{name}: cannot parse {v:?}"))),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+/// Entry point used by the binary and by tests. Returns the text that
+/// should go to stdout.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some(cmd) = args.first() else {
+        return Ok(usage());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "import" => cmd_import(&flags),
+        "build" => cmd_build(&flags),
+        "stats" => cmd_stats(&flags),
+        "query" => cmd_query(&flags),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::usage(format!(
+            "unknown command {other:?}\n{}",
+            usage()
+        ))),
+    }
+}
+
+fn usage() -> String {
+    "\
+drtopk — dual-resolution layer indexing for top-k queries
+
+commands:
+  generate  --dist ind|ant|cor --dims D --n N [--seed S] --out FILE
+  import    --csv FILE --columns IDX:low|high[,...] --out FILE
+  build     --data FILE --out FILE [--variant dl+|dl|dg|dg+] [--parallel]
+  stats     --index FILE
+  query     --index FILE --weights W1,W2,... [--k K]
+  help
+"
+    .to_string()
+}
+
+fn cmd_generate(f: &Flags) -> Result<String, CliError> {
+    let dist = match f.require("dist")? {
+        "ind" => Distribution::Independent,
+        "ant" => Distribution::AntiCorrelated,
+        "cor" => Distribution::Correlated,
+        other => {
+            return Err(CliError::usage(format!(
+                "--dist must be ind|ant|cor, got {other}"
+            )))
+        }
+    };
+    let dims: usize = f.parse_num("dims", 0)?;
+    let n: usize = f.parse_num("n", 0)?;
+    if dims < 2 || n == 0 {
+        return Err(CliError::usage(
+            "--dims (>= 2) and --n (> 0) are required".to_string(),
+        ));
+    }
+    let seed: u64 = f.parse_num("seed", 42)?;
+    let out = PathBuf::from(f.require("out")?);
+    let rel = WorkloadSpec::new(dist, dims, n, seed).generate();
+    save_relation(&rel, &out).map_err(|e| CliError::runtime(e.to_string()))?;
+    Ok(format!(
+        "wrote {} tuples (d={dims}, {}) to {}\n",
+        rel.len(),
+        dist.code(),
+        out.display()
+    ))
+}
+
+fn cmd_import(f: &Flags) -> Result<String, CliError> {
+    let csv_path = PathBuf::from(f.require("csv")?);
+    let columns = parse_columns(f.require("columns")?)?;
+    let out = PathBuf::from(f.require("out")?);
+    let file = std::fs::File::open(&csv_path)
+        .map_err(|e| CliError::runtime(format!("{}: {e}", csv_path.display())))?;
+    let (rel, _norm) = relation_from_csv(std::io::BufReader::new(file), &columns)
+        .map_err(|e| CliError::runtime(e.to_string()))?;
+    save_relation(&rel, &out).map_err(|e| CliError::runtime(e.to_string()))?;
+    Ok(format!(
+        "imported {} tuples × {} attributes into {}\n",
+        rel.len(),
+        rel.dims(),
+        out.display()
+    ))
+}
+
+/// Parses `1:low,2:high,4:low` into column specs.
+fn parse_columns(spec: &str) -> Result<Vec<ColumnSpec>, CliError> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let (col, dir) = part
+            .split_once(':')
+            .ok_or_else(|| CliError::usage(format!("column spec {part:?} must be IDX:low|high")))?;
+        let column: usize = col
+            .trim()
+            .parse()
+            .map_err(|_| CliError::usage(format!("bad column index {col:?}")))?;
+        let direction = match dir.trim() {
+            "low" => Direction::LowerIsBetter,
+            "high" => Direction::HigherIsBetter,
+            other => {
+                return Err(CliError::usage(format!(
+                    "direction must be low|high, got {other}"
+                )))
+            }
+        };
+        out.push(ColumnSpec { column, direction });
+    }
+    if out.is_empty() {
+        return Err(CliError::usage(
+            "--columns must select at least one column".to_string(),
+        ));
+    }
+    Ok(out)
+}
+
+fn variant_options(name: &str) -> Result<DlOptions, CliError> {
+    Ok(match name {
+        "dl+" => DlOptions::dl_plus(),
+        "dl" => DlOptions::dl(),
+        "dg" => DlOptions::dg(),
+        "dg+" => DlOptions::dg_plus(),
+        other => {
+            return Err(CliError::usage(format!(
+                "--variant must be dl+|dl|dg|dg+, got {other}"
+            )))
+        }
+    })
+}
+
+fn cmd_build(f: &Flags) -> Result<String, CliError> {
+    let data = PathBuf::from(f.require("data")?);
+    let out = PathBuf::from(f.require("out")?);
+    let mut opts = variant_options(f.get("variant").unwrap_or("dl+"))?;
+    opts.parallel = f.has("parallel");
+    if let Some(c) = f.get("clusters") {
+        let clusters: usize = c
+            .parse()
+            .map_err(|_| CliError::usage(format!("--clusters: bad value {c:?}")))?;
+        opts.zero = ZeroMode::Clustered { clusters };
+    }
+    let rel = load_relation(&data).map_err(|e| CliError::runtime(e.to_string()))?;
+    let t0 = std::time::Instant::now();
+    let idx = DualLayerIndex::build(&rel, opts);
+    let secs = t0.elapsed().as_secs_f64();
+    save_index(&idx, &out).map_err(|e| CliError::runtime(e.to_string()))?;
+    let s = idx.stats();
+    Ok(format!(
+        "built in {secs:.2}s: {} coarse / {} fine layers, {} ∀-edges, {} ∃-edges, {} pseudo\nwrote {}\n",
+        s.coarse_layers,
+        s.fine_layers,
+        s.forall_edges,
+        s.exists_edges,
+        s.pseudo_tuples,
+        out.display()
+    ))
+}
+
+fn stats_text(idx: &DualLayerIndex, path: &Path) -> String {
+    let s = idx.stats();
+    let mut out = String::new();
+    let _ = writeln!(out, "index {}", path.display());
+    let _ = writeln!(out, "  tuples            {}", s.n);
+    let _ = writeln!(out, "  dimensionality    {}", s.dims);
+    let _ = writeln!(out, "  coarse layers     {}", s.coarse_layers);
+    let _ = writeln!(out, "  fine sublayers    {}", s.fine_layers);
+    let _ = writeln!(out, "  ∀-dominance edges {}", s.forall_edges);
+    let _ = writeln!(out, "  ∃-dominance edges {}", s.exists_edges);
+    let _ = writeln!(out, "  pseudo-tuples     {}", s.pseudo_tuples);
+    let _ = writeln!(out, "  first layer |L1|  {}", s.first_layer_size);
+    let _ = writeln!(out, "  first fine |L11|  {}", s.first_fine_size);
+    let _ = writeln!(out, "  query seeds       {}", s.seeds);
+    out
+}
+
+fn cmd_stats(f: &Flags) -> Result<String, CliError> {
+    let path = PathBuf::from(f.require("index")?);
+    let idx = load_index(&path).map_err(|e| CliError::runtime(e.to_string()))?;
+    Ok(stats_text(&idx, &path))
+}
+
+fn cmd_query(f: &Flags) -> Result<String, CliError> {
+    let path = PathBuf::from(f.require("index")?);
+    let raw: Vec<f64> = f
+        .require("weights")?
+        .split(',')
+        .map(|p| p.trim().parse::<f64>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| CliError::usage("--weights must be comma-separated numbers".to_string()))?;
+    let k: usize = f.parse_num("k", 10)?;
+    let idx = load_index(&path).map_err(|e| CliError::runtime(e.to_string()))?;
+    let w = Weights::new(raw).map_err(|e| CliError::usage(e.to_string()))?;
+    if w.dims() != idx.dims() {
+        return Err(CliError::usage(format!(
+            "index has {} attributes but {} weights were given",
+            idx.dims(),
+            w.dims()
+        )));
+    }
+    let t0 = std::time::Instant::now();
+    let res = idx.topk(&w, k);
+    let micros = t0.elapsed().as_micros();
+    let mut out = String::new();
+    let _ = writeln!(out, "rank  tuple        score  attributes");
+    for (rank, &t) in res.ids.iter().enumerate() {
+        let tv = idx.relation().tuple(t);
+        let attrs: Vec<String> = tv.iter().map(|x| format!("{x:.4}")).collect();
+        let _ = writeln!(
+            out,
+            "{:>4}  {:>6} {:>11.6}  [{}]",
+            rank + 1,
+            t,
+            w.score(tv),
+            attrs.join(", ")
+        );
+    }
+    let _ = writeln!(
+        out,
+        "evaluated {} of {} tuples ({} pseudo) in {micros} µs",
+        res.cost.total(),
+        idx.len(),
+        res.cost.pseudo_evaluated
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("drtopk_cli_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn full_pipeline() {
+        let data = tmp("pipe.data.drt");
+        let index = tmp("pipe.index.drt");
+        let out = run(&argv(&[
+            "generate",
+            "--dist",
+            "ant",
+            "--dims",
+            "3",
+            "--n",
+            "500",
+            "--seed",
+            "5",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("500 tuples"));
+
+        let out = run(&argv(&[
+            "build",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            index.to_str().unwrap(),
+            "--variant",
+            "dl+",
+            "--parallel",
+        ]))
+        .unwrap();
+        assert!(out.contains("coarse"));
+
+        let out = run(&argv(&["stats", "--index", index.to_str().unwrap()])).unwrap();
+        assert!(out.contains("tuples            500"));
+
+        let out = run(&argv(&[
+            "query",
+            "--index",
+            index.to_str().unwrap(),
+            "--weights",
+            "0.2,0.5,0.3",
+            "--k",
+            "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("rank"));
+        assert_eq!(
+            out.lines()
+                .filter(|l| l.trim_start().starts_with(char::is_numeric))
+                .count(),
+            5
+        );
+    }
+
+    #[test]
+    fn import_csv() {
+        let csv = tmp("cat.csv");
+        std::fs::write(&csv, "name,price,rating\na,10,4.5\nb,20,5.0\nc,5,1.0\n").unwrap();
+        let data = tmp("cat.drt");
+        let out = run(&argv(&[
+            "import",
+            "--csv",
+            csv.to_str().unwrap(),
+            "--columns",
+            "1:low,2:high",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("3 tuples × 2 attributes"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&argv(&["unknown"])).is_err());
+        assert!(run(&argv(&["generate", "--dist", "weird"])).is_err());
+        assert!(
+            run(&argv(&["build", "--data"])).is_err(),
+            "flag without value"
+        );
+        assert!(run(&argv(&[
+            "query",
+            "--index",
+            "/nonexistent",
+            "--weights",
+            "1,1"
+        ]))
+        .is_err());
+        let e = run(&argv(&["generate", "--dist", "ind", "--out", "/tmp/x"])).unwrap_err();
+        assert_eq!(e.code, 2);
+    }
+
+    #[test]
+    fn weight_arity_checked() {
+        let data = tmp("arity.data.drt");
+        let index = tmp("arity.index.drt");
+        run(&argv(&[
+            "generate",
+            "--dist",
+            "ind",
+            "--dims",
+            "2",
+            "--n",
+            "50",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            index.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = run(&argv(&[
+            "query",
+            "--index",
+            index.to_str().unwrap(),
+            "--weights",
+            "1,1,1",
+        ]))
+        .unwrap_err();
+        assert!(err.message.contains("2 attributes"));
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        assert!(run(&argv(&["help"])).unwrap().contains("commands:"));
+        assert!(run(&[]).unwrap().contains("commands:"));
+    }
+}

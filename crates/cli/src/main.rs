@@ -1,0 +1,12 @@
+//! The `drtopk` binary: thin shell around [`drtopk_cli::run`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match drtopk_cli::run(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {}", e.message);
+            std::process::exit(e.code);
+        }
+    }
+}

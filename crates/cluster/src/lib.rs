@@ -1,0 +1,244 @@
+//! Lloyd's k-means with k-means++ seeding.
+//!
+//! Used by the zero-layer optimization (Section V-B): the first layer's
+//! tuples are clustered and each cluster is summarized by a pseudo-tuple
+//! at the cluster's coordinate-wise minimum, which dominates every member.
+
+use drtopk_common::{Relation, TupleId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of clustering a set of tuples.
+#[derive(Debug, Clone)]
+pub struct Clustering {
+    /// Cluster index of each input tuple (parallel to the input slice).
+    pub assignment: Vec<u32>,
+    /// Cluster centroids (row-major, `dims` columns).
+    pub centroids: Vec<f64>,
+    /// Number of clusters actually produced (≤ requested; empty clusters
+    /// are dropped and indices compacted).
+    pub k: usize,
+}
+
+impl Clustering {
+    /// Members of each cluster, as positions into the clustered slice.
+    pub fn groups(&self) -> Vec<Vec<u32>> {
+        let mut g = vec![Vec::new(); self.k];
+        for (pos, &c) in self.assignment.iter().enumerate() {
+            g[c as usize].push(pos as u32);
+        }
+        g
+    }
+}
+
+/// Runs k-means over the tuples `ids` of `rel`.
+///
+/// `k` is clamped to the number of distinct input tuples. Seeding is
+/// k-means++ (deterministic per `seed`); iteration stops on assignment
+/// convergence or after `max_iters`.
+pub fn kmeans(
+    rel: &Relation,
+    ids: &[TupleId],
+    k: usize,
+    seed: u64,
+    max_iters: usize,
+) -> Clustering {
+    let d = rel.dims();
+    let n = ids.len();
+    assert!(n > 0, "cannot cluster an empty set");
+    let k = k.clamp(1, n);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<f64> = Vec::with_capacity(k * d);
+    let first = rng.gen_range(0..n);
+    centroids.extend_from_slice(rel.tuple(ids[first]));
+    let mut dist2: Vec<f64> = (0..n)
+        .map(|i| sq_dist(rel.tuple(ids[i]), &centroids[0..d]))
+        .collect();
+    while centroids.len() < k * d {
+        let total: f64 = dist2.iter().sum();
+        let chosen = if total <= 0.0 {
+            // All points coincide with chosen centroids; any point works.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &w) in dist2.iter().enumerate() {
+                if target < w {
+                    pick = i;
+                    break;
+                }
+                target -= w;
+            }
+            pick
+        };
+        let c0 = centroids.len();
+        centroids.extend_from_slice(rel.tuple(ids[chosen]));
+        let new_c = centroids[c0..c0 + d].to_vec();
+        for (i, d2) in dist2.iter_mut().enumerate() {
+            *d2 = d2.min(sq_dist(rel.tuple(ids[i]), &new_c));
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignment = vec![0u32; n];
+    for _ in 0..max_iters {
+        let mut changed = false;
+        for i in 0..n {
+            let t = rel.tuple(ids[i]);
+            let mut best = 0u32;
+            let mut best_d = f64::INFINITY;
+            for c in 0..k {
+                let dd = sq_dist(t, &centroids[c * d..(c + 1) * d]);
+                if dd < best_d {
+                    best_d = dd;
+                    best = c as u32;
+                }
+            }
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        let mut sums = vec![0.0f64; k * d];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            let c = assignment[i] as usize;
+            counts[c] += 1;
+            for (s, &x) in sums[c * d..(c + 1) * d].iter_mut().zip(rel.tuple(ids[i])) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for j in 0..d {
+                    centroids[c * d + j] = sums[c * d + j] / counts[c] as f64;
+                }
+            }
+        }
+    }
+
+    // Compact away empty clusters.
+    let mut counts = vec![0usize; k];
+    for &a in &assignment {
+        counts[a as usize] += 1;
+    }
+    let mut remap = vec![u32::MAX; k];
+    let mut new_centroids = Vec::new();
+    let mut kk = 0;
+    for c in 0..k {
+        if counts[c] > 0 {
+            remap[c] = kk as u32;
+            new_centroids.extend_from_slice(&centroids[c * d..(c + 1) * d]);
+            kk += 1;
+        }
+    }
+    for a in &mut assignment {
+        *a = remap[*a as usize];
+    }
+    Clustering {
+        assignment,
+        centroids: new_centroids,
+        k: kk,
+    }
+}
+
+/// The pseudo-tuple of a cluster: the coordinate-wise minimum of its
+/// members, which (weakly) dominates every member (Section V-B).
+pub fn cluster_min_corners(
+    rel: &Relation,
+    ids: &[TupleId],
+    clustering: &Clustering,
+) -> Vec<Vec<f64>> {
+    let d = rel.dims();
+    let mut corners = vec![vec![f64::INFINITY; d]; clustering.k];
+    for (pos, &c) in clustering.assignment.iter().enumerate() {
+        let t = rel.tuple(ids[pos]);
+        for (m, &x) in corners[c as usize].iter_mut().zip(t) {
+            *m = m.min(x);
+        }
+    }
+    corners
+}
+
+#[inline]
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtopk_common::{dominates_eq, Distribution, WorkloadSpec};
+
+    #[test]
+    fn separates_obvious_clusters() {
+        let mut rows = Vec::new();
+        for i in 0..20 {
+            let e = i as f64 * 0.001;
+            rows.push(vec![0.1 + e, 0.1 + e]);
+            rows.push(vec![0.9 - e, 0.9 - e]);
+        }
+        let rel = Relation::from_rows(2, &rows).unwrap();
+        let ids: Vec<TupleId> = (0..rows.len() as TupleId).collect();
+        let c = kmeans(&rel, &ids, 2, 7, 50);
+        assert_eq!(c.k, 2);
+        // All low points in one cluster, all high points in the other.
+        let low_cluster = c.assignment[0];
+        for (pos, &a) in c.assignment.iter().enumerate() {
+            if pos % 2 == 0 {
+                assert_eq!(a, low_cluster);
+            } else {
+                assert_ne!(a, low_cluster);
+            }
+        }
+    }
+
+    #[test]
+    fn min_corners_dominate_members() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 4, 300, 11).generate();
+        let ids: Vec<TupleId> = (0..rel.len() as TupleId).collect();
+        let c = kmeans(&rel, &ids, 10, 3, 30);
+        let corners = cluster_min_corners(&rel, &ids, &c);
+        assert_eq!(corners.len(), c.k);
+        for (pos, &a) in c.assignment.iter().enumerate() {
+            assert!(dominates_eq(&corners[a as usize], rel.tuple(ids[pos])));
+        }
+    }
+
+    #[test]
+    fn k_clamped_and_deterministic() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 2, 5, 2).generate();
+        let ids: Vec<TupleId> = (0..5).collect();
+        let c = kmeans(&rel, &ids, 50, 1, 30);
+        assert!(c.k <= 5);
+        let c2 = kmeans(&rel, &ids, 50, 1, 30);
+        assert_eq!(c.assignment, c2.assignment);
+    }
+
+    #[test]
+    fn identical_points_single_cluster_semantics() {
+        let rows: Vec<Vec<f64>> = (0..8).map(|_| vec![0.4, 0.6]).collect();
+        let rel = Relation::from_rows(2, &rows).unwrap();
+        let ids: Vec<TupleId> = (0..8).collect();
+        let c = kmeans(&rel, &ids, 3, 5, 20);
+        // All duplicates must share one cluster; empties are compacted.
+        assert!(c.k >= 1);
+        let g = c.groups();
+        assert_eq!(g.iter().map(|v| v.len()).sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn groups_cover_all_positions() {
+        let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 3, 120, 9).generate();
+        let ids: Vec<TupleId> = (0..rel.len() as TupleId).collect();
+        let c = kmeans(&rel, &ids, 8, 2, 25);
+        let mut all: Vec<u32> = c.groups().into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..120).collect::<Vec<u32>>());
+    }
+}

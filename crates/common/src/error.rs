@@ -1,0 +1,42 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Errors produced when constructing relations, weights, or indexes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// A tuple's arity did not match the relation's dimensionality.
+    DimensionMismatch { expected: usize, got: usize },
+    /// Dimensionality outside the supported range (the paper evaluates
+    /// d in 2..=5; we support any d >= 1 but some structures need d >= 2).
+    InvalidDimension(usize),
+    /// A weight vector was rejected (non-positive entry, bad length,
+    /// non-finite value, or zero sum).
+    InvalidWeights(String),
+    /// An attribute value was outside `[0,1]` or non-finite.
+    InvalidValue {
+        tuple: usize,
+        dim: usize,
+        value: f64,
+    },
+    /// A query was issued against an empty relation or with k = 0.
+    EmptyQuery(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            Error::InvalidDimension(d) => write!(f, "invalid dimensionality: {d}"),
+            Error::InvalidWeights(msg) => write!(f, "invalid weight vector: {msg}"),
+            Error::InvalidValue { tuple, dim, value } => {
+                write!(f, "invalid value {value} at tuple {tuple}, dim {dim}")
+            }
+            Error::EmptyQuery(msg) => write!(f, "invalid query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,291 @@
+//! Ingesting real data: CSV parsing and attribute normalization.
+//!
+//! The index operates on minimization attributes normalized to `[0,1]`
+//! (Section II of the paper). Real datasets come as raw columns where
+//! larger is sometimes better (rating) and sometimes worse (price), on
+//! arbitrary scales. [`ColumnSpec`] declares the direction per column;
+//! [`Normalizer`] min-max rescales and flips so that *smaller is better*
+//! holds everywhere, and can map normalized answers back to raw values.
+
+use crate::error::Error;
+use crate::relation::Relation;
+use std::io::BufRead;
+
+/// Preference direction of a raw column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Smaller raw values are better (price, distance).
+    LowerIsBetter,
+    /// Larger raw values are better (rating, capacity); flipped during
+    /// normalization.
+    HigherIsBetter,
+}
+
+/// One attribute to extract from a raw record.
+#[derive(Debug, Clone)]
+pub struct ColumnSpec {
+    /// Zero-based column index in the CSV record.
+    pub column: usize,
+    pub direction: Direction,
+}
+
+/// Min-max normalization state, kept so query answers can be explained in
+/// raw units and new tuples normalized consistently.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    specs: Vec<(usize, Direction)>,
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl Normalizer {
+    /// Fits a normalizer over raw rows (each row = the selected attribute
+    /// values, in spec order).
+    pub fn fit(specs: &[ColumnSpec], rows: &[Vec<f64>]) -> Result<Self, Error> {
+        let d = specs.len();
+        if d == 0 {
+            return Err(Error::InvalidDimension(0));
+        }
+        let mut mins = vec![f64::INFINITY; d];
+        let mut maxs = vec![f64::NEG_INFINITY; d];
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != d {
+                return Err(Error::DimensionMismatch {
+                    expected: d,
+                    got: row.len(),
+                });
+            }
+            for (j, &v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    return Err(Error::InvalidValue {
+                        tuple: i,
+                        dim: j,
+                        value: v,
+                    });
+                }
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        Ok(Normalizer {
+            specs: specs.iter().map(|s| (s.column, s.direction)).collect(),
+            mins,
+            maxs,
+        })
+    }
+
+    /// Dimensionality.
+    pub fn dims(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Normalizes one raw attribute row into `[0,1]^d`, smaller-is-better.
+    /// Constant columns map to 0.5.
+    pub fn normalize(&self, raw: &[f64]) -> Result<Vec<f64>, Error> {
+        if raw.len() != self.dims() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dims(),
+                got: raw.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(raw.len());
+        for (j, &v) in raw.iter().enumerate() {
+            let span = self.maxs[j] - self.mins[j];
+            let x = if span <= 0.0 {
+                0.5
+            } else {
+                ((v - self.mins[j]) / span).clamp(0.0, 1.0)
+            };
+            out.push(match self.specs[j].1 {
+                Direction::LowerIsBetter => x,
+                Direction::HigherIsBetter => 1.0 - x,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Maps a normalized tuple back to raw attribute values.
+    pub fn denormalize(&self, norm: &[f64]) -> Result<Vec<f64>, Error> {
+        if norm.len() != self.dims() {
+            return Err(Error::DimensionMismatch {
+                expected: self.dims(),
+                got: norm.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(norm.len());
+        for (j, &x) in norm.iter().enumerate() {
+            let x = match self.specs[j].1 {
+                Direction::LowerIsBetter => x,
+                Direction::HigherIsBetter => 1.0 - x,
+            };
+            out.push(self.mins[j] + x * (self.maxs[j] - self.mins[j]));
+        }
+        Ok(out)
+    }
+}
+
+/// Reads a CSV (comma-separated, `#`-comments and blank lines skipped,
+/// optional header auto-detected by non-numeric first row) and builds a
+/// normalized relation from the selected columns.
+///
+/// Returns the relation and the fitted [`Normalizer`]. Unparseable rows
+/// are rejected with the offending line number.
+pub fn relation_from_csv<R: BufRead>(
+    reader: R,
+    specs: &[ColumnSpec],
+) -> Result<(Relation, Normalizer), Error> {
+    let mut raw_rows: Vec<Vec<f64>> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| Error::InvalidWeights(format!("io error: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').map(str::trim).collect();
+        let mut row = Vec::with_capacity(specs.len());
+        let mut parse_failed_col = None;
+        for spec in specs {
+            match fields.get(spec.column).map(|f| f.parse::<f64>()) {
+                Some(Ok(v)) => row.push(v),
+                _ => {
+                    parse_failed_col = Some(spec.column);
+                    break;
+                }
+            }
+        }
+        match parse_failed_col {
+            None => raw_rows.push(row),
+            Some(col) => {
+                // A non-numeric first data row is treated as a header.
+                if raw_rows.is_empty() && lineno == 0 {
+                    continue;
+                }
+                return Err(Error::InvalidWeights(format!(
+                    "line {}: column {col} is not numeric",
+                    lineno + 1
+                )));
+            }
+        }
+    }
+    let norm = Normalizer::fit(specs, &raw_rows)?;
+    let mut rel = Relation::new(specs.len())?;
+    for row in &raw_rows {
+        rel.push(&norm.normalize(row)?)?;
+    }
+    Ok((rel, norm))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CSV: &str = "\
+name,price,stars,distance
+# comment line
+Alpha, 120, 4.5, 2.0
+Bravo,  80, 3.0, 0.5
+Charlie,200, 5.0, 8.0
+";
+
+    fn specs() -> Vec<ColumnSpec> {
+        vec![
+            ColumnSpec {
+                column: 1,
+                direction: Direction::LowerIsBetter,
+            },
+            ColumnSpec {
+                column: 2,
+                direction: Direction::HigherIsBetter,
+            },
+            ColumnSpec {
+                column: 3,
+                direction: Direction::LowerIsBetter,
+            },
+        ]
+    }
+
+    #[test]
+    fn parses_with_header_and_comments() {
+        let (rel, norm) = relation_from_csv(CSV.as_bytes(), &specs()).unwrap();
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.dims(), 3);
+        // Bravo: cheapest (0), worst-ish stars... stars 3.0 is min => after
+        // flip it is 1.0 (worst); price 80 => 0.0 (best).
+        let bravo = rel.tuple(1);
+        assert!((bravo[0] - 0.0).abs() < 1e-12);
+        assert!((bravo[1] - 1.0).abs() < 1e-12);
+        // Denormalization returns raw units.
+        let raw = norm.denormalize(bravo).unwrap();
+        assert!((raw[0] - 80.0).abs() < 1e-9);
+        assert!((raw[1] - 3.0).abs() < 1e-9);
+        assert!((raw[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn direction_flip_makes_smaller_better() {
+        let (rel, _) = relation_from_csv(CSV.as_bytes(), &specs()).unwrap();
+        // Charlie has 5.0 stars (best) -> normalized star attr 0.0.
+        assert!((rel.tuple(2)[1] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_mid_file_garbage() {
+        let bad = "1.0,2.0\n3.0,oops\n";
+        let specs = vec![
+            ColumnSpec {
+                column: 0,
+                direction: Direction::LowerIsBetter,
+            },
+            ColumnSpec {
+                column: 1,
+                direction: Direction::LowerIsBetter,
+            },
+        ];
+        assert!(relation_from_csv(bad.as_bytes(), &specs).is_err());
+    }
+
+    #[test]
+    fn constant_column_maps_to_half() {
+        let csv = "5.0,1.0\n5.0,2.0\n";
+        let specs = vec![
+            ColumnSpec {
+                column: 0,
+                direction: Direction::LowerIsBetter,
+            },
+            ColumnSpec {
+                column: 1,
+                direction: Direction::LowerIsBetter,
+            },
+        ];
+        let (rel, _) = relation_from_csv(csv.as_bytes(), &specs).unwrap();
+        assert!((rel.tuple(0)[0] - 0.5).abs() < 1e-12);
+        assert!((rel.tuple(1)[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_roundtrip_random() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(6);
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|_| vec![rng.gen_range(-100.0..100.0), rng.gen_range(0.0..1e6)])
+            .collect();
+        let specs = vec![
+            ColumnSpec {
+                column: 0,
+                direction: Direction::HigherIsBetter,
+            },
+            ColumnSpec {
+                column: 1,
+                direction: Direction::LowerIsBetter,
+            },
+        ];
+        let norm = Normalizer::fit(&specs, &rows).unwrap();
+        for row in &rows {
+            let n = norm.normalize(row).unwrap();
+            assert!(n.iter().all(|&x| (0.0..=1.0).contains(&x)));
+            let back = norm.denormalize(&n).unwrap();
+            assert!((back[0] - row[0]).abs() < 1e-6);
+            assert!((back[1] - row[1]).abs() < 1e-3, "{} vs {}", back[1], row[1]);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Brute-force top-k oracle used for differential testing.
+
+use crate::relation::{Relation, TupleId};
+use crate::weights::{ScoredTuple, Weights};
+
+/// Computes the exact top-k answer (Definition 1) by scoring every tuple.
+///
+/// Returns tuple ids ordered by `(score, id)` ascending; ties are broken by
+/// tuple identifier, matching the paper's tie-break assumption. If `k`
+/// exceeds the cardinality, all tuples are returned.
+pub fn topk_bruteforce(r: &Relation, w: &Weights, k: usize) -> Vec<TupleId> {
+    assert_eq!(r.dims(), w.dims(), "weight dimensionality mismatch");
+    let mut scored: Vec<ScoredTuple> = r
+        .iter()
+        .map(|(id, t)| ScoredTuple {
+            score: w.score(t),
+            id,
+        })
+        .collect();
+    let k = k.min(scored.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    scored.select_nth_unstable(k - 1);
+    scored.truncate(k);
+    scored.sort_unstable();
+    scored.into_iter().map(|s| s.id).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::{toy_dataset, toy_id};
+
+    #[test]
+    fn toy_top5_matches_example_1() {
+        // Example 1: Alice's top-5 with w = (0.5, 0.5) is {a, b, f, d, e}.
+        let r = toy_dataset();
+        let w = Weights::uniform(2);
+        let got = topk_bruteforce(&r, &w, 5);
+        let want: Vec<TupleId> = ['a', 'b', 'f', 'd', 'e']
+            .iter()
+            .map(|&c| toy_id(c))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn k_larger_than_n() {
+        let r = toy_dataset();
+        let w = Weights::uniform(2);
+        assert_eq!(topk_bruteforce(&r, &w, 100).len(), 11);
+        assert!(topk_bruteforce(&r, &w, 0).is_empty());
+    }
+
+    #[test]
+    fn order_is_by_score_then_id() {
+        let r = Relation::from_rows(2, &[vec![0.5, 0.5], vec![0.5, 0.5], vec![0.1, 0.1]]).unwrap();
+        let w = Weights::uniform(2);
+        assert_eq!(topk_bruteforce(&r, &w, 3), vec![2, 0, 1]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Flat, cache-friendly storage for the target relation.
+//!
+//! Tuples are stored row-major in one `Vec<f64>`; a tuple is addressed by its
+//! [`TupleId`] (its position in insertion order). All index structures in the
+//! workspace reference tuples by id and borrow attribute slices from the
+//! relation, so tuple payloads are never copied into the indexes.
+
+use crate::error::Error;
+
+/// Identifier of a tuple: its zero-based insertion position in the relation.
+///
+/// `u32` keeps edge lists and layer tables compact; relations with more than
+/// `u32::MAX` tuples are rejected at construction.
+pub type TupleId = u32;
+
+/// An immutable multi-attribute relation over `[0,1]^d`.
+///
+/// Attribute values are assumed normalized to `[0,1]` as in the paper
+/// (Section II); [`Relation::from_rows`] validates this, while
+/// [`Relation::from_flat_unchecked`] skips validation for trusted synthetic
+/// data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    dims: usize,
+    data: Vec<f64>,
+}
+
+impl Relation {
+    /// Creates an empty relation with `dims` attributes.
+    pub fn new(dims: usize) -> Result<Self, Error> {
+        if dims == 0 {
+            return Err(Error::InvalidDimension(0));
+        }
+        Ok(Relation {
+            dims,
+            data: Vec::new(),
+        })
+    }
+
+    /// Builds a relation from rows, validating arity and value range.
+    pub fn from_rows(dims: usize, rows: &[Vec<f64>]) -> Result<Self, Error> {
+        let mut r = Relation::new(dims)?;
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != dims {
+                return Err(Error::DimensionMismatch {
+                    expected: dims,
+                    got: row.len(),
+                });
+            }
+            for (j, &v) in row.iter().enumerate() {
+                if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                    return Err(Error::InvalidValue {
+                        tuple: i,
+                        dim: j,
+                        value: v,
+                    });
+                }
+            }
+            r.data.extend_from_slice(row);
+        }
+        r.check_len()?;
+        Ok(r)
+    }
+
+    /// Builds a relation from a flat row-major buffer without range checks.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` is not a multiple of `dims` or if the tuple
+    /// count exceeds `u32::MAX`.
+    pub fn from_flat_unchecked(dims: usize, data: Vec<f64>) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        assert_eq!(
+            data.len() % dims,
+            0,
+            "flat buffer length must be a multiple of dims"
+        );
+        assert!(
+            data.len() / dims <= u32::MAX as usize,
+            "too many tuples for u32 ids"
+        );
+        Relation { dims, data }
+    }
+
+    /// Number of attributes `d`.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Cardinality `n`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dims
+    }
+
+    /// Whether the relation holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrows the attribute values of tuple `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn tuple(&self, id: TupleId) -> &[f64] {
+        let s = id as usize * self.dims;
+        &self.data[s..s + self.dims]
+    }
+
+    /// Appends a tuple, returning its id.
+    pub fn push(&mut self, row: &[f64]) -> Result<TupleId, Error> {
+        if row.len() != self.dims {
+            return Err(Error::DimensionMismatch {
+                expected: self.dims,
+                got: row.len(),
+            });
+        }
+        let id = self.len();
+        self.data.extend_from_slice(row);
+        self.check_len()?;
+        Ok(id as TupleId)
+    }
+
+    /// Iterates over `(id, values)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (TupleId, &[f64])> {
+        self.data
+            .chunks_exact(self.dims)
+            .enumerate()
+            .map(|(i, t)| (i as TupleId, t))
+    }
+
+    /// Borrows the whole row-major backing buffer.
+    #[inline]
+    pub fn flat(&self) -> &[f64] {
+        &self.data
+    }
+
+    fn check_len(&self) -> Result<(), Error> {
+        if self.len() > u32::MAX as usize {
+            return Err(Error::InvalidDimension(self.len()));
+        }
+        Ok(())
+    }
+}
+
+/// The paper's running example: the 11-tuple hotel dataset of Fig. 1.
+///
+/// Tuples are labeled `a..k` in the paper; here label `a` is id 0, `b` is
+/// id 1, and so on. The coordinates below are chosen to satisfy *every*
+/// structural fact the paper states about the toy dataset:
+///
+/// * `F(a) = 3.5` and top-5 = `{a,b,f,d,e}` for `w = (0.5, 0.5)` (Example 1);
+/// * skyline layers `{a,b,c,f,g}`, `{d,e,i,j}`, `{h,k}` (Fig. 2a);
+/// * convex layers `{a,b,c}`, `{d,f,g}`, `{e,j}`, `{h,i}`, `{k}` (Fig. 2b);
+/// * fine sublayers `{{a,b,c},{f,g}}`, `{{d,e,j},{i}}`, `{{h,k}}` (Example 3);
+/// * facet `{a,b}` is an EDS of `f`, facet `{b,c}` an EDS of `g` and not of
+///   `f` (Examples 2–3);
+/// * `a` ∀-dominates exactly `{d,e,i}`; `i`'s ∀-dominators are `{a,f}`;
+///   `j`'s are `{b,g}` (Examples 3–4);
+/// * the k = 3 query trace of Table III reproduces exactly, including the
+///   priority-queue contents at every step.
+pub fn toy_dataset() -> Relation {
+    // (price, distance) grid positions for a..k, consistent with Fig. 1.
+    const PTS: [[f64; 2]; 11] = [
+        [1.0, 6.0], // a
+        [3.0, 4.5], // b
+        [8.0, 1.0], // c
+        [1.5, 6.8], // d
+        [2.2, 6.3], // e
+        [2.5, 5.5], // f
+        [6.5, 2.8], // g
+        [7.5, 5.0], // h
+        [2.7, 6.2], // i
+        [7.0, 4.8], // j
+        [5.0, 6.5], // k
+    ];
+    let rows: Vec<Vec<f64>> = PTS.iter().map(|p| vec![p[0] / 10.0, p[1] / 10.0]).collect();
+    Relation::from_rows(2, &rows).expect("toy dataset is valid")
+}
+
+/// Returns the paper's label (`'a'..='k'`) for a toy-dataset tuple id.
+pub fn toy_label(id: TupleId) -> char {
+    (b'a' + id as u8) as char
+}
+
+/// Returns the toy-dataset tuple id for a paper label.
+pub fn toy_id(label: char) -> TupleId {
+    (label as u8 - b'a') as TupleId
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut r = Relation::new(3).unwrap();
+        assert!(r.is_empty());
+        let a = r.push(&[0.1, 0.2, 0.3]).unwrap();
+        let b = r.push(&[0.4, 0.5, 0.6]).unwrap();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.tuple(1), &[0.4, 0.5, 0.6]);
+        assert_eq!(r.iter().count(), 2);
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        assert!(Relation::new(0).is_err());
+        assert!(Relation::from_rows(2, &[vec![0.1]]).is_err());
+        assert!(Relation::from_rows(2, &[vec![0.1, 1.5]]).is_err());
+        assert!(Relation::from_rows(2, &[vec![0.1, f64::NAN]]).is_err());
+        let mut r = Relation::new(2).unwrap();
+        assert!(r.push(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn toy_dataset_matches_paper() {
+        let r = toy_dataset();
+        assert_eq!(r.len(), 11);
+        assert_eq!(r.dims(), 2);
+        assert_eq!(r.tuple(toy_id('a')), &[0.1, 0.6]);
+        assert_eq!(r.tuple(toy_id('k')), &[0.5, 0.65]);
+        assert_eq!(toy_label(5), 'f');
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let r = Relation::from_flat_unchecked(2, vec![0.1, 0.2, 0.3, 0.4]);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.flat(), &[0.1, 0.2, 0.3, 0.4]);
+    }
+}

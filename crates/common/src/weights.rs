@@ -1,0 +1,165 @@
+//! Weight vectors and linear scoring functions.
+//!
+//! The paper assumes scoring functions are linear combinations
+//! `F(t) = Σ w_i t_i` with `w_i > 0` and `Σ w_i = 1` (Section II); such
+//! functions are monotone, which all layer-based indexes rely on.
+
+use crate::error::Error;
+use rand::Rng;
+
+/// A validated, normalized weight vector defining a linear scoring function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Weights {
+    w: Vec<f64>,
+}
+
+impl Weights {
+    /// Validates and normalizes a weight vector: all entries must be finite
+    /// and strictly positive; entries are rescaled so they sum to 1.
+    pub fn new(w: Vec<f64>) -> Result<Self, Error> {
+        if w.is_empty() {
+            return Err(Error::InvalidWeights("empty weight vector".into()));
+        }
+        let mut sum = 0.0;
+        for &x in &w {
+            if !x.is_finite() || x <= 0.0 {
+                return Err(Error::InvalidWeights(format!(
+                    "entry {x} must be finite and > 0"
+                )));
+            }
+            sum += x;
+        }
+        if sum <= 0.0 || !sum.is_finite() {
+            return Err(Error::InvalidWeights(format!("weight sum {sum} invalid")));
+        }
+        let w = w.into_iter().map(|x| x / sum).collect();
+        Ok(Weights { w })
+    }
+
+    /// The uniform weight vector `(1/d, …, 1/d)`.
+    pub fn uniform(dims: usize) -> Self {
+        Weights {
+            w: vec![1.0 / dims as f64; dims],
+        }
+    }
+
+    /// Samples a random weight vector with `0 < w_i < 1` and `Σ w_i = 1`,
+    /// as in the paper's experimental settings (Section VI-A).
+    ///
+    /// Uses the standard symmetric Dirichlet(1) construction: d independent
+    /// exponentials normalized by their sum, so the vector is uniform on the
+    /// open probability simplex.
+    pub fn random<R: Rng + ?Sized>(dims: usize, rng: &mut R) -> Self {
+        loop {
+            let raw: Vec<f64> = (0..dims)
+                .map(|_| -f64::ln(rng.gen_range(f64::MIN_POSITIVE..1.0)))
+                .collect();
+            let sum: f64 = raw.iter().sum();
+            if sum > 0.0 && raw.iter().all(|&x| x > 0.0) {
+                return Weights {
+                    w: raw.into_iter().map(|x| x / sum).collect(),
+                };
+            }
+        }
+    }
+
+    /// Dimensionality of the weight vector.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Borrows the normalized weight entries.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Evaluates the scoring function `F(t) = Σ w_i t_i`.
+    #[inline]
+    pub fn score(&self, t: &[f64]) -> f64 {
+        debug_assert_eq!(t.len(), self.w.len());
+        self.w.iter().zip(t).map(|(w, x)| w * x).sum()
+    }
+}
+
+/// A total order over `(score, tuple-id)` pairs for deterministic tie
+/// breaking, as the paper assumes ties are broken by tuple identifiers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScoredTuple {
+    pub score: f64,
+    pub id: crate::relation::TupleId,
+}
+
+impl Eq for ScoredTuple {}
+
+impl PartialOrd for ScoredTuple {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for ScoredTuple {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Scores produced by Weights::score on [0,1]^d inputs are finite.
+        self.score
+            .partial_cmp(&other.score)
+            .expect("scores must be comparable (no NaN)")
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalizes() {
+        let w = Weights::new(vec![2.0, 2.0]).unwrap();
+        assert_eq!(w.as_slice(), &[0.5, 0.5]);
+        assert!((w.score(&[0.2, 0.4]) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(Weights::new(vec![]).is_err());
+        assert!(Weights::new(vec![1.0, 0.0]).is_err());
+        assert!(Weights::new(vec![1.0, -1.0]).is_err());
+        assert!(Weights::new(vec![1.0, f64::NAN]).is_err());
+        assert!(Weights::new(vec![1.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn random_is_on_simplex() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for d in 2..=6 {
+            let w = Weights::random(d, &mut rng);
+            assert_eq!(w.dims(), d);
+            let sum: f64 = w.as_slice().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(w.as_slice().iter().all(|&x| x > 0.0 && x < 1.0));
+        }
+    }
+
+    #[test]
+    fn scored_tuple_ordering_breaks_ties_by_id() {
+        let a = ScoredTuple { score: 0.5, id: 2 };
+        let b = ScoredTuple { score: 0.5, id: 1 };
+        let c = ScoredTuple { score: 0.4, id: 9 };
+        let mut v = [a, b, c];
+        v.sort();
+        assert_eq!(v.map(|s| s.id), [9, 1, 2]);
+    }
+
+    #[test]
+    fn toy_example_scores() {
+        // Example 1: F(a) = 3.5 on the unnormalized grid, i.e. 0.35 on
+        // normalized coordinates with w = (0.5, 0.5).
+        let r = crate::relation::toy_dataset();
+        let w = Weights::uniform(2);
+        let fa = w.score(r.tuple(crate::relation::toy_id('a')));
+        assert!((fa - 0.35).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,476 @@
+//! Index construction (Algorithm 1 plus edge and zero-layer building).
+
+use crate::index::{CoarseLayer, Csr, DualLayerIndex, IndexStats, NodeId};
+use crate::options::{DlOptions, EdsPolicy, ZeroMode};
+use crate::zero::Zero2d;
+use drtopk_cluster::{cluster_min_corners, kmeans};
+use drtopk_common::{dominates, Relation, TupleId};
+use drtopk_geometry::csky::{convex_layers, ConvexLayer};
+use drtopk_geometry::facet_is_eds;
+use drtopk_skyline::skyline_layers;
+
+impl DualLayerIndex {
+    /// Builds the dual-resolution layer index over `rel`.
+    ///
+    /// Construction follows Algorithm 1: peel skyline (coarse) layers,
+    /// split each into convex-skyline (fine) sublayers, connect adjacent
+    /// coarse layers with ∀-dominance edges and adjacent fine sublayers
+    /// with facet-derived ∃-dominance edges, then attach the configured
+    /// zero layer.
+    pub fn build(rel: &Relation, opts: DlOptions) -> DualLayerIndex {
+        let n = rel.len();
+        let d = rel.dims();
+        let all: Vec<TupleId> = (0..n as TupleId).collect();
+
+        // Phase 1: coarse layers (iterated skylines).
+        let coarse = skyline_layers(rel, &all, opts.skyline_algo);
+
+        // Phase 2: fine sublayers (iterated convex skylines per layer).
+        // Coarse layers are independent, so this parallelizes cleanly.
+        let split_one = |members: &Vec<TupleId>| -> (CoarseLayer, Vec<Vec<Vec<TupleId>>>) {
+            if opts.split_fine {
+                let mut peeled: Vec<ConvexLayer> = convex_layers(rel, members);
+                if opts.max_fine_layers > 0 && peeled.len() > opts.max_fine_layers {
+                    // Merge the tail into the last allowed sublayer.
+                    let tail: Vec<TupleId> = peeled
+                        .drain(opts.max_fine_layers - 1..)
+                        .flat_map(|l| l.members)
+                        .collect();
+                    peeled.push(ConvexLayer {
+                        members: tail,
+                        facets: Vec::new(),
+                    });
+                }
+                let facets = peeled.iter().map(|l| l.facets.clone()).collect();
+                (
+                    CoarseLayer {
+                        fine: peeled.into_iter().map(|l| l.members).collect(),
+                    },
+                    facets,
+                )
+            } else {
+                (
+                    CoarseLayer {
+                        fine: vec![members.clone()],
+                    },
+                    vec![Vec::new()],
+                )
+            }
+        };
+        let split: Vec<(CoarseLayer, Vec<Vec<Vec<TupleId>>>)> = if opts.parallel {
+            parallel_map(&coarse, &split_one)
+        } else {
+            coarse.iter().map(split_one).collect()
+        };
+        let mut layers: Vec<CoarseLayer> = Vec::with_capacity(coarse.len());
+        let mut fine_facets: Vec<Vec<Vec<Vec<TupleId>>>> = Vec::with_capacity(coarse.len());
+        for (layer, facets) in split {
+            layers.push(layer);
+            fine_facets.push(facets);
+        }
+
+        // Phase 3: ∀-dominance edges between adjacent coarse layers. Each
+        // pair is independent; parallelized per pair.
+        let pairs: Vec<(Vec<TupleId>, Vec<TupleId>)> = layers
+            .windows(2)
+            .map(|w| (w[0].members().collect(), w[1].members().collect()))
+            .collect();
+        let forall_one = |(sources, targets): &(Vec<TupleId>, Vec<TupleId>)| {
+            let mut edges = Vec::new();
+            forall_edges_between(rel, sources, targets, &mut edges);
+            edges
+        };
+        let mut forall_edges: Vec<(NodeId, NodeId)> = if opts.parallel {
+            parallel_map(&pairs, &forall_one)
+                .into_iter()
+                .flatten()
+                .collect()
+        } else {
+            pairs.iter().flat_map(forall_one).collect()
+        };
+
+        // Phase 4: ∃-dominance edges between adjacent fine sublayers
+        // (independent per fine pair).
+        let mut exists_edges: Vec<(NodeId, NodeId)> = Vec::new();
+        if opts.split_fine {
+            let fine_pairs: Vec<(usize, usize)> = layers
+                .iter()
+                .enumerate()
+                .flat_map(|(ci, layer)| {
+                    (0..layer.fine.len().saturating_sub(1)).map(move |j| (ci, j))
+                })
+                .collect();
+            let exists_one = |&(ci, j): &(usize, usize)| {
+                let mut edges = Vec::new();
+                exists_edges_between(
+                    rel,
+                    &fine_facets[ci][j],
+                    &layers[ci].fine[j + 1],
+                    opts.eds_policy,
+                    &mut edges,
+                );
+                edges
+            };
+            exists_edges = if opts.parallel {
+                parallel_map(&fine_pairs, &exists_one)
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            } else {
+                fine_pairs.iter().flat_map(exists_one).collect()
+            };
+        }
+
+        // Phase 5: zero layer (skipped for empty relations).
+        let zero = if n == 0 {
+            ZeroMode::None
+        } else {
+            match opts.zero {
+                ZeroMode::Auto => {
+                    if d == 2 && opts.split_fine {
+                        ZeroMode::Exact2d
+                    } else {
+                        ZeroMode::Clustered { clusters: 0 }
+                    }
+                }
+                ZeroMode::Exact2d if d != 2 || !opts.split_fine => {
+                    ZeroMode::Clustered { clusters: 0 }
+                }
+                other => other,
+            }
+        };
+        let mut pseudo: Vec<f64> = Vec::new();
+        let mut pseudo_count = 0usize;
+        let mut pseudo_fine: Vec<Vec<u32>> = Vec::new();
+        let mut zero2d: Option<Zero2d> = None;
+        match zero {
+            ZeroMode::None => {}
+            ZeroMode::Exact2d => {
+                zero2d = Some(Zero2d::build(rel, &layers[0].fine[0]));
+            }
+            ZeroMode::Clustered { clusters } => {
+                // Sort so the clustering is independent of fine-sublayer
+                // order: DL+ and DG+ then share identical pseudo-tuples,
+                // which the Theorem-5-style cost inclusion relies on.
+                let l1: Vec<TupleId> = {
+                    let mut v: Vec<TupleId> = layers[0].members().collect();
+                    v.sort_unstable();
+                    v
+                };
+                let c = if clusters == 0 {
+                    (l1.len() as f64).sqrt().ceil() as usize
+                } else {
+                    clusters
+                }
+                .clamp(1, l1.len());
+                let clustering = kmeans(rel, &l1, c, opts.cluster_seed, 40);
+                let corners = cluster_min_corners(rel, &l1, &clustering);
+                pseudo_count = corners.len();
+                for corner in &corners {
+                    pseudo.extend_from_slice(corner);
+                }
+                // ∀ edges: each pseudo-tuple dominates (weakly) its cluster.
+                for (pos, &cl) in clustering.assignment.iter().enumerate() {
+                    forall_edges.push((n as NodeId + cl as NodeId, l1[pos] as NodeId));
+                }
+                if opts.split_fine {
+                    // DL+: peel the pseudo-tuples into their own fine
+                    // sublayers with ∃ edges, and connect the last pseudo
+                    // sublayer's facets to L¹¹.
+                    let prel = Relation::from_flat_unchecked(d, pseudo.clone());
+                    let plocal: Vec<TupleId> = (0..pseudo_count as TupleId).collect();
+                    let players = convex_layers(&prel, &plocal);
+                    let to_node = |local: TupleId| -> NodeId { n as NodeId + local };
+                    pseudo_fine = players.iter().map(|l| l.members.to_vec()).collect();
+                    for j in 0..players.len().saturating_sub(1) {
+                        let mut edges_local: Vec<(NodeId, NodeId)> = Vec::new();
+                        exists_edges_between(
+                            &prel,
+                            &players[j].facets,
+                            &players[j + 1].members,
+                            opts.eds_policy,
+                            &mut edges_local,
+                        );
+                        exists_edges.extend(
+                            edges_local
+                                .into_iter()
+                                .map(|(s, t)| (to_node(s), to_node(t))),
+                        );
+                    }
+                    // Boundary ∃ edges: last pseudo sublayer facets → L¹¹.
+                    // EDS feasibility must be tested in one coordinate space,
+                    // so build a throwaway relation holding pseudo corners
+                    // followed by the L¹¹ tuples.
+                    let last = players.len() - 1;
+                    let l11 = &layers[0].fine[0];
+                    let mut combined = pseudo.clone();
+                    for &t in l11 {
+                        combined.extend_from_slice(rel.tuple(t));
+                    }
+                    let crel = Relation::from_flat_unchecked(d, combined);
+                    let facets: Vec<Vec<TupleId>> = players[last].facets.clone();
+                    let ctargets: Vec<TupleId> = (0..l11.len())
+                        .map(|i| (pseudo_count + i) as TupleId)
+                        .collect();
+                    let mut edges_local: Vec<(NodeId, NodeId)> = Vec::new();
+                    exists_edges_between(
+                        &crel,
+                        &facets,
+                        &ctargets,
+                        opts.eds_policy,
+                        &mut edges_local,
+                    );
+                    for (s, t) in edges_local {
+                        let src = n as NodeId + s; // facet members are pseudo-locals
+                        let dst = l11[t as usize - pseudo_count] as NodeId;
+                        exists_edges.push((src, dst));
+                    }
+                } else {
+                    pseudo_fine = vec![(0..pseudo_count as u32).collect()];
+                }
+            }
+            ZeroMode::Auto => unreachable!("resolved above"),
+        }
+
+        // Assemble CSRs over the unified node space.
+        let total = n + pseudo_count;
+        let (forall, forall_indeg) = Csr::from_edges(total, &mut forall_edges);
+        let (exists, exists_indeg) = Csr::from_edges(total, &mut exists_edges);
+
+        // Seeds: nodes free at query start. Chain members are excluded in
+        // 2-d exact mode (seeded per query by weight-range lookup).
+        let chain_member: Vec<bool> = {
+            let mut v = vec![false; total];
+            if let Some(z) = &zero2d {
+                for &c in &z.chain {
+                    v[c as usize] = true;
+                }
+            }
+            v
+        };
+        let mut seeds: Vec<NodeId> = Vec::new();
+        for node in 0..total as NodeId {
+            if forall_indeg[node as usize] == 0
+                && exists_indeg[node as usize] == 0
+                && !chain_member[node as usize]
+            {
+                seeds.push(node);
+            }
+        }
+
+        let stats = IndexStats {
+            n,
+            dims: d,
+            coarse_layers: layers.len(),
+            fine_layers: layers.iter().map(|l| l.fine.len()).sum(),
+            forall_edges: forall.edge_count(),
+            exists_edges: exists.edge_count(),
+            pseudo_tuples: pseudo_count,
+            seeds: seeds.len(),
+            first_layer_size: layers.first().map_or(0, |l| l.len()),
+            first_fine_size: layers
+                .first()
+                .and_then(|l| l.fine.first())
+                .map_or(0, |f| f.len()),
+        };
+
+        DualLayerIndex {
+            rel: rel.clone(),
+            opts,
+            layers,
+            forall,
+            forall_indeg,
+            exists,
+            exists_indeg,
+            pseudo,
+            pseudo_count,
+            pseudo_fine,
+            zero2d,
+            seeds,
+            stats,
+        }
+    }
+}
+
+/// Adds an edge `(s, t)` for every `s ∈ sources` dominating `t ∈ targets`.
+///
+/// Sources are pre-sorted by attribute sum: dominance implies a strictly
+/// smaller sum, so each target only scans the prefix of sources whose sum
+/// is below its own.
+fn forall_edges_between(
+    rel: &Relation,
+    sources: &[TupleId],
+    targets: &[TupleId],
+    edges: &mut Vec<(NodeId, NodeId)>,
+) {
+    let mut by_sum: Vec<(f64, TupleId)> = sources
+        .iter()
+        .map(|&s| (rel.tuple(s).iter().sum::<f64>(), s))
+        .collect();
+    by_sum.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    for &t in targets {
+        let tv = rel.tuple(t);
+        let t_sum: f64 = tv.iter().sum();
+        for &(s_sum, s) in &by_sum {
+            if s_sum >= t_sum {
+                break;
+            }
+            if dominates(rel.tuple(s), tv) {
+                edges.push((s as NodeId, t as NodeId));
+            }
+        }
+    }
+}
+
+/// Adds ∃-dominance edges from facet members of the previous fine sublayer
+/// to each covered target, under the given policy.
+fn exists_edges_between(
+    rel: &Relation,
+    facets: &[Vec<TupleId>],
+    targets: &[TupleId],
+    policy: EdsPolicy,
+    edges: &mut Vec<(NodeId, NodeId)>,
+) {
+    if facets.is_empty() || targets.is_empty() {
+        return;
+    }
+    let d = rel.dims();
+    // Per-facet min-corner prefilter: a facet can only be an EDS of t' if
+    // its corner weakly dominates t'.
+    let corners: Vec<Vec<f64>> = facets
+        .iter()
+        .map(|f| {
+            (0..d)
+                .map(|i| {
+                    f.iter()
+                        .map(|&m| rel.tuple(m)[i])
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect()
+        })
+        .collect();
+    let min_sums: Vec<f64> = facets
+        .iter()
+        .map(|f| {
+            f.iter()
+                .map(|&m| rel.tuple(m).iter().sum::<f64>())
+                .fold(f64::INFINITY, f64::min)
+        })
+        .collect();
+
+    let mut members: Vec<TupleId> = Vec::new();
+    for &t in targets {
+        let tv = rel.tuple(t);
+        members.clear();
+        let mut best: Option<(usize, f64)> = None;
+        for (fi, facet) in facets.iter().enumerate() {
+            let corner_ok = corners[fi].iter().zip(tv).all(|(c, x)| c <= x);
+            if !corner_ok || !facet_is_eds(rel, facet, t) {
+                continue;
+            }
+            match policy {
+                EdsPolicy::FirstFacet => {
+                    members.extend_from_slice(facet);
+                    break;
+                }
+                EdsPolicy::AllFacets => {
+                    for &m in facet {
+                        if !members.contains(&m) {
+                            members.push(m);
+                        }
+                    }
+                }
+                EdsPolicy::BestUniform => {
+                    if best.is_none_or(|(_, s)| min_sums[fi] > s) {
+                        best = Some((fi, min_sums[fi]));
+                    }
+                }
+            }
+        }
+        if let Some((fi, _)) = best {
+            members.extend_from_slice(&facets[fi]);
+        }
+        for &m in &members {
+            edges.push((m as NodeId, t as NodeId));
+        }
+    }
+}
+
+/// Maps `f` over `items` using scoped threads, one chunk per available
+/// core, preserving order. Used by the parallel build phases: each work
+/// item (a coarse layer, a layer pair, a fine pair) is independent.
+fn parallel_map<T: Sync, R: Send>(items: &[T], f: &(dyn Fn(&T) -> R + Sync)) -> Vec<R> {
+    if items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4);
+    let workers = workers.min(items.len());
+    let chunk = items.len().div_ceil(workers);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    std::thread::scope(|scope| {
+        let mut rest: &mut [Option<R>] = &mut out;
+        let mut offset = 0;
+        let mut handles = Vec::new();
+        while offset < items.len() {
+            let take = chunk.min(items.len() - offset);
+            let (slice, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let items_chunk = &items[offset..offset + take];
+            handles.push(scope.spawn(move || {
+                for (slot, item) in slice.iter_mut().zip(items_chunk) {
+                    *slot = Some(f(item));
+                }
+            }));
+            offset += take;
+        }
+        for h in handles {
+            h.join().expect("parallel build worker panicked");
+        }
+    });
+    out.into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtopk_common::{Distribution, Weights, WorkloadSpec};
+
+    #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+            for d in [2, 4] {
+                let rel = WorkloadSpec::new(dist, d, 600, 21).generate();
+                for base in [DlOptions::dl(), DlOptions::dl_plus(), DlOptions::dg_plus()] {
+                    let seq = DualLayerIndex::build(&rel, base.clone());
+                    let par = DualLayerIndex::build(
+                        &rel,
+                        DlOptions {
+                            parallel: true,
+                            ..base.clone()
+                        },
+                    );
+                    assert_eq!(seq.stats(), par.stats(), "{dist:?} d={d}");
+                    let w = Weights::uniform(d);
+                    let (a, b) = (seq.topk(&w, 25), par.topk(&w, 25));
+                    assert_eq!(a.ids, b.ids);
+                    assert_eq!(a.cost, b.cost, "parallel build must not change costs");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<usize> = (0..103).collect();
+        let out = parallel_map(&items, &|&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let empty: Vec<usize> = Vec::new();
+        assert!(parallel_map(&empty, &|&x: &usize| x).is_empty());
+        assert_eq!(parallel_map(&[7usize], &|&x| x + 1), vec![8]);
+    }
+}

@@ -1,0 +1,312 @@
+//! Dynamic maintenance on top of the (static) dual-resolution index.
+//!
+//! The paper's index, like Onion and DG, is built once over a frozen
+//! relation. Real deployments need inserts and deletes without paying the
+//! full rebuild (Table IV) per update. [`DynamicIndex`] follows the
+//! classic log-structured pattern:
+//!
+//! * inserts land in a small unindexed *buffer*, scanned linearly at query
+//!   time and merged with the index's answers;
+//! * deletes are *tombstones*; the traversal over-fetches to compensate;
+//! * once the buffer or tombstone set outgrows `rebuild_threshold`
+//!   (a fraction of the indexed size), the index is rebuilt from the live
+//!   tuple set.
+//!
+//! Answers are always exact: differential tests pin them against a
+//! brute-force oracle over the live multiset. Ids returned are *handles*
+//! (stable across rebuilds), not positions in the current index.
+
+use crate::index::DualLayerIndex;
+use crate::options::DlOptions;
+use crate::query::TopkResult;
+use drtopk_common::{Cost, Error, Relation, Weights};
+use std::collections::HashSet;
+
+/// A stable handle to a tuple inserted into a [`DynamicIndex`].
+pub type Handle = u64;
+
+/// An updatable top-k index: a static [`DualLayerIndex`] plus an insert
+/// buffer and tombstones.
+#[derive(Debug, Clone)]
+pub struct DynamicIndex {
+    opts: DlOptions,
+    index: DualLayerIndex,
+    /// Handle of each tuple position in the indexed relation.
+    indexed_handles: Vec<Handle>,
+    /// Buffered (handle, row) inserts, not yet indexed.
+    buffer: Vec<(Handle, Vec<f64>)>,
+    /// Deleted handles (both indexed and buffered).
+    tombstones: HashSet<Handle>,
+    next_handle: Handle,
+    /// Rebuild when `buffer + tombstones > threshold_num / threshold_den ×
+    /// indexed size` (and at least `MIN_REBUILD` pending updates).
+    rebuild_fraction: f64,
+    rebuilds: usize,
+}
+
+const MIN_REBUILD: usize = 64;
+
+impl DynamicIndex {
+    /// Builds over an initial relation. `rebuild_fraction` is the pending-
+    /// update fraction that triggers a rebuild (e.g. 0.2).
+    pub fn new(rel: &Relation, opts: DlOptions, rebuild_fraction: f64) -> Self {
+        let index = DualLayerIndex::build(rel, opts.clone());
+        DynamicIndex {
+            opts,
+            indexed_handles: (0..rel.len() as Handle).collect(),
+            next_handle: rel.len() as Handle,
+            index,
+            buffer: Vec::new(),
+            tombstones: HashSet::new(),
+            rebuild_fraction: rebuild_fraction.clamp(0.01, 10.0),
+            rebuilds: 0,
+        }
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.indexed_handles.len() + self.buffer.len() - self.tombstones.len()
+    }
+
+    /// Whether no live tuples remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// How many rebuilds have happened.
+    pub fn rebuilds(&self) -> usize {
+        self.rebuilds
+    }
+
+    /// Pending (unindexed or tombstoned) update count.
+    pub fn pending(&self) -> usize {
+        self.buffer.len() + self.tombstones.len()
+    }
+
+    /// The attribute values of a live handle, if present.
+    pub fn get(&self, h: Handle) -> Option<&[f64]> {
+        if self.tombstones.contains(&h) {
+            return None;
+        }
+        if let Ok(pos) = self.indexed_handles.binary_search(&h) {
+            return Some(self.index.relation().tuple(pos as u32));
+        }
+        self.buffer
+            .iter()
+            .find(|(bh, _)| *bh == h)
+            .map(|(_, row)| row.as_slice())
+    }
+
+    /// Inserts a tuple, returning its stable handle.
+    pub fn insert(&mut self, row: &[f64]) -> Result<Handle, Error> {
+        if row.len() != self.index.dims() {
+            return Err(Error::DimensionMismatch {
+                expected: self.index.dims(),
+                got: row.len(),
+            });
+        }
+        for (i, &v) in row.iter().enumerate() {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(Error::InvalidValue {
+                    tuple: self.buffer.len(),
+                    dim: i,
+                    value: v,
+                });
+            }
+        }
+        let h = self.next_handle;
+        self.next_handle += 1;
+        self.buffer.push((h, row.to_vec()));
+        self.maybe_rebuild();
+        Ok(h)
+    }
+
+    /// Deletes a handle; returns whether it was live.
+    pub fn delete(&mut self, h: Handle) -> bool {
+        if self.get(h).is_none() {
+            return false;
+        }
+        self.tombstones.insert(h);
+        self.maybe_rebuild();
+        true
+    }
+
+    /// Answers a top-k query over the live tuples; returns stable handles.
+    pub fn topk(&self, w: &Weights, k: usize) -> (Vec<Handle>, Cost) {
+        let k_eff = k.min(self.len());
+        let mut cost = Cost::new();
+        if k_eff == 0 {
+            return (Vec::new(), cost);
+        }
+        // Over-fetch from the index to absorb tombstoned answers. Deleted
+        // indexed tuples are at most `tombstones` many.
+        let fetch = k_eff + self.tombstones.len();
+        let TopkResult { ids, cost: c } = self.index.topk(w, fetch);
+        cost.merge(&c);
+        let mut merged: Vec<(f64, Handle)> = Vec::with_capacity(ids.len() + self.buffer.len());
+        for t in ids {
+            let h = self.indexed_handles[t as usize];
+            if !self.tombstones.contains(&h) {
+                merged.push((w.score(self.index.relation().tuple(t)), h));
+            }
+        }
+        for (h, row) in &self.buffer {
+            if !self.tombstones.contains(h) {
+                cost.tick();
+                merged.push((w.score(row), *h));
+            }
+        }
+        merged.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        merged.truncate(k_eff);
+        (merged.into_iter().map(|(_, h)| h).collect(), cost)
+    }
+
+    /// Forces a rebuild now (compacts buffer and tombstones).
+    pub fn compact(&mut self) {
+        if self.pending() == 0 {
+            return;
+        }
+        let dims = self.index.dims();
+        let mut handles = Vec::with_capacity(self.len());
+        let mut flat = Vec::with_capacity(self.len() * dims);
+        for (pos, &h) in self.indexed_handles.iter().enumerate() {
+            if !self.tombstones.contains(&h) {
+                handles.push(h);
+                flat.extend_from_slice(self.index.relation().tuple(pos as u32));
+            }
+        }
+        for (h, row) in &self.buffer {
+            if !self.tombstones.contains(h) {
+                handles.push(*h);
+                flat.extend_from_slice(row);
+            }
+        }
+        // Keep handles sorted so `get` can binary-search.
+        let mut order: Vec<usize> = (0..handles.len()).collect();
+        order.sort_unstable_by_key(|&i| handles[i]);
+        let mut sorted_flat = Vec::with_capacity(flat.len());
+        let mut sorted_handles = Vec::with_capacity(handles.len());
+        for &i in &order {
+            sorted_handles.push(handles[i]);
+            sorted_flat.extend_from_slice(&flat[i * dims..(i + 1) * dims]);
+        }
+        let rel = Relation::from_flat_unchecked(dims, sorted_flat);
+        self.index = DualLayerIndex::build(&rel, self.opts.clone());
+        self.indexed_handles = sorted_handles;
+        self.buffer.clear();
+        self.tombstones.clear();
+        self.rebuilds += 1;
+    }
+
+    fn maybe_rebuild(&mut self) {
+        let pending = self.pending();
+        if pending >= MIN_REBUILD
+            && pending as f64 > self.rebuild_fraction * self.indexed_handles.len().max(1) as f64
+        {
+            self.compact();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtopk_common::{Distribution, WorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    /// Oracle: a plain map of live handles -> rows.
+    struct Oracle {
+        live: HashMap<Handle, Vec<f64>>,
+    }
+
+    impl Oracle {
+        fn topk(&self, w: &Weights, k: usize) -> Vec<Handle> {
+            let mut v: Vec<(f64, Handle)> = self
+                .live
+                .iter()
+                .map(|(&h, row)| (w.score(row), h))
+                .collect();
+            v.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            v.truncate(k);
+            v.into_iter().map(|(_, h)| h).collect()
+        }
+    }
+
+    #[test]
+    fn mixed_workload_matches_oracle() {
+        let d = 3;
+        let rel = WorkloadSpec::new(Distribution::Independent, d, 200, 5).generate();
+        let mut dynamic = DynamicIndex::new(&rel, DlOptions::dl_plus(), 0.3);
+        let mut oracle = Oracle {
+            live: rel
+                .iter()
+                .map(|(t, row)| (t as Handle, row.to_vec()))
+                .collect(),
+        };
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut known: Vec<Handle> = oracle.live.keys().copied().collect();
+        for step in 0..400 {
+            let r: f64 = rng.gen();
+            if r < 0.5 {
+                let row: Vec<f64> = (0..d).map(|_| rng.gen_range(0.001..0.999)).collect();
+                let h = dynamic.insert(&row).unwrap();
+                oracle.live.insert(h, row);
+                known.push(h);
+            } else if r < 0.75 && !known.is_empty() {
+                let h = known[rng.gen_range(0..known.len())];
+                let was_live = oracle.live.remove(&h).is_some();
+                assert_eq!(dynamic.delete(h), was_live, "delete({h}) at step {step}");
+            } else {
+                let k = rng.gen_range(1..=15);
+                let w = Weights::random(d, &mut rng);
+                let (got, _) = dynamic.topk(&w, k);
+                assert_eq!(got, oracle.topk(&w, k), "step {step} k={k}");
+            }
+            assert_eq!(dynamic.len(), oracle.live.len(), "len at step {step}");
+        }
+        assert!(dynamic.rebuilds() >= 1, "workload must trigger rebuilds");
+    }
+
+    #[test]
+    fn get_and_handle_stability() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 2, 100, 2).generate();
+        let mut dynamic = DynamicIndex::new(&rel, DlOptions::dl(), 0.2);
+        let row = vec![0.25, 0.75];
+        let h = dynamic.insert(&row).unwrap();
+        assert_eq!(dynamic.get(h), Some(row.as_slice()));
+        dynamic.compact();
+        assert_eq!(
+            dynamic.get(h),
+            Some(row.as_slice()),
+            "handles survive rebuilds"
+        );
+        assert!(dynamic.delete(h));
+        assert_eq!(dynamic.get(h), None);
+        assert!(!dynamic.delete(h), "double delete is a no-op");
+    }
+
+    #[test]
+    fn rejects_bad_inserts() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 2, 10, 1).generate();
+        let mut dynamic = DynamicIndex::new(&rel, DlOptions::dl(), 0.2);
+        assert!(dynamic.insert(&[0.5]).is_err());
+        assert!(dynamic.insert(&[0.5, 1.5]).is_err());
+        assert!(dynamic.insert(&[0.5, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn delete_everything_then_query() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 2, 30, 7).generate();
+        let mut dynamic = DynamicIndex::new(&rel, DlOptions::dl(), 5.0);
+        for h in 0..30u64 {
+            assert!(dynamic.delete(h));
+        }
+        assert!(dynamic.is_empty());
+        let w = Weights::uniform(2);
+        assert!(dynamic.topk(&w, 5).0.is_empty());
+        let h = dynamic.insert(&[0.4, 0.6]).unwrap();
+        assert_eq!(dynamic.topk(&w, 5).0, vec![h]);
+    }
+}

@@ -1,0 +1,267 @@
+//! The index structure: layers, dominance edges, and pseudo-tuples.
+
+use crate::options::DlOptions;
+use crate::zero::Zero2d;
+use drtopk_common::{Relation, TupleId};
+
+/// Node identifier inside the index graph. Values below `n` are real tuple
+/// ids; values `n..n+p` address zero-layer pseudo-tuples.
+pub type NodeId = u32;
+
+/// Compressed sparse row adjacency over index nodes.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    targets: Vec<NodeId>,
+}
+
+impl Csr {
+    /// Builds a CSR from an edge list, also returning per-node in-degrees.
+    pub fn from_edges(node_count: usize, edges: &mut [(NodeId, NodeId)]) -> (Csr, Vec<u32>) {
+        let mut offsets = vec![0u32; node_count + 1];
+        let mut indeg = vec![0u32; node_count];
+        for &(s, t) in edges.iter() {
+            offsets[s as usize + 1] += 1;
+            indeg[t as usize] += 1;
+        }
+        for i in 0..node_count {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut targets = vec![0u32; edges.len()];
+        let mut cursor = offsets.clone();
+        for &(s, t) in edges.iter() {
+            let c = &mut cursor[s as usize];
+            targets[*c as usize] = t;
+            *c += 1;
+        }
+        (Csr { offsets, targets }, indeg)
+    }
+
+    /// Out-neighbors of `node`.
+    #[inline]
+    pub fn out(&self, node: NodeId) -> &[NodeId] {
+        let s = self.offsets[node as usize] as usize;
+        let e = self.offsets[node as usize + 1] as usize;
+        &self.targets[s..e]
+    }
+
+    /// Total edge count.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+/// One coarse layer: its fine sublayers in order. The layer's member set
+/// is the concatenation of the sublayers.
+#[derive(Debug, Clone)]
+pub struct CoarseLayer {
+    pub fine: Vec<Vec<TupleId>>,
+}
+
+impl CoarseLayer {
+    /// All tuples of the coarse layer (concatenated sublayers).
+    pub fn members(&self) -> impl Iterator<Item = TupleId> + '_ {
+        self.fine.iter().flatten().copied()
+    }
+
+    /// Total tuple count.
+    pub fn len(&self) -> usize {
+        self.fine.iter().map(|f| f.len()).sum()
+    }
+
+    /// Whether the layer is empty (never true for built indexes).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Summary counters describing a built index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IndexStats {
+    pub n: usize,
+    pub dims: usize,
+    pub coarse_layers: usize,
+    pub fine_layers: usize,
+    pub forall_edges: usize,
+    pub exists_edges: usize,
+    pub pseudo_tuples: usize,
+    pub seeds: usize,
+    pub first_layer_size: usize,
+    pub first_fine_size: usize,
+}
+
+/// The dual-resolution layer index (see crate docs).
+///
+/// Build with [`DualLayerIndex::build`]; query with
+/// [`DualLayerIndex::topk`](crate::query). The index owns a copy of the
+/// relation so queries can score tuples without external state.
+#[derive(Debug, Clone)]
+pub struct DualLayerIndex {
+    pub(crate) rel: Relation,
+    pub(crate) opts: DlOptions,
+    pub(crate) layers: Vec<CoarseLayer>,
+    pub(crate) forall: Csr,
+    pub(crate) forall_indeg: Vec<u32>,
+    pub(crate) exists: Csr,
+    pub(crate) exists_indeg: Vec<u32>,
+    /// Pseudo-tuple coordinates, row-major (`pseudo_count × dims`).
+    pub(crate) pseudo: Vec<f64>,
+    pub(crate) pseudo_count: usize,
+    /// Fine-sublayer position of each pseudo node (index into
+    /// `pseudo_fine`), used by stats/verification.
+    pub(crate) pseudo_fine: Vec<Vec<u32>>,
+    pub(crate) zero2d: Option<Zero2d>,
+    /// Nodes free at query start (chain members excluded in 2-d mode).
+    pub(crate) seeds: Vec<NodeId>,
+    pub(crate) stats: IndexStats,
+}
+
+impl DualLayerIndex {
+    /// Number of real tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.rel.len()
+    }
+
+    /// Whether the indexed relation is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.rel.is_empty()
+    }
+
+    /// Dimensionality of the indexed relation.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.rel.dims()
+    }
+
+    /// The indexed relation.
+    #[inline]
+    pub fn relation(&self) -> &Relation {
+        &self.rel
+    }
+
+    /// Build options used.
+    #[inline]
+    pub fn options(&self) -> &DlOptions {
+        &self.opts
+    }
+
+    /// The coarse layers (with their fine sublayers).
+    #[inline]
+    pub fn coarse_layers(&self) -> &[CoarseLayer] {
+        &self.layers
+    }
+
+    /// Summary statistics.
+    #[inline]
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    /// Coordinates of a node: a real tuple's attributes or a pseudo-tuple's
+    /// min-corner.
+    #[inline]
+    pub fn node_coords(&self, node: NodeId) -> &[f64] {
+        let n = self.rel.len();
+        if (node as usize) < n {
+            self.rel.tuple(node)
+        } else {
+            let d = self.rel.dims();
+            let p = node as usize - n;
+            &self.pseudo[p * d..(p + 1) * d]
+        }
+    }
+
+    /// Whether a node is a real tuple (vs. a zero-layer pseudo-tuple).
+    #[inline]
+    pub fn is_real(&self, node: NodeId) -> bool {
+        (node as usize) < self.rel.len()
+    }
+
+    /// The zero layer's pseudo-tuples grouped by fine sublayer (local
+    /// pseudo indices: node id = `len() + local`). Empty without a
+    /// clustered zero layer.
+    #[inline]
+    pub fn pseudo_fine_layers(&self) -> &[Vec<u32>] {
+        &self.pseudo_fine
+    }
+
+    /// ∀-dominance out-edges of a node.
+    #[inline]
+    pub fn forall_out(&self, node: NodeId) -> &[NodeId] {
+        self.forall.out(node)
+    }
+
+    /// ∃-dominance out-edges of a node.
+    #[inline]
+    pub fn exists_out(&self, node: NodeId) -> &[NodeId] {
+        self.exists.out(node)
+    }
+
+    /// ∀ in-degree of a node.
+    #[inline]
+    pub fn forall_in_degree(&self, node: NodeId) -> u32 {
+        self.forall_indeg[node as usize]
+    }
+
+    /// ∃ in-degree of a node.
+    #[inline]
+    pub fn exists_in_degree(&self, node: NodeId) -> u32 {
+        self.exists_indeg[node as usize]
+    }
+
+    /// ∀ in-neighbors of `node` (linear scan; intended for tests and
+    /// debugging, not the query path).
+    pub fn forall_in(&self, node: NodeId) -> Vec<NodeId> {
+        self.scan_in(&self.forall, node)
+    }
+
+    /// ∃ in-neighbors of `node` (linear scan; tests/debugging only).
+    pub fn exists_in(&self, node: NodeId) -> Vec<NodeId> {
+        self.scan_in(&self.exists, node)
+    }
+
+    fn scan_in(&self, csr: &Csr, node: NodeId) -> Vec<NodeId> {
+        let total = self.rel.len() + self.pseudo_count;
+        let mut v = Vec::new();
+        for s in 0..total as NodeId {
+            if csr.out(s).contains(&node) {
+                v.push(s);
+            }
+        }
+        v
+    }
+
+    /// The 2-d exact zero layer, if built.
+    #[inline]
+    pub fn zero2d(&self) -> Option<&Zero2d> {
+        self.zero2d.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_roundtrip() {
+        let mut edges = vec![(0u32, 2u32), (0, 1), (2, 3), (1, 3)];
+        let (csr, indeg) = Csr::from_edges(4, &mut edges);
+        assert_eq!(csr.out(0), &[2, 1]);
+        assert_eq!(csr.out(1), &[3]);
+        assert_eq!(csr.out(2), &[3]);
+        assert!(csr.out(3).is_empty());
+        assert_eq!(indeg, vec![0, 1, 1, 2]);
+        assert_eq!(csr.edge_count(), 4);
+    }
+
+    #[test]
+    fn csr_empty() {
+        let (csr, indeg) = Csr::from_edges(3, &mut Vec::new());
+        assert_eq!(csr.edge_count(), 0);
+        assert_eq!(indeg, vec![0, 0, 0]);
+        assert!(csr.out(2).is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! The dual-resolution layer index (DL / DL+) — the paper's contribution.
+//!
+//! A [`DualLayerIndex`] pre-materializes a relation into *coarse* layers
+//! (iterated skylines) each split into *fine* sublayers (iterated convex
+//! skylines), and connects tuples with two kinds of edges:
+//!
+//! * **∀-dominance** (classic dominance) between adjacent coarse layers —
+//!   a tuple is ∀-free once *every* dominator from the previous coarse
+//!   layer has been reported (Definition 7);
+//! * **∃-dominance** between adjacent fine sublayers, derived from the
+//!   facets of each sublayer's convex skyline — a tuple is ∃-free once
+//!   *any* member of one of its ∃-dominance sets has been reported
+//!   (Definition 8).
+//!
+//! Top-k queries (Algorithm 2) pop tuples from a score-ordered queue and
+//! only ever score tuples that are both ∀-free and ∃-free (Theorem 3),
+//! which provably costs no more than the Dominant Graph's coarse-only
+//! filtering (Theorem 5).
+//!
+//! The *zero layer* (Section V) additionally makes access to the very
+//! first sublayer selective: exact weight-range partitioning in 2-d,
+//! clustered pseudo-tuples with their own fine sublayers in higher
+//! dimensions.
+//!
+//! The same engine expresses the Dominant Graph baselines: DG is a
+//! dual-resolution index without fine splitting ([`DlOptions::dg`]), DG+
+//! adds a flat zero layer — which is exactly how the paper describes them.
+
+pub mod analytics;
+pub mod build;
+pub mod dynamic;
+pub mod explain;
+pub mod index;
+pub mod monotone;
+pub mod options;
+pub mod query;
+pub mod snapshot;
+pub mod verify;
+pub mod zero;
+
+pub use dynamic::{DynamicIndex, Handle};
+pub use explain::QueryExplain;
+pub use index::{DualLayerIndex, IndexStats, NodeId};
+pub use monotone::{LogSum, MonotoneScore, WeightedChebyshev, WeightedPower};
+pub use options::{DlOptions, EdsPolicy, ZeroMode};
+pub use query::{QueryScratch, QueryTrace, TopkCursor, TopkResult, TraceStep};
+pub use snapshot::IndexSnapshot;

@@ -1,0 +1,783 @@
+//! Top-k query processing (Algorithm 2).
+//!
+//! A best-first traversal over the index graph: a score-ordered priority
+//! queue holds *free* nodes (∀-dominance-free and ∃-dominance-free,
+//! Theorem 3); popping a node relaxes its out-edges, possibly freeing —
+//! and scoring — further nodes. The paper's cost metric (Definition 9) is
+//! exactly the number of scoring calls, tracked in [`TopkResult::cost`].
+
+use crate::index::{DualLayerIndex, NodeId};
+use drtopk_common::{Cost, TupleId, Weights};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of one top-k query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopkResult {
+    /// Answer tuple ids, ascending by `(score, id)`.
+    pub ids: Vec<TupleId>,
+    /// Tuples (and pseudo-tuples) scored while answering (Definition 9).
+    pub cost: Cost,
+}
+
+/// One step of a traced query: the popped node and the queue/answer state
+/// after its edges were relaxed. Used to pin the paper's Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStep {
+    pub popped: NodeId,
+    /// Queue contents after the step, in pop order.
+    pub queue_after: Vec<NodeId>,
+    pub answers_after: Vec<TupleId>,
+}
+
+/// Full trace of a query run.
+#[derive(Debug, Clone, Default)]
+pub struct QueryTrace {
+    /// Nodes seeded into the queue before the first pop.
+    pub seeds: Vec<NodeId>,
+    pub steps: Vec<TraceStep>,
+}
+
+/// Min-first heap entry: score ascending, pseudo-tuples before real tuples
+/// on ties (a pseudo min-corner can tie its sole cluster member and must
+/// pop first), then node id ascending — matching the paper's id tie-break.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Entry {
+    pub(crate) score: f64,
+    pub(crate) real: bool,
+    pub(crate) node: NodeId,
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the minimum first.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .expect("scores are finite")
+            .then_with(|| other.real.cmp(&self.real))
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+/// Reusable per-query working memory. One scratch serves any number of
+/// sequential queries against the index it was created for; reusing it
+/// avoids the O(n) allocations a fresh [`DualLayerIndex::topk`] call makes.
+#[derive(Debug, Clone)]
+pub struct QueryScratch {
+    remaining: Vec<u32>,
+    eblocked: Vec<bool>,
+    enqueued: Vec<bool>,
+    chain_wait: Vec<bool>,
+    chain_pos: Vec<u32>,
+    heap: BinaryHeap<Entry>,
+}
+
+impl QueryScratch {
+    /// Allocates scratch sized for `idx`.
+    pub fn for_index(idx: &DualLayerIndex) -> Self {
+        let total = idx.len() + idx.stats().pseudo_tuples;
+        QueryScratch {
+            remaining: Vec::with_capacity(total),
+            eblocked: Vec::with_capacity(total),
+            enqueued: Vec::with_capacity(total),
+            chain_wait: Vec::with_capacity(total),
+            chain_pos: Vec::new(),
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    fn reset(&mut self, idx: &DualLayerIndex) {
+        let total = idx.len() + idx.stats().pseudo_tuples;
+        self.remaining.clear();
+        self.remaining.extend_from_slice(&idx.forall_indeg);
+        self.eblocked.clear();
+        self.eblocked
+            .extend(idx.exists_indeg.iter().map(|&c| c > 0));
+        self.enqueued.clear();
+        self.enqueued.resize(total, false);
+        self.chain_wait.clear();
+        self.chain_wait.resize(total, false);
+        self.heap.clear();
+        if idx.zero2d.is_some() {
+            self.chain_pos.clear();
+            self.chain_pos.resize(total, u32::MAX);
+        }
+    }
+}
+
+/// When a traversal stops.
+enum StopRule {
+    /// After `k` real answers.
+    Count(usize),
+    /// Once the next pop's score exceeds the bound (threshold query).
+    Bound(f64),
+}
+
+impl DualLayerIndex {
+    /// Answers a top-k query (Definition 1): the `k` tuples with the
+    /// smallest scores under `w`, ties broken by tuple id.
+    ///
+    /// # Panics
+    /// Panics if `w`'s dimensionality differs from the index's.
+    pub fn topk(&self, w: &Weights, k: usize) -> TopkResult {
+        let mut scratch = QueryScratch::for_index(self);
+        self.run(w, StopRule::Count(k), &mut scratch, None)
+    }
+
+    /// Like [`DualLayerIndex::topk`], reusing caller-provided scratch to
+    /// avoid per-query allocation (for query-per-microsecond workloads).
+    pub fn topk_with_scratch(
+        &self,
+        w: &Weights,
+        k: usize,
+        scratch: &mut QueryScratch,
+    ) -> TopkResult {
+        self.run(w, StopRule::Count(k), scratch, None)
+    }
+
+    /// Threshold query: every tuple with score ≤ `bound`, ascending. Uses
+    /// the same selective traversal; cost is proportional to the answer
+    /// size, not the relation size.
+    ///
+    /// # Panics
+    /// Panics if `w`'s dimensionality differs from the index's, or if
+    /// `bound` is NaN.
+    pub fn range_by_score(&self, w: &Weights, bound: f64) -> TopkResult {
+        assert!(!bound.is_nan(), "score bound must not be NaN");
+        let mut scratch = QueryScratch::for_index(self);
+        self.run(w, StopRule::Bound(bound), &mut scratch, None)
+    }
+
+    /// Like [`DualLayerIndex::topk`], also recording a full traversal trace.
+    pub fn topk_traced(&self, w: &Weights, k: usize) -> (TopkResult, QueryTrace) {
+        let mut trace = QueryTrace::default();
+        let mut scratch = QueryScratch::for_index(self);
+        let result = self.run(w, StopRule::Count(k), &mut scratch, Some(&mut trace));
+        (result, trace)
+    }
+
+    /// Lazily streams answers in score order: a *progressive* top-k that
+    /// lets callers stop whenever enough results arrived, paying only for
+    /// what was consumed.
+    pub fn topk_iter(&self, w: &Weights) -> TopkCursor<'_> {
+        TopkCursor::new(self, w)
+    }
+
+    /// Filtered top-k: the k best tuples *satisfying `pred`*, streamed in
+    /// score order until enough matches are found. Because the traversal
+    /// enumerates globally by score, cost tracks the number of tuples
+    /// inspected, not the relation size — efficient for selective
+    /// predicates whose matches score well.
+    pub fn topk_where<P: FnMut(TupleId, &[f64]) -> bool>(
+        &self,
+        w: &Weights,
+        k: usize,
+        mut pred: P,
+    ) -> TopkResult {
+        let k_eff = k.min(self.len());
+        let mut cursor = TopkCursor::new(self, w);
+        let mut ids = Vec::with_capacity(k_eff);
+        while ids.len() < k_eff {
+            let Some((t, _)) = cursor.next() else { break };
+            if pred(t, self.rel.tuple(t)) {
+                ids.push(t);
+            }
+        }
+        TopkResult {
+            ids,
+            cost: cursor.cost(),
+        }
+    }
+
+    /// Resets scratch, applies the 2-d chain gating for `w`, and seeds the
+    /// queue with every initially-free node.
+    fn seed_queue(&self, w: &Weights, scratch: &mut QueryScratch, cost: &mut Cost) {
+        assert_eq!(w.dims(), self.dims(), "weight dimensionality mismatch");
+        scratch.reset(self);
+        let QueryScratch {
+            enqueued,
+            chain_wait,
+            chain_pos,
+            heap,
+            ..
+        } = scratch;
+        // Chain gating for the exact 2-d zero layer: all chain members
+        // except the weight-range seed wait for a chain neighbor to pop.
+        if let Some(z) = &self.zero2d {
+            for (pos, &t) in z.chain.iter().enumerate() {
+                chain_wait[t as usize] = true;
+                chain_pos[t as usize] = pos as u32;
+            }
+            let seed_pos = z.select(w);
+            chain_wait[z.chain[seed_pos] as usize] = false;
+        }
+        for &s in &self.seeds {
+            enqueue(self, w, s, heap, enqueued, cost);
+        }
+        if let Some(z) = &self.zero2d {
+            let seed = z.chain[z.select(w)];
+            enqueue(self, w, seed as NodeId, heap, enqueued, cost);
+        }
+    }
+
+    /// Pops the minimum-key free node and relaxes its out-edges, possibly
+    /// scoring and enqueueing newly free nodes. `None` when the queue is
+    /// exhausted.
+    fn pop_relax(&self, w: &Weights, scratch: &mut QueryScratch, cost: &mut Cost) -> Option<Entry> {
+        let QueryScratch {
+            remaining,
+            eblocked,
+            enqueued,
+            chain_wait,
+            chain_pos,
+            heap,
+        } = scratch;
+        let entry = heap.pop()?;
+        let node = entry.node;
+        // Relax ∀ out-edges: a target needs *all* dominators popped.
+        for &t in self.forall.out(node) {
+            remaining[t as usize] -= 1;
+            if remaining[t as usize] == 0 && !eblocked[t as usize] && !chain_wait[t as usize] {
+                enqueue(self, w, t, heap, enqueued, cost);
+            }
+        }
+        // Relax ∃ out-edges: a target needs *any* EDS member popped.
+        for &t in self.exists.out(node) {
+            if eblocked[t as usize] {
+                eblocked[t as usize] = false;
+                if remaining[t as usize] == 0 && !chain_wait[t as usize] {
+                    enqueue(self, w, t, heap, enqueued, cost);
+                }
+            }
+        }
+        // Chain expansion (2-d zero layer): free adjacent chain nodes.
+        if let Some(z) = &self.zero2d {
+            let pos = chain_pos[node as usize];
+            if pos != u32::MAX {
+                let pos = pos as usize;
+                let mut free_neighbor = |p: usize, heap: &mut BinaryHeap<Entry>| {
+                    let nb = z.chain[p] as usize;
+                    if chain_wait[nb] {
+                        chain_wait[nb] = false;
+                        if remaining[nb] == 0 && !eblocked[nb] {
+                            enqueue(self, w, nb as NodeId, heap, enqueued, cost);
+                        }
+                    }
+                };
+                if pos > 0 {
+                    free_neighbor(pos - 1, heap);
+                }
+                if pos + 1 < z.chain.len() {
+                    free_neighbor(pos + 1, heap);
+                }
+            }
+        }
+        Some(entry)
+    }
+
+    fn run(
+        &self,
+        w: &Weights,
+        stop: StopRule,
+        scratch: &mut QueryScratch,
+        mut trace: Option<&mut QueryTrace>,
+    ) -> TopkResult {
+        let n = self.len();
+        let k_eff = match stop {
+            StopRule::Count(k) => k.min(n),
+            StopRule::Bound(_) => n,
+        };
+        let mut cost = Cost::new();
+        let mut ids = Vec::new();
+        if k_eff == 0 {
+            assert_eq!(w.dims(), self.dims(), "weight dimensionality mismatch");
+            return TopkResult { ids, cost };
+        }
+        self.seed_queue(w, scratch, &mut cost);
+        if let Some(t) = trace.as_deref_mut() {
+            let mut s: Vec<NodeId> = scratch.heap.iter().map(|e| e.node).collect();
+            s.sort_unstable();
+            t.seeds = s;
+        }
+
+        while ids.len() < k_eff {
+            if let (StopRule::Bound(b), Some(top)) = (&stop, scratch.heap.peek()) {
+                if top.score > *b {
+                    break;
+                }
+            }
+            let Some(entry) = self.pop_relax(w, scratch, &mut cost) else {
+                // A Count query can only exhaust the queue on a broken
+                // invariant; a Bound query exhausts it whenever the bound
+                // covers the whole relation.
+                debug_assert!(
+                    matches!(stop, StopRule::Bound(_)),
+                    "queue exhausted before k answers — broken invariant"
+                );
+                break;
+            };
+            if entry.real {
+                ids.push(entry.node as TupleId);
+            }
+            if let Some(t) = trace.as_deref_mut() {
+                let mut q: Vec<Entry> = scratch.heap.iter().copied().collect();
+                q.sort_by(|a, b| b.cmp(a)); // Entry::cmp is reversed; re-reverse for pop order
+                t.steps.push(TraceStep {
+                    popped: entry.node,
+                    queue_after: q.into_iter().map(|e| e.node).collect(),
+                    answers_after: ids.clone(),
+                });
+            }
+        }
+        TopkResult { ids, cost }
+    }
+}
+
+/// Inserts a node into the queue (scoring it) unless already present.
+fn enqueue(
+    idx: &DualLayerIndex,
+    w: &Weights,
+    node: NodeId,
+    heap: &mut BinaryHeap<Entry>,
+    enqueued: &mut [bool],
+    cost: &mut Cost,
+) {
+    if enqueued[node as usize] {
+        return;
+    }
+    enqueued[node as usize] = true;
+    let real = idx.is_real(node);
+    if real {
+        cost.tick();
+    } else {
+        cost.tick_pseudo();
+    }
+    heap.push(Entry {
+        score: w.score(idx.node_coords(node)),
+        real,
+        node,
+    });
+}
+
+/// A lazily-evaluated top-k traversal: yields `(tuple id, score)` pairs in
+/// ascending score order, scoring tuples only as the consumer advances.
+///
+/// ```
+/// # use drtopk_common::{Distribution, Weights, WorkloadSpec};
+/// # use drtopk_core::{DlOptions, DualLayerIndex};
+/// let rel = WorkloadSpec::new(Distribution::Independent, 3, 200, 1).generate();
+/// let idx = DualLayerIndex::build(&rel, DlOptions::default());
+/// let w = Weights::uniform(3);
+/// // Take answers until a score threshold is crossed, without fixing k.
+/// let cheap: Vec<_> = idx.topk_iter(&w).take_while(|&(_, s)| s < 0.2).collect();
+/// # let _ = cheap;
+/// ```
+pub struct TopkCursor<'a> {
+    idx: &'a DualLayerIndex,
+    w: Weights,
+    scratch: QueryScratch,
+    cost: Cost,
+}
+
+impl<'a> TopkCursor<'a> {
+    /// Starts a progressive traversal (seeds the queue).
+    pub fn new(idx: &'a DualLayerIndex, w: &Weights) -> Self {
+        let mut scratch = QueryScratch::for_index(idx);
+        let mut cost = Cost::new();
+        idx.seed_queue(w, &mut scratch, &mut cost);
+        TopkCursor {
+            idx,
+            w: w.clone(),
+            scratch,
+            cost,
+        }
+    }
+
+    /// Tuples scored so far (Definition 9, monotone in consumption).
+    pub fn cost(&self) -> Cost {
+        self.cost
+    }
+
+    /// The score of the next answer, without consuming it. Pseudo-tuples
+    /// at the queue head are drained first.
+    pub fn peek_score(&mut self) -> Option<f64> {
+        loop {
+            match self.scratch.heap.peek() {
+                Some(e) if e.real => return Some(e.score),
+                Some(_) => {
+                    self.idx
+                        .pop_relax(&self.w, &mut self.scratch, &mut self.cost);
+                }
+                None => return None,
+            }
+        }
+    }
+}
+
+impl Iterator for TopkCursor<'_> {
+    type Item = (TupleId, f64);
+
+    fn next(&mut self) -> Option<(TupleId, f64)> {
+        loop {
+            let entry = self
+                .idx
+                .pop_relax(&self.w, &mut self.scratch, &mut self.cost)?;
+            if entry.real {
+                return Some((entry.node as TupleId, entry.score));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::{DlOptions, ZeroMode};
+    use drtopk_common::relation::{toy_dataset, toy_id};
+    use drtopk_common::{topk_bruteforce, Distribution, WorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn entry_ordering() {
+        let a = Entry {
+            score: 0.5,
+            real: true,
+            node: 1,
+        };
+        let b = Entry {
+            score: 0.4,
+            real: true,
+            node: 9,
+        };
+        let c = Entry {
+            score: 0.5,
+            real: false,
+            node: 7,
+        };
+        let d = Entry {
+            score: 0.5,
+            real: true,
+            node: 0,
+        };
+        let mut h = BinaryHeap::from(vec![a, b, c, d]);
+        // Min score first; tie: pseudo before real; tie: lower id first.
+        assert_eq!(h.pop().unwrap().node, 9);
+        assert_eq!(h.pop().unwrap().node, 7);
+        assert_eq!(h.pop().unwrap().node, 0);
+        assert_eq!(h.pop().unwrap().node, 1);
+    }
+
+    #[test]
+    fn toy_top3_trace_matches_table_iii() {
+        // k = 3, w = (0.5, 0.5) over the toy dataset, plain DL (Table III
+        // describes processing without the zero layer).
+        let r = toy_dataset();
+        let idx = DualLayerIndex::build(&r, DlOptions::dl());
+        let (res, trace) = idx.topk_traced(&Weights::uniform(2), 3);
+        let id = |c: char| toy_id(c);
+        assert_eq!(
+            res.ids,
+            vec![id('a'), id('b'), id('f')],
+            "top-3 = {{a, b, f}}"
+        );
+        // Step 2: Q = {a, b, c} seeded from L11.
+        assert_eq!(trace.seeds, vec![id('a'), id('b'), id('c')]);
+        // Steps 3-4: pop a; Q = {b, f, d, e, c} in pop order.
+        assert_eq!(trace.steps[0].popped, id('a'));
+        assert_eq!(
+            trace.steps[0].queue_after,
+            vec![id('b'), id('f'), id('d'), id('e'), id('c')]
+        );
+        // Steps 5-6: pop b; Q = {f, d, e, c, g}.
+        assert_eq!(trace.steps[1].popped, id('b'));
+        assert_eq!(
+            trace.steps[1].queue_after,
+            vec![id('f'), id('d'), id('e'), id('c'), id('g')]
+        );
+        // Step 7: pop f.
+        assert_eq!(trace.steps[2].popped, id('f'));
+        assert_eq!(
+            trace.steps[2].answers_after,
+            vec![id('a'), id('b'), id('f')]
+        );
+        // Cost: exactly {a,b,c} + {d,e,f} + {g} = 7 tuples evaluated.
+        assert_eq!(res.cost.total(), 7);
+    }
+
+    #[test]
+    fn matches_bruteforce_all_variants() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+            for d in 2..=4 {
+                let rel = WorkloadSpec::new(dist, d, 300, 42).generate();
+                for opts in [
+                    DlOptions::dl(),
+                    DlOptions::dl_plus(),
+                    DlOptions::dg(),
+                    DlOptions::dg_plus(),
+                ] {
+                    let idx = DualLayerIndex::build(&rel, opts.clone());
+                    for k in [1, 7, 40] {
+                        let w = Weights::random(d, &mut rng);
+                        let got = idx.topk(&w, k);
+                        let want = topk_bruteforce(&rel, &w, k);
+                        assert_eq!(got.ids, want, "{dist:?} d={d} k={k} opts={opts:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn theorem_5_dl_cost_never_exceeds_dg() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+            let rel = WorkloadSpec::new(dist, 3, 500, 9).generate();
+            let dl = DualLayerIndex::build(&rel, DlOptions::dl());
+            let dg = DualLayerIndex::build(&rel, DlOptions::dg());
+            for k in [1, 10, 50] {
+                for _ in 0..5 {
+                    let w = Weights::random(3, &mut rng);
+                    let c_dl = dl.topk(&w, k).cost.total();
+                    let c_dg = dg.topk(&w, k).cost.total();
+                    assert!(
+                        c_dl <= c_dg,
+                        "Theorem 5 violated: DL={c_dl} > DG={c_dg} ({dist:?}, k={k})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_edge_cases() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 3, 50, 3).generate();
+        let idx = DualLayerIndex::build(&rel, DlOptions::default());
+        let w = Weights::uniform(3);
+        assert!(idx.topk(&w, 0).ids.is_empty());
+        let all = idx.topk(&w, 500);
+        assert_eq!(
+            all.ids,
+            topk_bruteforce(&rel, &w, 50),
+            "k > n returns everything in order"
+        );
+    }
+
+    #[test]
+    fn zero2d_reduces_first_layer_access() {
+        let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 2, 2000, 5).generate();
+        let dl = DualLayerIndex::build(&rel, DlOptions::dl());
+        let dlp = DualLayerIndex::build(&rel, DlOptions::dl_plus());
+        assert!(dlp.zero2d().is_some());
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum_dl = 0;
+        let mut sum_dlp = 0;
+        for _ in 0..20 {
+            let w = Weights::random(2, &mut rng);
+            let a = dl.topk(&w, 10);
+            let b = dlp.topk(&w, 10);
+            assert_eq!(a.ids, b.ids);
+            sum_dl += a.cost.total();
+            sum_dlp += b.cost.total();
+        }
+        assert!(
+            sum_dlp < sum_dl,
+            "2-d zero layer must cut access cost ({sum_dlp} vs {sum_dl})"
+        );
+    }
+
+    #[test]
+    fn single_tuple_relation() {
+        let rel = drtopk_common::Relation::from_rows(2, &[vec![0.3, 0.7]]).unwrap();
+        let idx = DualLayerIndex::build(&rel, DlOptions::default());
+        let res = idx.topk(&Weights::uniform(2), 1);
+        assert_eq!(res.ids, vec![0]);
+    }
+
+    #[test]
+    fn clustered_zero_in_2d_when_forced() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 2, 400, 8).generate();
+        let idx = DualLayerIndex::build(
+            &rel,
+            DlOptions {
+                zero: ZeroMode::Clustered { clusters: 4 },
+                ..DlOptions::default()
+            },
+        );
+        assert!(idx.zero2d().is_none());
+        assert!(idx.stats().pseudo_tuples >= 1);
+        let w = Weights::uniform(2);
+        assert_eq!(idx.topk(&w, 10).ids, topk_bruteforce(&rel, &w, 10));
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_queries() {
+        let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 3, 400, 4).generate();
+        for opts in [DlOptions::dl(), DlOptions::dl_plus()] {
+            let idx = DualLayerIndex::build(&rel, opts);
+            let mut scratch = QueryScratch::for_index(&idx);
+            let mut rng = StdRng::seed_from_u64(8);
+            for k in [1, 5, 30] {
+                for _ in 0..5 {
+                    let w = Weights::random(3, &mut rng);
+                    let fresh = idx.topk(&w, k);
+                    let reused = idx.topk_with_scratch(&w, k, &mut scratch);
+                    assert_eq!(fresh.ids, reused.ids);
+                    assert_eq!(fresh.cost, reused.cost);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_2d_zero_layer_queries() {
+        // The chain seed is per-query; reusing scratch must not leak chain
+        // state between different weight vectors.
+        let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 2, 500, 6).generate();
+        let idx = DualLayerIndex::build(&rel, DlOptions::dl_plus());
+        assert!(idx.zero2d().is_some());
+        let mut scratch = QueryScratch::for_index(&idx);
+        let mut rng = StdRng::seed_from_u64(44);
+        for _ in 0..20 {
+            let w = Weights::random(2, &mut rng);
+            assert_eq!(
+                idx.topk_with_scratch(&w, 10, &mut scratch).ids,
+                topk_bruteforce(&rel, &w, 10)
+            );
+        }
+    }
+
+    #[test]
+    fn range_by_score_matches_filter_oracle() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 3, 300, 12).generate();
+        let mut rng = StdRng::seed_from_u64(5);
+        for opts in [DlOptions::dl(), DlOptions::dl_plus(), DlOptions::dg()] {
+            let idx = DualLayerIndex::build(&rel, opts);
+            for _ in 0..5 {
+                let w = Weights::random(3, &mut rng);
+                // Pick a bound that captures roughly the 25th tuple.
+                let bound = {
+                    let t25 = topk_bruteforce(&rel, &w, 25)[24];
+                    w.score(rel.tuple(t25))
+                };
+                let got = idx.range_by_score(&w, bound);
+                let want: Vec<_> = {
+                    let mut all = topk_bruteforce(&rel, &w, rel.len());
+                    all.retain(|&t| w.score(rel.tuple(t)) <= bound);
+                    all
+                };
+                assert_eq!(got.ids, want);
+            }
+        }
+    }
+
+    #[test]
+    fn progressive_cursor_matches_topk() {
+        let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 3, 400, 21).generate();
+        let mut rng = StdRng::seed_from_u64(66);
+        for opts in [DlOptions::dl(), DlOptions::dl_plus(), DlOptions::dg_plus()] {
+            let idx = DualLayerIndex::build(&rel, opts);
+            for _ in 0..5 {
+                let w = Weights::random(3, &mut rng);
+                let want = idx.topk(&w, 25);
+                let mut cursor = idx.topk_iter(&w);
+                let got: Vec<TupleId> = cursor.by_ref().take(25).map(|(t, _)| t).collect();
+                assert_eq!(got, want.ids);
+                // Consuming exactly k answers costs exactly what topk(k) costs.
+                assert_eq!(cursor.cost(), want.cost);
+            }
+        }
+    }
+
+    #[test]
+    fn progressive_cursor_streams_everything_in_order() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 2, 150, 9).generate();
+        let idx = DualLayerIndex::build(&rel, DlOptions::dl_plus());
+        let w = Weights::new(vec![0.7, 0.3]).unwrap();
+        let all: Vec<(TupleId, f64)> = idx.topk_iter(&w).collect();
+        assert_eq!(all.len(), 150);
+        assert!(all.windows(2).all(|p| p[0].1 <= p[1].1 + 1e-12));
+        let ids: Vec<TupleId> = all.iter().map(|&(t, _)| t).collect();
+        assert_eq!(ids, topk_bruteforce(&rel, &w, 150));
+    }
+
+    #[test]
+    fn cursor_peek_does_not_consume() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 3, 100, 2).generate();
+        let idx = DualLayerIndex::build(&rel, DlOptions::dl_plus());
+        let w = Weights::uniform(3);
+        let mut cursor = idx.topk_iter(&w);
+        let peeked = cursor.peek_score().unwrap();
+        let (first, score) = cursor.next().unwrap();
+        assert_eq!(peeked, score);
+        assert_eq!(first, topk_bruteforce(&rel, &w, 1)[0]);
+    }
+
+    #[test]
+    fn range_by_score_edge_bounds() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 2, 100, 3).generate();
+        let idx = DualLayerIndex::build(&rel, DlOptions::dl());
+        let w = Weights::uniform(2);
+        assert!(
+            idx.range_by_score(&w, -1.0).ids.is_empty(),
+            "negative bound returns nothing"
+        );
+        let all = idx.range_by_score(&w, 2.0);
+        assert_eq!(all.ids.len(), 100, "bound above max returns everything");
+        assert_eq!(all.ids, topk_bruteforce(&rel, &w, 100));
+    }
+}
+
+#[cfg(test)]
+mod where_tests {
+    use super::*;
+    use crate::options::DlOptions;
+    use drtopk_common::{topk_bruteforce, Distribution, WorkloadSpec};
+
+    #[test]
+    fn filtered_topk_matches_filtered_oracle() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 3, 400, 13).generate();
+        let idx = DualLayerIndex::build(&rel, DlOptions::dl_plus());
+        let w = Weights::new(vec![0.5, 0.25, 0.25]).unwrap();
+        // Predicate: first attribute under 0.3 ("price cap").
+        let got = idx.topk_where(&w, 10, |_, t| t[0] < 0.3);
+        let want: Vec<TupleId> = topk_bruteforce(&rel, &w, rel.len())
+            .into_iter()
+            .filter(|&t| rel.tuple(t)[0] < 0.3)
+            .take(10)
+            .collect();
+        assert_eq!(got.ids, want);
+        assert!(got.cost.evaluated <= rel.len() as u64);
+    }
+
+    #[test]
+    fn unsatisfiable_predicate_scans_to_exhaustion() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 2, 60, 2).generate();
+        let idx = DualLayerIndex::build(&rel, DlOptions::dl());
+        let w = Weights::uniform(2);
+        let got = idx.topk_where(&w, 5, |_, _| false);
+        assert!(got.ids.is_empty());
+        assert_eq!(got.cost.evaluated, 60, "must prove no match exists");
+    }
+
+    #[test]
+    fn trivial_predicate_equals_plain_topk() {
+        let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 3, 300, 4).generate();
+        let idx = DualLayerIndex::build(&rel, DlOptions::dl_plus());
+        let w = Weights::uniform(3);
+        assert_eq!(
+            idx.topk_where(&w, 15, |_, _| true).ids,
+            idx.topk(&w, 15).ids
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! Plain-data snapshots of a built index, for persistence.
+//!
+//! A [`IndexSnapshot`] captures every field of a [`DualLayerIndex`] as
+//! flat vectors so a storage layer can serialize it without rebuilding
+//! (index construction is the expensive part — Table IV). Round-tripping
+//! through a snapshot reproduces the index exactly, including query costs.
+
+use crate::index::{CoarseLayer, Csr, DualLayerIndex, IndexStats, NodeId};
+use crate::options::DlOptions;
+use crate::zero::Zero2d;
+use drtopk_common::{Error, Relation, TupleId};
+
+/// Flat, public representation of a built index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexSnapshot {
+    pub dims: usize,
+    /// Row-major relation payload.
+    pub data: Vec<f64>,
+    /// Fine sublayers, flattened: `(coarse, fine, members)` in order.
+    pub fine_layers: Vec<(u32, u32, Vec<TupleId>)>,
+    /// ∀ edges as (source, target) pairs.
+    pub forall_edges: Vec<(NodeId, NodeId)>,
+    /// ∃ edges as (source, target) pairs.
+    pub exists_edges: Vec<(NodeId, NodeId)>,
+    /// Pseudo-tuple payload (row-major) and fine grouping.
+    pub pseudo: Vec<f64>,
+    pub pseudo_fine: Vec<Vec<u32>>,
+    /// 2-d zero layer, if present.
+    pub zero2d_chain: Option<Vec<TupleId>>,
+    pub zero2d_breakpoints: Vec<f64>,
+    /// Build options (recorded for provenance; not re-applied on load).
+    pub split_fine: bool,
+    pub max_fine_layers: usize,
+}
+
+impl DualLayerIndex {
+    /// Extracts a snapshot of this index.
+    pub fn to_snapshot(&self) -> IndexSnapshot {
+        let n = self.len();
+        let total = n + self.stats().pseudo_tuples;
+        let mut fine_layers = Vec::new();
+        for (ci, layer) in self.coarse_layers().iter().enumerate() {
+            for (fi, f) in layer.fine.iter().enumerate() {
+                fine_layers.push((ci as u32, fi as u32, f.clone()));
+            }
+        }
+        let mut forall_edges = Vec::new();
+        let mut exists_edges = Vec::new();
+        for s in 0..total as NodeId {
+            for &t in self.forall_out(s) {
+                forall_edges.push((s, t));
+            }
+            for &t in self.exists_out(s) {
+                exists_edges.push((s, t));
+            }
+        }
+        IndexSnapshot {
+            dims: self.dims(),
+            data: self.relation().flat().to_vec(),
+            fine_layers,
+            forall_edges,
+            exists_edges,
+            pseudo: self.pseudo.clone(),
+            pseudo_fine: self.pseudo_fine.clone(),
+            zero2d_chain: self.zero2d().map(|z| z.chain.clone()),
+            zero2d_breakpoints: self
+                .zero2d()
+                .map(|z| z.breakpoints.clone())
+                .unwrap_or_default(),
+            split_fine: self.options().split_fine,
+            max_fine_layers: self.options().max_fine_layers,
+        }
+    }
+
+    /// Reconstructs an index from a snapshot.
+    ///
+    /// Validates structural consistency (layer partition, edge endpoints in
+    /// range) and returns an error on malformed input; edge *semantics*
+    /// (that each edge reflects a true dominance relationship) can be
+    /// checked separately with [`crate::verify`].
+    pub fn from_snapshot(snap: &IndexSnapshot) -> Result<DualLayerIndex, Error> {
+        if snap.dims == 0 {
+            return Err(Error::InvalidDimension(0));
+        }
+        if !snap.data.len().is_multiple_of(snap.dims)
+            || !snap.pseudo.len().is_multiple_of(snap.dims)
+        {
+            return Err(Error::DimensionMismatch {
+                expected: snap.dims,
+                got: snap.data.len() % snap.dims,
+            });
+        }
+        let rel = Relation::from_flat_unchecked(snap.dims, snap.data.clone());
+        let n = rel.len();
+        let pseudo_count = snap.pseudo.len() / snap.dims;
+        let total = n + pseudo_count;
+
+        // Rebuild the coarse/fine structure, checking the partition.
+        let mut layers: Vec<CoarseLayer> = Vec::new();
+        let mut covered = vec![false; n];
+        for &(ci, fi, ref members) in &snap.fine_layers {
+            if ci as usize >= layers.len() {
+                if ci as usize != layers.len() {
+                    return Err(Error::EmptyQuery("non-contiguous coarse layer ids".into()));
+                }
+                layers.push(CoarseLayer { fine: Vec::new() });
+            }
+            let layer = &mut layers[ci as usize];
+            if fi as usize != layer.fine.len() {
+                return Err(Error::EmptyQuery("non-contiguous fine layer ids".into()));
+            }
+            for &t in members {
+                let Some(slot) = covered.get_mut(t as usize) else {
+                    return Err(Error::EmptyQuery(format!("tuple id {t} out of range")));
+                };
+                if *slot {
+                    return Err(Error::EmptyQuery(format!("tuple {t} in two layers")));
+                }
+                *slot = true;
+            }
+            layer.fine.push(members.clone());
+        }
+        if covered.iter().any(|&c| !c) {
+            return Err(Error::EmptyQuery("layers do not cover the relation".into()));
+        }
+
+        let check_edges = |edges: &[(NodeId, NodeId)]| -> Result<(), Error> {
+            for &(s, t) in edges {
+                if s as usize >= total || t as usize >= total {
+                    return Err(Error::EmptyQuery(format!("edge ({s},{t}) out of range")));
+                }
+            }
+            Ok(())
+        };
+        check_edges(&snap.forall_edges)?;
+        check_edges(&snap.exists_edges)?;
+        for group in &snap.pseudo_fine {
+            if group.iter().any(|&g| g as usize >= pseudo_count) {
+                return Err(Error::EmptyQuery("pseudo_fine index out of range".into()));
+            }
+        }
+        let mut fe = snap.forall_edges.clone();
+        let mut ee = snap.exists_edges.clone();
+        let (forall, forall_indeg) = Csr::from_edges(total, &mut fe);
+        let (exists, exists_indeg) = Csr::from_edges(total, &mut ee);
+
+        let zero2d = match &snap.zero2d_chain {
+            Some(chain) => {
+                if chain.iter().any(|&t| t as usize >= n) {
+                    return Err(Error::EmptyQuery("zero-layer chain id out of range".into()));
+                }
+                if snap.zero2d_breakpoints.len() + 1 != chain.len() {
+                    return Err(Error::EmptyQuery(
+                        "breakpoint count must be |chain| - 1".into(),
+                    ));
+                }
+                if snap.zero2d_breakpoints.windows(2).any(|w| w[0] < w[1])
+                    || snap.zero2d_breakpoints.iter().any(|b| !b.is_finite())
+                {
+                    return Err(Error::EmptyQuery(
+                        "zero-layer breakpoints must be finite and non-increasing".into(),
+                    ));
+                }
+                Some(Zero2d {
+                    chain: chain.clone(),
+                    breakpoints: snap.zero2d_breakpoints.clone(),
+                })
+            }
+            None => None,
+        };
+
+        // Recompute seeds exactly as the builder does.
+        let chain_member: Vec<bool> = {
+            let mut v = vec![false; total];
+            if let Some(z) = &zero2d {
+                for &c in &z.chain {
+                    v[c as usize] = true;
+                }
+            }
+            v
+        };
+        let mut seeds: Vec<NodeId> = Vec::new();
+        for node in 0..total as NodeId {
+            if forall_indeg[node as usize] == 0
+                && exists_indeg[node as usize] == 0
+                && !chain_member[node as usize]
+            {
+                seeds.push(node);
+            }
+        }
+
+        let opts = DlOptions {
+            split_fine: snap.split_fine,
+            max_fine_layers: snap.max_fine_layers,
+            ..DlOptions::default()
+        };
+        let stats = IndexStats {
+            n,
+            dims: snap.dims,
+            coarse_layers: layers.len(),
+            fine_layers: layers.iter().map(|l| l.fine.len()).sum(),
+            forall_edges: forall.edge_count(),
+            exists_edges: exists.edge_count(),
+            pseudo_tuples: pseudo_count,
+            seeds: seeds.len(),
+            first_layer_size: layers.first().map_or(0, |l| l.len()),
+            first_fine_size: layers
+                .first()
+                .and_then(|l| l.fine.first())
+                .map_or(0, |f| f.len()),
+        };
+        Ok(DualLayerIndex {
+            rel,
+            opts,
+            layers,
+            forall,
+            forall_indeg,
+            exists,
+            exists_indeg,
+            pseudo: snap.pseudo.clone(),
+            pseudo_count,
+            pseudo_fine: snap.pseudo_fine.clone(),
+            zero2d,
+            seeds,
+            stats,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::DlOptions;
+    use drtopk_common::{Distribution, Weights, WorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_preserves_results_and_costs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for d in [2, 3] {
+            let rel = WorkloadSpec::new(Distribution::AntiCorrelated, d, 300, 77).generate();
+            for opts in [DlOptions::dl(), DlOptions::dl_plus(), DlOptions::dg_plus()] {
+                let idx = DualLayerIndex::build(&rel, opts);
+                let snap = idx.to_snapshot();
+                let back = DualLayerIndex::from_snapshot(&snap).expect("valid snapshot");
+                assert_eq!(back.stats(), idx.stats());
+                for k in [1, 10, 40] {
+                    let w = Weights::random(d, &mut rng);
+                    let a = idx.topk(&w, k);
+                    let b = back.topk(&w, k);
+                    assert_eq!(a.ids, b.ids);
+                    assert_eq!(a.cost, b.cost, "costs must survive the roundtrip");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_corrupted_snapshots() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 2, 50, 1).generate();
+        let idx = DualLayerIndex::build(&rel, DlOptions::dl());
+        let snap = idx.to_snapshot();
+
+        let mut missing = snap.clone();
+        missing.fine_layers.pop();
+        assert!(
+            DualLayerIndex::from_snapshot(&missing).is_err(),
+            "uncovered tuples"
+        );
+
+        let mut bad_edge = snap.clone();
+        bad_edge.forall_edges.push((9999, 0));
+        assert!(
+            DualLayerIndex::from_snapshot(&bad_edge).is_err(),
+            "edge out of range"
+        );
+
+        let mut dup = snap.clone();
+        let members = dup.fine_layers[0].2.clone();
+        dup.fine_layers
+            .push((dup.fine_layers.last().unwrap().0 + 1, 0, members));
+        assert!(
+            DualLayerIndex::from_snapshot(&dup).is_err(),
+            "duplicated tuples"
+        );
+
+        let mut bad_zero = snap.clone();
+        if bad_zero.zero2d_chain.is_some() {
+            bad_zero.zero2d_breakpoints.push(0.5);
+            assert!(
+                DualLayerIndex::from_snapshot(&bad_zero).is_err(),
+                "breakpoint arity"
+            );
+        }
+    }
+}

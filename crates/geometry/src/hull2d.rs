@@ -1,0 +1,169 @@
+//! Exact two-dimensional convex-skyline chain.
+//!
+//! In 2-d the convex skyline of a point set is the portion of the lower
+//! convex hull running from the minimum-x vertex to the minimum-y vertex
+//! (the part whose supporting lines have strictly positive weight normals).
+//! The paper's Section V-A weight-range construction builds directly on
+//! this chain, so we keep a dedicated exact implementation instead of going
+//! through the general d-dimensional hull.
+
+use crate::GEOM_EPS;
+
+/// Cross product of (b - a) × (c - a); positive when `c` is left of `a→b`.
+#[inline]
+pub fn cross(a: (f64, f64), b: (f64, f64), c: (f64, f64)) -> f64 {
+    (b.0 - a.0) * (c.1 - a.1) - (b.1 - a.1) * (c.0 - a.0)
+}
+
+/// Computes the 2-d convex skyline (lower-left convex chain) of `points`.
+///
+/// Returns indices into `points`, ordered by increasing x (decreasing y):
+/// exactly the vertices minimizing `w₁x + w₂y` for some strictly positive
+/// weights. Collinear points inside a chain segment are *not* vertices and
+/// are excluded; among duplicate coordinates the smallest index wins.
+pub fn lower_left_chain(points: &[(f64, f64)]) -> Vec<usize> {
+    if points.is_empty() {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    // Sort by (x, y, idx): the chain walks left-to-right; the y tie-break
+    // keeps the lowest point first at equal x; the idx tie-break makes
+    // duplicate handling deterministic.
+    order.sort_by(|&i, &j| {
+        let (a, b) = (points[i], points[j]);
+        a.0.partial_cmp(&b.0)
+            .unwrap()
+            .then(a.1.partial_cmp(&b.1).unwrap())
+            .then(i.cmp(&j))
+    });
+    // Drop exact duplicates (keep first in sorted order = smallest index).
+    order.dedup_by(|&mut i, &mut j| points[i] == points[j]);
+
+    // Collinearity tolerance must scale with the data spread: the cross
+    // product is an area (quadratic in coordinate spread), so an absolute
+    // epsilon silently collapses chains of small-spread point sets (e.g.
+    // deep layers of min-max-normalized data squeezed by outliers).
+    let (mut lo_x, mut hi_x, mut lo_y, mut hi_y) = (
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+    );
+    for p in points {
+        lo_x = lo_x.min(p.0);
+        hi_x = hi_x.max(p.0);
+        lo_y = lo_y.min(p.1);
+        hi_y = hi_y.max(p.1);
+    }
+    let spread = (hi_x - lo_x).max(hi_y - lo_y).max(f64::MIN_POSITIVE);
+    let tol = GEOM_EPS * spread * spread;
+
+    // Monotone-chain lower hull.
+    let mut hull: Vec<usize> = Vec::with_capacity(order.len());
+    for &i in &order {
+        while hull.len() >= 2 {
+            let a = points[hull[hull.len() - 2]];
+            let b = points[hull[hull.len() - 1]];
+            // Pop b when it is not strictly right of a→points[i]
+            // (collinear points are not vertices).
+            if cross(a, b, points[i]) <= tol {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        // Points sharing x with the current hull tail can never extend the
+        // lower hull (the sort put the lowest-y one first).
+        if let Some(&last) = hull.last() {
+            if points[last].0 == points[i].0 {
+                continue;
+            }
+        }
+        hull.push(i);
+    }
+    // The lower hull runs from min-x to max-x; the convex skyline is its
+    // strictly-decreasing-y prefix, ending at the global min-y vertex.
+    let mut chain = Vec::with_capacity(hull.len());
+    for (pos, &i) in hull.iter().enumerate() {
+        if pos == 0 {
+            chain.push(i);
+        } else {
+            let prev = points[*chain.last().unwrap()];
+            if points[i].1 < prev.1 {
+                chain.push(i);
+            } else {
+                break;
+            }
+        }
+    }
+    // The first vertex is a convex-skyline member only if no later chain
+    // vertex weakly dominates it; with the (x, y) sort, the min-x vertex is
+    // always a witness for weights near (1, 0) unless another point has the
+    // same x and lower y — already excluded by the dedup/tie-break.
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_chain() {
+        let pts = vec![(0.1, 0.6), (0.3, 0.45), (0.8, 0.1), (0.5, 0.5), (0.9, 0.9)];
+        assert_eq!(lower_left_chain(&pts), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_and_empty() {
+        assert!(lower_left_chain(&[]).is_empty());
+        assert_eq!(lower_left_chain(&[(0.5, 0.5)]), vec![0]);
+    }
+
+    #[test]
+    fn dominated_point_excluded() {
+        let pts = vec![(0.2, 0.2), (0.3, 0.3)];
+        assert_eq!(lower_left_chain(&pts), vec![0]);
+    }
+
+    #[test]
+    fn two_incomparable_points() {
+        let pts = vec![(0.2, 0.8), (0.8, 0.2)];
+        assert_eq!(lower_left_chain(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn collinear_interior_point_excluded() {
+        // (0.5, 0.5) lies on the segment between the other two: it is not a
+        // vertex, hence minimizes no weight uniquely.
+        let pts = vec![(0.2, 0.8), (0.8, 0.2), (0.5, 0.5)];
+        assert_eq!(lower_left_chain(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn duplicates_keep_smallest_index() {
+        let pts = vec![(0.3, 0.3), (0.3, 0.3), (0.1, 0.9)];
+        assert_eq!(lower_left_chain(&pts), vec![2, 0]);
+    }
+
+    #[test]
+    fn point_above_chain_excluded() {
+        // (0.4, 0.7) is not dominated by any single point but lies above the
+        // segment (0.1,0.9)-(0.9,0.1): on the skyline, not the convex skyline.
+        let pts = vec![(0.1, 0.9), (0.9, 0.1), (0.4, 0.7)];
+        assert_eq!(lower_left_chain(&pts), vec![0, 1]);
+    }
+
+    #[test]
+    fn equal_x_keeps_lower_y() {
+        let pts = vec![(0.2, 0.9), (0.2, 0.4), (0.7, 0.1)];
+        assert_eq!(lower_left_chain(&pts), vec![1, 2]);
+    }
+
+    #[test]
+    fn toy_dataset_first_convex_layer() {
+        // Fig. 2(b): the first convex layer of the toy dataset is {a, b, c}.
+        let r = drtopk_common::relation::toy_dataset();
+        let pts: Vec<(f64, f64)> = r.iter().map(|(_, t)| (t[0], t[1])).collect();
+        assert_eq!(lower_left_chain(&pts), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,610 @@
+//! General d-dimensional convex hull (QuickHull with conflict lists).
+//!
+//! Produces the hull's vertex set and facets (d vertices, outward unit
+//! normal, offset) with facet adjacency maintained during construction —
+//! the beneath–beyond structure QuickHull needs to walk horizons.
+//!
+//! The convex-skyline extraction in [`crate::csky`] consumes only the
+//! *origin-facing* facets (outward normal strictly negative in every
+//! component); per the soundness argument in DESIGN.md, downstream index
+//! correctness never depends on this hull being exact, so near-coplanar
+//! points may be conservatively classified as non-vertices.
+
+/// One hull facet: `d` vertex indices into the input point array, plus the
+/// supporting hyperplane `normal · x = offset` with `normal` the outward
+/// unit vector (`normal · interior < offset`).
+#[derive(Debug, Clone)]
+pub struct Facet {
+    pub vertices: Vec<u32>,
+    pub normal: Vec<f64>,
+    pub offset: f64,
+}
+
+/// Convex hull output: vertex indices (sorted, deduplicated) and facets.
+#[derive(Debug, Clone)]
+pub struct Hull {
+    pub vertices: Vec<u32>,
+    pub facets: Vec<Facet>,
+}
+
+/// Why a hull could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HullError {
+    /// Fewer than d+1 points, or all points within `eps` of a common
+    /// affine subspace of dimension < d.
+    Degenerate,
+    /// Dimensionality below 2 (1-d "hulls" are just min/max).
+    BadDimension,
+}
+
+struct FacetData {
+    verts: Vec<u32>,
+    normal: Vec<f64>,
+    offset: f64,
+    neighbors: Vec<u32>,
+    conflicts: Vec<u32>,
+    alive: bool,
+}
+
+/// Computes the convex hull of `points` (flat row-major, `dims` columns).
+///
+/// `eps` is the visibility tolerance: a point within `eps` of a facet's
+/// plane is treated as on/below it. [`crate::GEOM_EPS`] is a good default for
+/// unit-scale data.
+pub fn quickhull(points: &[f64], dims: usize, eps: f64) -> Result<Hull, HullError> {
+    if dims < 2 {
+        return Err(HullError::BadDimension);
+    }
+    let n = points.len() / dims;
+    debug_assert_eq!(points.len(), n * dims);
+    if n < dims + 1 {
+        return Err(HullError::Degenerate);
+    }
+    let pt = |i: u32| -> &[f64] { &points[i as usize * dims..(i as usize + 1) * dims] };
+
+    let simplex = initial_simplex(points, dims, eps).ok_or(HullError::Degenerate)?;
+
+    // Interior reference point: simplex centroid.
+    let mut interior = vec![0.0; dims];
+    for &v in &simplex {
+        for (acc, &x) in interior.iter_mut().zip(pt(v)) {
+            *acc += x;
+        }
+    }
+    for x in &mut interior {
+        *x /= (dims + 1) as f64;
+    }
+
+    let mut facets: Vec<FacetData> = Vec::new();
+    // The d+1 simplex facets: leave one vertex out each.
+    for leave in 0..=dims {
+        let verts: Vec<u32> = simplex
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != leave)
+            .map(|(_, &v)| v)
+            .collect();
+        let (normal, offset) =
+            plane_through(points, dims, &verts, &interior).ok_or(HullError::Degenerate)?;
+        facets.push(FacetData {
+            verts,
+            normal,
+            offset,
+            neighbors: Vec::new(),
+            conflicts: Vec::new(),
+            alive: true,
+        });
+    }
+    // Simplex facets are mutually adjacent.
+    for i in 0..facets.len() {
+        facets[i].neighbors = (0..facets.len() as u32)
+            .filter(|&j| j as usize != i)
+            .collect();
+    }
+
+    // Initial conflict assignment.
+    let in_simplex = |i: u32| simplex.contains(&i);
+    let mut pending: Vec<u32> = Vec::new();
+    for i in 0..n as u32 {
+        if in_simplex(i) {
+            continue;
+        }
+        let p = pt(i);
+        let mut assigned = false;
+        for (fi, f) in facets.iter_mut().enumerate() {
+            if dist(f, p) > eps {
+                f.conflicts.push(i);
+                if f.conflicts.len() == 1 {
+                    pending.push(fi as u32);
+                }
+                assigned = true;
+                break;
+            }
+        }
+        let _ = assigned; // unassigned => interior point, dropped
+    }
+
+    // Main loop: expand the hull by the furthest conflict point of some
+    // facet, replacing the visible region with a cone of new facets.
+    //
+    // Near-duplicate point clusters can drive eps-inconsistent horizon
+    // walks into combinatorial facet blow-up (or non-termination). A hull
+    // of n points in general position has far fewer than `n^(d/2) + 16n·d`
+    // facets; crossing that budget means the geometry is degenerate
+    // beyond what this tolerance-based algorithm can handle, so we bail
+    // to the callers' sound fallbacks instead of hanging.
+    let facet_budget = ((n as f64).powf(dims as f64 / 2.0) as usize)
+        .saturating_add(16 * n * dims)
+        .saturating_add(1024);
+    let mut visible: Vec<u32> = Vec::new();
+    let mut stack: Vec<u32> = Vec::new();
+    let mut seen: Vec<bool> = Vec::new();
+    while let Some(fi) = pending.pop() {
+        if facets.len() > facet_budget {
+            return Err(HullError::Degenerate);
+        }
+        let f = &facets[fi as usize];
+        if !f.alive || f.conflicts.is_empty() {
+            continue;
+        }
+        // Furthest conflict point (QuickHull's choice aids robustness).
+        let mut p_idx = f.conflicts[0];
+        let mut p_dist = dist(f, pt(p_idx));
+        for &c in &f.conflicts[1..] {
+            let d = dist(f, pt(c));
+            if d > p_dist {
+                p_idx = c;
+                p_dist = d;
+            }
+        }
+        let p = pt(p_idx);
+
+        // BFS over facets visible from p.
+        visible.clear();
+        stack.clear();
+        seen.clear();
+        seen.resize(facets.len(), false);
+        stack.push(fi);
+        seen[fi as usize] = true;
+        while let Some(g) = stack.pop() {
+            let gf = &facets[g as usize];
+            if !gf.alive || dist(gf, p) <= eps {
+                continue;
+            }
+            visible.push(g);
+            for &nb in &facets[g as usize].neighbors {
+                if !seen[nb as usize] {
+                    seen[nb as usize] = true;
+                    stack.push(nb);
+                }
+            }
+        }
+        if visible.is_empty() {
+            continue;
+        }
+
+        // Horizon ridges: (visible facet, non-visible neighbor, shared verts).
+        let mut horizon: Vec<(u32, Vec<u32>)> = Vec::new(); // (outside facet, ridge)
+        for &g in &visible {
+            let g_verts = facets[g as usize].verts.clone();
+            for nb in facets[g as usize].neighbors.clone() {
+                let nbf = &facets[nb as usize];
+                if !nbf.alive {
+                    continue;
+                }
+                let nb_visible = dist(nbf, p) > eps;
+                if !nb_visible {
+                    let ridge: Vec<u32> = g_verts
+                        .iter()
+                        .copied()
+                        .filter(|v| nbf.verts.contains(v))
+                        .collect();
+                    if ridge.len() == dims - 1 {
+                        horizon.push((nb, ridge));
+                    }
+                }
+            }
+        }
+
+        // Collect orphaned conflict points, retire visible facets.
+        let mut orphans: Vec<u32> = Vec::new();
+        for &g in &visible {
+            let gf = &mut facets[g as usize];
+            gf.alive = false;
+            orphans.append(&mut gf.conflicts);
+        }
+        orphans.retain(|&c| c != p_idx);
+
+        // Build the cone: one new facet per horizon ridge.
+        let first_new = facets.len() as u32;
+        let mut ok = true;
+        for (outside, ridge) in &horizon {
+            let mut verts = ridge.clone();
+            verts.push(p_idx);
+            match plane_through(points, dims, &verts, &interior) {
+                Some((normal, offset)) => {
+                    let id = facets.len() as u32;
+                    facets.push(FacetData {
+                        verts,
+                        normal,
+                        offset,
+                        neighbors: vec![*outside],
+                        conflicts: Vec::new(),
+                        alive: true,
+                    });
+                    // Patch the outside facet: replace its dead neighbor with us.
+                    let of = &mut facets[*outside as usize];
+                    let mut patched = false;
+                    for slot in &mut of.neighbors {
+                        if visible.contains(slot) {
+                            *slot = id;
+                            patched = true;
+                            break;
+                        }
+                    }
+                    if !patched {
+                        of.neighbors.push(id);
+                    }
+                }
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            return Err(HullError::Degenerate);
+        }
+        let new_ids: Vec<u32> = (first_new..facets.len() as u32).collect();
+
+        // Adjacency among new facets: two cone facets are neighbors iff they
+        // share d-1 vertices (their ridges both contain p).
+        for a in 0..new_ids.len() {
+            for b in (a + 1)..new_ids.len() {
+                let (fa, fb) = (new_ids[a], new_ids[b]);
+                let shared = facets[fa as usize]
+                    .verts
+                    .iter()
+                    .filter(|v| facets[fb as usize].verts.contains(v))
+                    .count();
+                if shared == dims - 1 {
+                    facets[fa as usize].neighbors.push(fb);
+                    facets[fb as usize].neighbors.push(fa);
+                }
+            }
+        }
+
+        // Reassign orphans to the new facets.
+        for c in orphans {
+            let q = pt(c);
+            for &nf in &new_ids {
+                if dist(&facets[nf as usize], q) > eps {
+                    facets[nf as usize].conflicts.push(c);
+                    break;
+                }
+            }
+        }
+        for &nf in &new_ids {
+            if !facets[nf as usize].conflicts.is_empty() {
+                pending.push(nf);
+            }
+        }
+    }
+
+    // Harvest live facets.
+    let mut out_facets = Vec::new();
+    let mut verts: Vec<u32> = Vec::new();
+    for f in facets.into_iter().filter(|f| f.alive) {
+        verts.extend_from_slice(&f.verts);
+        out_facets.push(Facet {
+            vertices: f.verts,
+            normal: f.normal,
+            offset: f.offset,
+        });
+    }
+    verts.sort_unstable();
+    verts.dedup();
+    Ok(Hull {
+        vertices: verts,
+        facets: out_facets,
+    })
+}
+
+#[inline]
+fn dist(f: &FacetData, p: &[f64]) -> f64 {
+    dot(&f.normal, p) - f.offset
+}
+
+#[inline]
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Finds d+1 affinely independent points, greedily maximizing spread.
+fn initial_simplex(points: &[f64], dims: usize, eps: f64) -> Option<Vec<u32>> {
+    let n = points.len() / dims;
+    let pt = |i: usize| -> &[f64] { &points[i * dims..(i + 1) * dims] };
+
+    // Seed pair: extremes along the coordinate with the largest spread.
+    let mut best: Option<(usize, usize, f64)> = None;
+    for d in 0..dims {
+        let (mut lo, mut hi) = (0usize, 0usize);
+        for i in 1..n {
+            if pt(i)[d] < pt(lo)[d] {
+                lo = i;
+            }
+            if pt(i)[d] > pt(hi)[d] {
+                hi = i;
+            }
+        }
+        let spread = pt(hi)[d] - pt(lo)[d];
+        if best.is_none_or(|(_, _, s)| spread > s) {
+            best = Some((lo, hi, spread));
+        }
+    }
+    let (lo, hi, spread) = best?;
+    if spread <= eps {
+        return None;
+    }
+    let mut simplex = vec![lo as u32, hi as u32];
+
+    // Orthonormal basis of the current affine span (Gram–Schmidt).
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(dims);
+    let origin: Vec<f64> = pt(lo).to_vec();
+    let add_basis = |basis: &mut Vec<Vec<f64>>, q: &[f64]| -> bool {
+        let mut v: Vec<f64> = q.iter().zip(&origin).map(|(a, b)| a - b).collect();
+        for b in basis.iter() {
+            let proj = dot(&v, b);
+            for (x, y) in v.iter_mut().zip(b) {
+                *x -= proj * y;
+            }
+        }
+        let norm = dot(&v, &v).sqrt();
+        if norm <= eps {
+            return false;
+        }
+        for x in &mut v {
+            *x /= norm;
+        }
+        basis.push(v);
+        true
+    };
+    assert!(add_basis(&mut basis, pt(hi)));
+
+    while simplex.len() < dims + 1 {
+        // Farthest point from the current affine span.
+        let mut far: Option<(usize, f64)> = None;
+        for i in 0..n {
+            if simplex.contains(&(i as u32)) {
+                continue;
+            }
+            let mut v: Vec<f64> = pt(i).iter().zip(&origin).map(|(a, b)| a - b).collect();
+            for b in &basis {
+                let proj = dot(&v, b);
+                for (x, y) in v.iter_mut().zip(b) {
+                    *x -= proj * y;
+                }
+            }
+            let d2 = dot(&v, &v);
+            if far.is_none_or(|(_, bd)| d2 > bd) {
+                far = Some((i, d2));
+            }
+        }
+        let (i, d2) = far?;
+        if d2.sqrt() <= eps {
+            return None;
+        }
+        if !add_basis(&mut basis, pt(i)) {
+            return None;
+        }
+        simplex.push(i as u32);
+    }
+    Some(simplex)
+}
+
+/// Computes the hyperplane through `verts` (d points), oriented so that
+/// `interior` lies strictly below it. Returns `None` when the points are
+/// affinely dependent (normal collapses).
+#[allow(clippy::needless_range_loop)] // Gaussian elimination reads clearest with indices
+fn plane_through(
+    points: &[f64],
+    dims: usize,
+    verts: &[u32],
+    interior: &[f64],
+) -> Option<(Vec<f64>, f64)> {
+    debug_assert_eq!(verts.len(), dims);
+    let pt = |i: u32| -> &[f64] { &points[i as usize * dims..(i as usize + 1) * dims] };
+    let p0 = pt(verts[0]);
+    // Rows: p_i - p_0, i = 1..d-1. The normal spans their null space.
+    let mut m: Vec<Vec<f64>> = verts[1..]
+        .iter()
+        .map(|&v| pt(v).iter().zip(p0).map(|(a, b)| a - b).collect())
+        .collect();
+    // Gaussian elimination with partial pivoting to row-echelon form.
+    let rows = m.len();
+    let mut pivot_cols = Vec::with_capacity(rows);
+    let mut r = 0;
+    for c in 0..dims {
+        if r == rows {
+            break;
+        }
+        // Find pivot.
+        let mut best = r;
+        for i in (r + 1)..rows {
+            if m[i][c].abs() > m[best][c].abs() {
+                best = i;
+            }
+        }
+        if m[best][c].abs() < 1e-13 {
+            continue;
+        }
+        m.swap(r, best);
+        let piv = m[r][c];
+        for x in &mut m[r] {
+            *x /= piv;
+        }
+        for i in 0..rows {
+            if i != r {
+                let f = m[i][c];
+                if f != 0.0 {
+                    for j in 0..dims {
+                        m[i][j] -= f * m[r][j];
+                    }
+                }
+            }
+        }
+        pivot_cols.push(c);
+        r += 1;
+        if r == rows {
+            break;
+        }
+    }
+    if r < rows {
+        return None; // affinely dependent: no unique normal
+    }
+    // Free column -> null vector.
+    let free = (0..dims).find(|c| !pivot_cols.contains(c))?;
+    let mut normal = vec![0.0; dims];
+    normal[free] = 1.0;
+    for (row, &pc) in pivot_cols.iter().enumerate() {
+        normal[pc] = -m[row][free];
+    }
+    let len = dot(&normal, &normal).sqrt();
+    if len < 1e-13 {
+        return None;
+    }
+    for x in &mut normal {
+        *x /= len;
+    }
+    let mut offset = dot(&normal, p0);
+    if dot(&normal, interior) > offset {
+        for x in &mut normal {
+            *x = -*x;
+        }
+        offset = -offset;
+    }
+    Some((normal, offset))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GEOM_EPS;
+
+    fn flat(pts: &[Vec<f64>]) -> Vec<f64> {
+        pts.iter().flatten().copied().collect()
+    }
+
+    #[test]
+    fn cube_3d() {
+        // Unit cube corners plus an interior point.
+        let mut pts = Vec::new();
+        for x in [0.0, 1.0] {
+            for y in [0.0, 1.0] {
+                for z in [0.0, 1.0] {
+                    pts.push(vec![x, y, z]);
+                }
+            }
+        }
+        pts.push(vec![0.5, 0.5, 0.5]);
+        let h = quickhull(&flat(&pts), 3, GEOM_EPS).unwrap();
+        assert_eq!(h.vertices, (0..8).collect::<Vec<u32>>());
+        // A triangulated cube has 12 facets.
+        assert_eq!(h.facets.len(), 12);
+        for f in &h.facets {
+            // All points on or below each facet plane.
+            for p in &pts {
+                assert!(dot(&f.normal, p) <= f.offset + 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn square_2d() {
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+            vec![0.0, 1.0],
+            vec![0.5, 0.5],
+        ];
+        let h = quickhull(&flat(&pts), 2, GEOM_EPS).unwrap();
+        assert_eq!(h.vertices, vec![0, 1, 2, 3]);
+        assert_eq!(h.facets.len(), 4);
+    }
+
+    #[test]
+    fn degenerate_flat_points() {
+        // Collinear points in 2-d.
+        let pts = vec![vec![0.0, 0.0], vec![0.5, 0.5], vec![1.0, 1.0]];
+        assert!(matches!(
+            quickhull(&flat(&pts), 2, GEOM_EPS),
+            Err(HullError::Degenerate)
+        ));
+        // Coplanar points in 3-d.
+        let pts3 = vec![
+            vec![0.0, 0.0, 0.5],
+            vec![1.0, 0.0, 0.5],
+            vec![0.0, 1.0, 0.5],
+            vec![1.0, 1.0, 0.5],
+        ];
+        assert!(matches!(
+            quickhull(&flat(&pts3), 3, GEOM_EPS),
+            Err(HullError::Degenerate)
+        ));
+    }
+
+    #[test]
+    fn too_few_points() {
+        let pts = vec![vec![0.0, 0.0, 0.0], vec![1.0, 1.0, 1.0]];
+        assert!(matches!(
+            quickhull(&flat(&pts), 3, GEOM_EPS),
+            Err(HullError::Degenerate)
+        ));
+    }
+
+    #[test]
+    fn random_points_all_inside_hull() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for dims in 2..=5 {
+            let n = 120;
+            let pts: Vec<f64> = (0..n * dims).map(|_| rng.gen::<f64>()).collect();
+            let h = quickhull(&pts, dims, GEOM_EPS).unwrap();
+            assert!(!h.facets.is_empty());
+            for i in 0..n {
+                let p = &pts[i * dims..(i + 1) * dims];
+                for f in &h.facets {
+                    assert!(
+                        dot(&f.normal, p) <= f.offset + 1e-6,
+                        "point {i} above a facet in dims {dims}"
+                    );
+                }
+            }
+            // Every facet has exactly d vertices and all are hull vertices.
+            for f in &h.facets {
+                assert_eq!(f.vertices.len(), dims);
+                for v in &f.vertices {
+                    assert!(h.vertices.contains(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hull_vertices_are_extreme() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let dims = 3;
+        let n = 60;
+        let pts: Vec<f64> = (0..n * dims).map(|_| rng.gen::<f64>()).collect();
+        let h = quickhull(&pts, dims, GEOM_EPS).unwrap();
+        // A vertex must be strictly outside the hull of the others: verify
+        // via the facet planes it lies on (it is the unique max in the
+        // outward normal direction among... cheaper check: for each vertex,
+        // some facet contains it, and no other point is above that plane).
+        for &v in &h.vertices {
+            assert!(h.facets.iter().any(|f| f.vertices.contains(&v)));
+        }
+    }
+}

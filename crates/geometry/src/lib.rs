@@ -1,0 +1,32 @@
+//! Computational geometry substrate for the dual-resolution layer index.
+//!
+//! The paper's fine-level layers are *convex skylines* (Definition 4) whose
+//! *facets* serve as ∃-dominance sets (Definition 5). This crate provides
+//! everything needed to build them, implemented from scratch:
+//!
+//! * [`lp`] — a small dense two-phase simplex solver used for ∃-dominance
+//!   feasibility tests and for definitional convex-skyline membership on
+//!   small or degenerate point sets;
+//! * [`hull2d`] — the exact 2-d lower-left convex chain (monotone chain);
+//! * [`hulldd`] — a general d-dimensional QuickHull with facet adjacency;
+//! * [`csky`] — convex-skyline extraction (vertices + origin-facing facets)
+//!   with robust fallbacks, and iterated convex-layer peeling;
+//! * [`eds`] — the ∃-dominance-set test: does the convex hull of a facet's
+//!   tuples contain a virtual point dominating a target tuple?
+
+pub mod csky;
+pub mod eds;
+pub mod hull2d;
+pub mod hulldd;
+pub mod lp;
+
+pub use csky::{convex_layers, convex_skyline, hull_vertices, ConvexSkyline};
+pub use eds::facet_is_eds;
+pub use hull2d::lower_left_chain;
+pub use hulldd::{Facet, Hull, HullError};
+pub use lp::{LpOutcome, Simplex};
+
+/// Absolute tolerance for geometric predicates on normalized `[0,1]^d`
+/// coordinates. Data points are at unit scale, so a fixed absolute epsilon
+/// is appropriate.
+pub const GEOM_EPS: f64 = 1e-9;

@@ -1,0 +1,398 @@
+//! A small dense two-phase simplex solver.
+//!
+//! The workspace needs linear programming in two places, both tiny:
+//!
+//! * the ∃-dominance-set feasibility test (≤ d+1 constraints, ≤ d
+//!   variables) run many times during index construction;
+//! * definitional convex-skyline membership tests used as a fallback for
+//!   degenerate point sets and as a test oracle.
+//!
+//! Problems are stated as `maximize c·x` subject to `A x (≤ | = | ≥) b`
+//! with `x ≥ 0`. The solver uses the standard two-phase method with
+//! Bland's anti-cycling rule; with at most a few dozen variables, the dense
+//! tableau is the fastest and simplest representation.
+
+/// Relation of one linear constraint row to its right-hand side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    Le,
+    Eq,
+    Ge,
+}
+
+/// Result of solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpOutcome {
+    /// An optimal solution was found.
+    Optimal { x: Vec<f64>, value: f64 },
+    /// No feasible point exists.
+    Infeasible,
+    /// The objective is unbounded above on the feasible region.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// The optimal objective value, if any.
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            LpOutcome::Optimal { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+}
+
+const EPS: f64 = 1e-9;
+
+/// A linear program under construction.
+#[derive(Debug, Clone)]
+pub struct Simplex {
+    n: usize,
+    objective: Vec<f64>,
+    rows: Vec<Vec<f64>>,
+    cmps: Vec<Cmp>,
+    rhs: Vec<f64>,
+}
+
+impl Simplex {
+    /// Starts a problem with `n` non-negative variables maximizing
+    /// `objective · x`.
+    pub fn maximize(objective: Vec<f64>) -> Self {
+        let n = objective.len();
+        Simplex {
+            n,
+            objective,
+            rows: Vec::new(),
+            cmps: Vec::new(),
+            rhs: Vec::new(),
+        }
+    }
+
+    /// Adds the constraint `coeffs · x (cmp) rhs`.
+    ///
+    /// # Panics
+    /// Panics if `coeffs.len()` differs from the variable count.
+    pub fn constraint(&mut self, coeffs: &[f64], cmp: Cmp, rhs: f64) -> &mut Self {
+        assert_eq!(coeffs.len(), self.n, "constraint arity mismatch");
+        self.rows.push(coeffs.to_vec());
+        self.cmps.push(cmp);
+        self.rhs.push(rhs);
+        self
+    }
+
+    /// Solves the program.
+    pub fn solve(&self) -> LpOutcome {
+        Tableau::new(self).solve()
+    }
+}
+
+/// Dense simplex tableau with explicit basis bookkeeping.
+struct Tableau {
+    /// `m x (width+1)` matrix; last column is the RHS.
+    a: Vec<Vec<f64>>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    /// Total structural + slack variables (artificials live past this).
+    width: usize,
+    /// Original variable count.
+    n: usize,
+    /// Artificial variable columns (phase 1 only).
+    artificial: Vec<usize>,
+    /// Original objective padded to `width`.
+    obj: Vec<f64>,
+}
+
+impl Tableau {
+    fn new(p: &Simplex) -> Self {
+        let m = p.rows.len();
+        // Normalize rows to b >= 0, count slack/artificial needs.
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(m);
+        let mut cmps = Vec::with_capacity(m);
+        let mut rhs = Vec::with_capacity(m);
+        for i in 0..m {
+            let (mut row, mut cmp, mut b) = (p.rows[i].clone(), p.cmps[i], p.rhs[i]);
+            if b < 0.0 {
+                for v in &mut row {
+                    *v = -*v;
+                }
+                b = -b;
+                cmp = match cmp {
+                    Cmp::Le => Cmp::Ge,
+                    Cmp::Ge => Cmp::Le,
+                    Cmp::Eq => Cmp::Eq,
+                };
+            }
+            rows.push(row);
+            cmps.push(cmp);
+            rhs.push(b);
+        }
+        let n_slack = cmps.iter().filter(|c| !matches!(c, Cmp::Eq)).count();
+        let width = p.n + n_slack;
+        let n_art = cmps.iter().filter(|c| !matches!(c, Cmp::Le)).count();
+        let total = width + n_art;
+
+        let mut a = vec![vec![0.0; total + 1]; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut artificial = Vec::with_capacity(n_art);
+        let mut slack_col = p.n;
+        let mut art_col = width;
+        for i in 0..m {
+            a[i][..p.n].copy_from_slice(&rows[i]);
+            a[i][total] = rhs[i];
+            match cmps[i] {
+                Cmp::Le => {
+                    a[i][slack_col] = 1.0;
+                    basis[i] = slack_col;
+                    slack_col += 1;
+                }
+                Cmp::Ge => {
+                    a[i][slack_col] = -1.0;
+                    slack_col += 1;
+                    a[i][art_col] = 1.0;
+                    basis[i] = art_col;
+                    artificial.push(art_col);
+                    art_col += 1;
+                }
+                Cmp::Eq => {
+                    a[i][art_col] = 1.0;
+                    basis[i] = art_col;
+                    artificial.push(art_col);
+                    art_col += 1;
+                }
+            }
+        }
+        let mut obj = p.objective.clone();
+        obj.resize(width, 0.0);
+        Tableau {
+            a,
+            basis,
+            width,
+            n: p.n,
+            artificial,
+            obj,
+        }
+    }
+
+    fn solve(mut self) -> LpOutcome {
+        let total = self.width + self.artificial.len();
+        if !self.artificial.is_empty() {
+            // Phase 1: minimize the sum of artificials, i.e. maximize the
+            // negated sum. Reduced costs are computed per pivot scan, so we
+            // only need the objective vector.
+            let mut phase1 = vec![0.0; total];
+            for &c in &self.artificial {
+                phase1[c] = -1.0;
+            }
+            match self.optimize(&phase1, total) {
+                Some(()) => {}
+                None => return LpOutcome::Unbounded, // cannot happen: bounded below by 0
+            }
+            let v = self.objective_value(&phase1);
+            if v < -1e-7 {
+                return LpOutcome::Infeasible;
+            }
+            // Pivot any artificial still in the basis out (degenerate rows),
+            // or drop its row if it is all-zero over structural columns.
+            for i in 0..self.a.len() {
+                if self.basis[i] >= self.width {
+                    let piv = (0..self.width).find(|&j| self.a[i][j].abs() > EPS);
+                    if let Some(j) = piv {
+                        self.pivot(i, j, total);
+                    }
+                    // If no structural pivot exists the row is redundant;
+                    // its artificial stays basic at value 0, which is
+                    // harmless for phase 2 because artificial columns are
+                    // excluded from entering.
+                }
+            }
+        }
+        // Phase 2 over structural columns only.
+        let mut obj = self.obj.clone();
+        obj.resize(total, 0.0);
+        match self.optimize(&obj, self.width) {
+            Some(()) => {
+                let mut x = vec![0.0; self.n];
+                for (i, &b) in self.basis.iter().enumerate() {
+                    if b < self.n {
+                        x[b] = self.a[i][total];
+                    }
+                }
+                let value = self.objective_value(&obj);
+                LpOutcome::Optimal { x, value }
+            }
+            None => LpOutcome::Unbounded,
+        }
+    }
+
+    fn objective_value(&self, obj: &[f64]) -> f64 {
+        let total = self.a.first().map_or(0, |r| r.len() - 1);
+        self.basis
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| obj.get(b).copied().unwrap_or(0.0) * self.a[i][total])
+            .sum()
+    }
+
+    /// Runs primal simplex with Bland's rule; entering columns are limited
+    /// to `[0, col_limit)`. Returns `None` on unboundedness.
+    fn optimize(&mut self, obj: &[f64], col_limit: usize) -> Option<()> {
+        let total = self.a.first().map_or(0, |r| r.len() - 1);
+        loop {
+            // Reduced costs: rc_j = obj_j - obj_B · B^{-1} A_j. The tableau
+            // is kept in canonical form, so rc_j = obj_j - Σ_i obj[basis_i]·a[i][j].
+            let mut entering = None;
+            for j in 0..col_limit {
+                if self.basis.contains(&j) {
+                    continue;
+                }
+                let mut rc = obj.get(j).copied().unwrap_or(0.0);
+                for (i, &b) in self.basis.iter().enumerate() {
+                    let cb = obj.get(b).copied().unwrap_or(0.0);
+                    if cb != 0.0 {
+                        rc -= cb * self.a[i][j];
+                    }
+                }
+                if rc > EPS {
+                    entering = Some(j); // Bland: first improving column
+                    break;
+                }
+            }
+            let Some(j) = entering else { return Some(()) };
+            // Ratio test with Bland tie-break on the basic variable index.
+            let mut leave: Option<(usize, f64)> = None;
+            for i in 0..self.a.len() {
+                let aij = self.a[i][j];
+                if aij > EPS {
+                    let ratio = self.a[i][total] / aij;
+                    match leave {
+                        None => leave = Some((i, ratio)),
+                        Some((li, lr)) => {
+                            if ratio < lr - EPS
+                                || (ratio < lr + EPS && self.basis[i] < self.basis[li])
+                            {
+                                leave = Some((i, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let (i, _) = leave?;
+            self.pivot(i, j, total);
+        }
+    }
+
+    fn pivot(&mut self, row: usize, col: usize, total: usize) {
+        let p = self.a[row][col];
+        debug_assert!(p.abs() > EPS, "pivot on near-zero element");
+        for v in &mut self.a[row] {
+            *v /= p;
+        }
+        for i in 0..self.a.len() {
+            if i != row {
+                let f = self.a[i][col];
+                if f != 0.0 {
+                    for j in 0..=total {
+                        self.a[i][j] -= f * self.a[row][j];
+                    }
+                }
+            }
+        }
+        self.basis[row] = col;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve_opt(s: &Simplex) -> (Vec<f64>, f64) {
+        match s.solve() {
+            LpOutcome::Optimal { x, value } => (x, value),
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn basic_le() {
+        // max x + y st x <= 2, y <= 3, x + y <= 4 -> (1,3) or (2,2), value 4.
+        let mut s = Simplex::maximize(vec![1.0, 1.0]);
+        s.constraint(&[1.0, 0.0], Cmp::Le, 2.0)
+            .constraint(&[0.0, 1.0], Cmp::Le, 3.0)
+            .constraint(&[1.0, 1.0], Cmp::Le, 4.0);
+        let (_, v) = solve_opt(&s);
+        assert!((v - 4.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn with_equality() {
+        // max 2x + 3y st x + y = 1 -> (0,1), value 3.
+        let mut s = Simplex::maximize(vec![2.0, 3.0]);
+        s.constraint(&[1.0, 1.0], Cmp::Eq, 1.0);
+        let (x, v) = solve_opt(&s);
+        assert!((v - 3.0).abs() < 1e-8);
+        assert!((x[0]).abs() < 1e-8 && (x[1] - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn with_ge() {
+        // max -x st x >= 2 -> value -2.
+        let mut s = Simplex::maximize(vec![-1.0]);
+        s.constraint(&[1.0], Cmp::Ge, 2.0);
+        let (x, v) = solve_opt(&s);
+        assert!((v + 2.0).abs() < 1e-8);
+        assert!((x[0] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn infeasible() {
+        let mut s = Simplex::maximize(vec![1.0]);
+        s.constraint(&[1.0], Cmp::Le, 1.0)
+            .constraint(&[1.0], Cmp::Ge, 2.0);
+        assert_eq!(s.solve(), LpOutcome::Infeasible);
+    }
+
+    #[test]
+    fn unbounded() {
+        let mut s = Simplex::maximize(vec![1.0, 0.0]);
+        s.constraint(&[0.0, 1.0], Cmp::Le, 1.0);
+        assert!(matches!(s.solve(), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_normalization() {
+        // max x st -x <= -2, x <= 5 -> x in [2,5], value 5.
+        let mut s = Simplex::maximize(vec![1.0]);
+        s.constraint(&[-1.0], Cmp::Le, -2.0)
+            .constraint(&[1.0], Cmp::Le, 5.0);
+        let (x, v) = solve_opt(&s);
+        assert!((v - 5.0).abs() < 1e-8);
+        assert!((x[0] - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_equalities() {
+        // Redundant constraints must not break phase 1.
+        let mut s = Simplex::maximize(vec![1.0, 1.0]);
+        s.constraint(&[1.0, 1.0], Cmp::Eq, 1.0)
+            .constraint(&[2.0, 2.0], Cmp::Eq, 2.0)
+            .constraint(&[1.0, 0.0], Cmp::Le, 0.7);
+        let (_, v) = solve_opt(&s);
+        assert!((v - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn convex_combination_feasibility() {
+        // Is there a convex combination of (0.2, 0.8) and (0.8, 0.2)
+        // dominating (0.6, 0.6)? lambda=(0.5,0.5) gives (0.5,0.5) <= (0.6,0.6).
+        let mut s = Simplex::maximize(vec![0.0, 0.0]);
+        s.constraint(&[1.0, 1.0], Cmp::Eq, 1.0)
+            .constraint(&[0.2, 0.8], Cmp::Le, 0.6)
+            .constraint(&[0.8, 0.2], Cmp::Le, 0.6);
+        assert!(matches!(s.solve(), LpOutcome::Optimal { .. }));
+        // ...but nothing on that segment dominates (0.3, 0.3).
+        let mut s2 = Simplex::maximize(vec![0.0, 0.0]);
+        s2.constraint(&[1.0, 1.0], Cmp::Eq, 1.0)
+            .constraint(&[0.2, 0.8], Cmp::Le, 0.3)
+            .constraint(&[0.8, 0.2], Cmp::Le, 0.3);
+        assert_eq!(s2.solve(), LpOutcome::Infeasible);
+    }
+}

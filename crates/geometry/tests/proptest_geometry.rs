@@ -1,0 +1,174 @@
+//! Property-based tests for the geometry substrate: QuickHull containment
+//! and facet sanity, LP optimality/feasibility, convex-skyline membership
+//! against the definitional LP oracle, and the 2-d chain against it too.
+
+use drtopk_common::{Relation, TupleId};
+use drtopk_geometry::csky::{convex_skyline, hull_vertices};
+use drtopk_geometry::hull2d::lower_left_chain;
+use drtopk_geometry::hulldd::quickhull;
+use drtopk_geometry::lp::{Cmp, LpOutcome, Simplex};
+use drtopk_geometry::GEOM_EPS;
+use proptest::prelude::*;
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn arb_points(dmin: usize, dmax: usize) -> impl Strategy<Value = (usize, Vec<f64>)> {
+    (dmin..=dmax, 10usize..=120).prop_flat_map(|(d, n)| {
+        proptest::collection::vec(0.0f64..1.0, d * n).prop_map(move |pts| (d, pts))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn quickhull_contains_all_points((d, pts) in arb_points(2, 5)) {
+        match quickhull(&pts, d, GEOM_EPS) {
+            Ok(hull) => {
+                let n = pts.len() / d;
+                prop_assert!(!hull.facets.is_empty());
+                for f in &hull.facets {
+                    prop_assert_eq!(f.vertices.len(), d);
+                    let norm = dot(&f.normal, &f.normal).sqrt();
+                    prop_assert!((norm - 1.0).abs() < 1e-9, "unit normal");
+                    for i in 0..n {
+                        let p = &pts[i * d..(i + 1) * d];
+                        prop_assert!(
+                            dot(&f.normal, p) <= f.offset + 1e-6,
+                            "point {} above a facet", i
+                        );
+                    }
+                    // Facet vertices lie on the plane.
+                    for &v in &f.vertices {
+                        let p = &pts[v as usize * d..(v as usize + 1) * d];
+                        prop_assert!((dot(&f.normal, p) - f.offset).abs() < 1e-6);
+                    }
+                }
+                // Vertices are a subset of the input ids.
+                for &v in &hull.vertices {
+                    prop_assert!((v as usize) < n);
+                }
+            }
+            Err(_) => {
+                // Degenerate input (possible for tiny n); nothing to check.
+            }
+        }
+    }
+
+    #[test]
+    fn lp_reports_feasible_optimum(
+        n_vars in 1usize..=4,
+        rows in proptest::collection::vec(
+            (proptest::collection::vec(-3.0f64..3.0, 4), 0.5f64..5.0),
+            1..=5
+        ),
+        obj in proptest::collection::vec(-2.0f64..2.0, 4),
+    ) {
+        // Constraints of the form a·x <= b with b > 0: x = 0 is feasible,
+        // so the LP is never infeasible; it may be unbounded.
+        let mut s = Simplex::maximize(obj[..n_vars].to_vec());
+        for (a, b) in &rows {
+            s.constraint(&a[..n_vars], Cmp::Le, *b);
+        }
+        match s.solve() {
+            LpOutcome::Optimal { x, value } => {
+                prop_assert_eq!(x.len(), n_vars);
+                for xi in &x {
+                    prop_assert!(*xi >= -1e-9, "x must be nonnegative");
+                }
+                for (a, b) in &rows {
+                    prop_assert!(dot(&a[..n_vars], &x) <= b + 1e-7, "constraint violated");
+                }
+                // Optimum at least as good as the origin (objective 0).
+                prop_assert!(value >= -1e-9);
+            }
+            LpOutcome::Unbounded => {
+                // Fine: some direction improves forever. Sanity: at least
+                // one objective coefficient is positive.
+                prop_assert!(obj[..n_vars].iter().any(|&c| c > 0.0));
+            }
+            LpOutcome::Infeasible => prop_assert!(false, "x=0 is feasible"),
+        }
+    }
+
+    #[test]
+    fn chain_is_exactly_the_lower_left_hull((_, pts) in arb_points(2, 2)) {
+        let n = pts.len() / 2;
+        let points: Vec<(f64, f64)> = (0..n).map(|i| (pts[i * 2], pts[i * 2 + 1])).collect();
+        let chain = lower_left_chain(&points);
+        prop_assert!(!chain.is_empty());
+        // (1) Strictly monotone: x increasing, y decreasing along the chain.
+        for w in chain.windows(2) {
+            prop_assert!(points[w[0]].0 < points[w[1]].0);
+            prop_assert!(points[w[0]].1 > points[w[1]].1);
+        }
+        // (2) Strictly convex turns.
+        for w in chain.windows(3) {
+            let (a, b, c) = (points[w[0]], points[w[1]], points[w[2]]);
+            let cross = (b.0 - a.0) * (c.1 - a.1) - (b.1 - a.1) * (c.0 - a.0);
+            prop_assert!(cross > 0.0, "chain must make strict left turns");
+        }
+        // (3) Endpoints: the chain starts at the min-x frontier and ends at
+        // the min-y frontier.
+        let min_x = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+        let min_y = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        prop_assert!((points[chain[0]].0 - min_x).abs() < 1e-12);
+        prop_assert!((points[*chain.last().unwrap()].1 - min_y).abs() < 1e-12);
+        // (4) Completeness: no point lies strictly below the chain.
+        for (qi, &q) in points.iter().enumerate() {
+            if chain.contains(&qi) {
+                continue;
+            }
+            for w in chain.windows(2) {
+                let (a, b) = (points[w[0]], points[w[1]]);
+                if q.0 >= a.0 && q.0 <= b.0 {
+                    // Signed area: q strictly right of a→b means below the
+                    // lower hull — impossible (tolerate the eps the chain
+                    // builder itself uses for collinearity).
+                    let cross = (b.0 - a.0) * (q.1 - a.1) - (b.1 - a.1) * (q.0 - a.0);
+                    prop_assert!(
+                        cross >= -1e-9,
+                        "point {} lies strictly below chain segment", qi
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn convex_skyline_always_contains_a_minimizer((d, pts) in arb_points(3, 4)) {
+        // The extraction may be a strict subset of the exact convex
+        // skyline, but it must always contain a minimizer of the uniform
+        // weight (the progress guarantee DL's peeling relies on).
+        let rel = Relation::from_flat_unchecked(d, pts.clone());
+        let n = rel.len();
+        let all: Vec<TupleId> = (0..n as TupleId).collect();
+        let cs = convex_skyline(&rel, &all);
+        prop_assert!(!cs.members.is_empty());
+        let sum = |t: TupleId| -> f64 { rel.tuple(t).iter().sum() };
+        let best = (0..n as TupleId).map(sum).fold(f64::INFINITY, f64::min);
+        prop_assert!(
+            cs.members.iter().any(|&p| (sum(all[p as usize]) - best).abs() < 1e-12),
+            "uniform-weight minimizer missing from the convex skyline"
+        );
+    }
+
+    #[test]
+    fn hull_vertex_layer_is_superset_of_convex_skyline((d, pts) in arb_points(3, 4)) {
+        let rel = Relation::from_flat_unchecked(d, pts.clone());
+        let all: Vec<TupleId> = (0..rel.len() as TupleId).collect();
+        if let Some(fat) = hull_vertices(&rel, &all) {
+            let cs = convex_skyline(&rel, &all);
+            for m in &cs.members {
+                // Fast extraction adds the uniform minimizer explicitly,
+                // which is also always a hull vertex.
+                prop_assert!(
+                    fat.contains(m),
+                    "convex-skyline member {} missing from the fat hull layer", m
+                );
+            }
+        }
+    }
+}

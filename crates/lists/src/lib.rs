@@ -1,0 +1,14 @@
+//! Sorted-list substrate and the Threshold Algorithm (TA).
+//!
+//! The hybrid-layer index (HL/HL+) stores each convex layer as `d`
+//! attribute-sorted lists and answers queries with TA-style sorted access
+//! (Fagin, Lotem & Naor). This crate provides the sorted-list structure,
+//! a resumable TA cursor, and a whole-relation TA top-k baseline.
+
+pub mod nra;
+pub mod sorted;
+pub mod ta;
+
+pub use nra::nra_topk;
+pub use sorted::SortedLists;
+pub use ta::{ta_topk, TaCursor};

@@ -1,0 +1,87 @@
+//! Per-attribute sorted lists over a set of tuples.
+
+use drtopk_common::{Relation, TupleId};
+
+/// `d` sorted lists over a tuple subset: list `i` holds `(value, id)` pairs
+/// ascending by attribute `i` (ties by id). This is the storage layout of
+/// one hybrid-layer index layer.
+#[derive(Debug, Clone)]
+pub struct SortedLists {
+    dims: usize,
+    lists: Vec<Vec<(f64, TupleId)>>,
+}
+
+impl SortedLists {
+    /// Builds the lists for the tuples `ids` of `rel`.
+    pub fn build(rel: &Relation, ids: &[TupleId]) -> Self {
+        let dims = rel.dims();
+        let mut lists = Vec::with_capacity(dims);
+        for i in 0..dims {
+            let mut l: Vec<(f64, TupleId)> = ids.iter().map(|&id| (rel.tuple(id)[i], id)).collect();
+            l.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+            lists.push(l);
+        }
+        SortedLists { dims, lists }
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of tuples per list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.lists.first().map_or(0, |l| l.len())
+    }
+
+    /// Whether the lists are empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `(value, id)` at `depth` in list `attr`, if in range.
+    #[inline]
+    pub fn entry(&self, attr: usize, depth: usize) -> Option<(f64, TupleId)> {
+        self.lists[attr].get(depth).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtopk_common::{Distribution, WorkloadSpec};
+
+    #[test]
+    fn lists_are_sorted_and_complete() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 3, 100, 4).generate();
+        let ids: Vec<TupleId> = (0..100).collect();
+        let s = SortedLists::build(&rel, &ids);
+        assert_eq!(s.dims(), 3);
+        assert_eq!(s.len(), 100);
+        for a in 0..3 {
+            let mut prev = f64::NEG_INFINITY;
+            let mut seen = Vec::new();
+            for depth in 0..100 {
+                let (v, id) = s.entry(a, depth).unwrap();
+                assert!(v >= prev);
+                assert_eq!(v, rel.tuple(id)[a]);
+                prev = v;
+                seen.push(id);
+            }
+            seen.sort_unstable();
+            assert_eq!(seen, ids);
+            assert!(s.entry(a, 100).is_none());
+        }
+    }
+
+    #[test]
+    fn subset_lists() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 2, 50, 8).generate();
+        let ids: Vec<TupleId> = vec![3, 9, 41];
+        let s = SortedLists::build(&rel, &ids);
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,99 @@
+//! Skyline-layer peeling (the coarse level of the dual-resolution index).
+
+use crate::algorithms::SkylineAlgo;
+use drtopk_common::{Relation, TupleId};
+
+/// Peels `ids` into consecutive skyline layers: layer 1 is the skyline of
+/// the subset, layer i the skyline of the remainder (Section II).
+/// Together the layers partition the input.
+pub fn skyline_layers(rel: &Relation, ids: &[TupleId], algo: SkylineAlgo) -> Vec<Vec<TupleId>> {
+    let mut remaining: Vec<TupleId> = ids.to_vec();
+    let mut layers = Vec::new();
+    while !remaining.is_empty() {
+        let layer = algo.run(rel, &remaining);
+        debug_assert!(!layer.is_empty());
+        // `layer` and `remaining` are both sorted after the first pass; use
+        // a merge-style subtraction to keep peeling near-linear per layer.
+        let mut next = Vec::with_capacity(remaining.len() - layer.len());
+        let mut sorted_remaining = remaining;
+        sorted_remaining.sort_unstable();
+        let mut li = 0;
+        for &id in &sorted_remaining {
+            if li < layer.len() && layer[li] == id {
+                li += 1;
+            } else {
+                next.push(id);
+            }
+        }
+        debug_assert_eq!(li, layer.len());
+        remaining = next;
+        layers.push(layer);
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drtopk_common::dominance::dominates;
+    use drtopk_common::relation::{toy_dataset, toy_id};
+    use drtopk_common::{Distribution, WorkloadSpec};
+
+    fn sorted_ids(labels: &[char]) -> Vec<TupleId> {
+        let mut v: Vec<TupleId> = labels.iter().map(|&c| toy_id(c)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn toy_layers_match_fig_2a() {
+        let r = toy_dataset();
+        let all: Vec<TupleId> = (0..r.len() as TupleId).collect();
+        let layers = skyline_layers(&r, &all, SkylineAlgo::BSkyTree);
+        assert_eq!(layers.len(), 3);
+        assert_eq!(layers[0], sorted_ids(&['a', 'b', 'c', 'f', 'g']));
+        assert_eq!(layers[1], sorted_ids(&['d', 'e', 'i', 'j']));
+        assert_eq!(layers[2], sorted_ids(&['h', 'k']));
+    }
+
+    #[test]
+    fn layers_partition_and_respect_dominance() {
+        for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+            let rel = WorkloadSpec::new(dist, 3, 500, 23).generate();
+            let all: Vec<TupleId> = (0..rel.len() as TupleId).collect();
+            let layers = skyline_layers(&rel, &all, SkylineAlgo::BSkyTree);
+            let mut flat: Vec<TupleId> = layers.iter().flatten().copied().collect();
+            flat.sort_unstable();
+            assert_eq!(flat, all, "partition property");
+            // No dominance within a layer.
+            for layer in &layers {
+                for &a in layer {
+                    for &b in layer {
+                        assert!(!dominates(rel.tuple(a), rel.tuple(b)));
+                    }
+                }
+            }
+            // Every tuple in layer i+1 is dominated by >= 1 tuple of layer i.
+            for pair in layers.windows(2) {
+                for &t in &pair[1] {
+                    assert!(
+                        pair[0]
+                            .iter()
+                            .any(|&s| dominates(rel.tuple(s), rel.tuple(t))),
+                        "layer-(i+1) member lacks a layer-i dominator"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_algorithms_produce_identical_layers() {
+        let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 4, 300, 3).generate();
+        let all: Vec<TupleId> = (0..rel.len() as TupleId).collect();
+        let reference = skyline_layers(&rel, &all, SkylineAlgo::Naive);
+        for algo in [SkylineAlgo::Bnl, SkylineAlgo::Sfs, SkylineAlgo::BSkyTree] {
+            assert_eq!(skyline_layers(&rel, &all, algo), reference, "{algo:?}");
+        }
+    }
+}

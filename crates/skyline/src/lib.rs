@@ -1,0 +1,21 @@
+//! Skyline computation substrate.
+//!
+//! The dual-resolution index's *coarse* layers are iterated skylines
+//! (Definition 3, skyline peeling). The paper computes skylines with
+//! BSkyTree [Lee & Hwang, EDBT 2010]; we implement that family from
+//! scratch along with the classic baselines used to cross-validate it:
+//!
+//! * [`algorithms::naive`] — O(n²) pairwise filtering (test oracle);
+//! * [`algorithms::bnl`] — block-nested-loops with a self-cleaning window;
+//! * [`algorithms::sfs`] — sort-filter-skyline (presort by attribute sum);
+//! * [`algorithms::bskytree`] — recursive balanced-pivot lattice
+//!   partitioning in the style of BSkyTree.
+//!
+//! All algorithms return the identical, unique skyline set (sorted by
+//! tuple id); [`layers::skyline_layers`] peels any of them into layers.
+
+pub mod algorithms;
+pub mod layers;
+
+pub use algorithms::{bnl, bskytree, naive, sfs, SkylineAlgo};
+pub use layers::skyline_layers;

@@ -1,0 +1,188 @@
+//! LRU buffer-pool simulation over a block layout.
+//!
+//! Complements [`crate::blocks`]: where `blocks_touched` prices a single
+//! query in cold reads, a [`BufferPool`] models a query *stream* sharing a
+//! fixed-size page cache — the regime an actual disk-resident deployment
+//! runs in. Layer-clustered placement concentrates the hot working set
+//! (first layers) into few pages, so it both reduces cold misses and makes
+//! the cache dramatically more effective across queries.
+
+use crate::blocks::BlockLayout;
+use drtopk_common::TupleId;
+use std::collections::HashMap;
+
+/// Aggregate I/O statistics of a simulated workload.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Block requests that were served from the pool.
+    pub hits: u64,
+    /// Block requests that had to read from storage.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+}
+
+impl IoStats {
+    /// Fraction of requests served from memory.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A fixed-capacity LRU page cache over block ids.
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    capacity: usize,
+    /// block id -> last-use tick.
+    resident: HashMap<u32, u64>,
+    tick: u64,
+    stats: IoStats,
+}
+
+impl BufferPool {
+    /// Creates a pool holding up to `capacity` blocks.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer pool needs capacity");
+        BufferPool {
+            capacity,
+            resident: HashMap::new(),
+            tick: 0,
+            stats: IoStats::default(),
+        }
+    }
+
+    /// Requests one block; updates recency and stats.
+    pub fn touch(&mut self, block: u32) {
+        self.tick += 1;
+        if self.resident.contains_key(&block) {
+            self.stats.hits += 1;
+        } else {
+            self.stats.misses += 1;
+            if self.resident.len() == self.capacity {
+                // Evict the least-recently-used page (linear scan: the
+                // simulation favors clarity; capacities here are small).
+                let (&lru, _) = self
+                    .resident
+                    .iter()
+                    .min_by_key(|(_, &t)| t)
+                    .expect("pool is non-empty at capacity");
+                self.resident.remove(&lru);
+                self.stats.evictions += 1;
+            }
+        }
+        self.resident.insert(block, self.tick);
+    }
+
+    /// Plays one query's access set through the pool (within a query,
+    /// repeated tuples on one block count once — the engine pins the page).
+    pub fn run_query(&mut self, layout: &BlockLayout, accesses: &[TupleId]) {
+        let mut blocks: Vec<u32> = accesses.iter().map(|&t| layout.block_of(t)).collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        for b in blocks {
+            self.touch(b);
+        }
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Blocks currently resident.
+    pub fn resident_blocks(&self) -> usize {
+        self.resident.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blocks::{query_accesses, Placement};
+    use drtopk_common::{Distribution, Weights, WorkloadSpec};
+    use drtopk_core::{DlOptions, DualLayerIndex};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut pool = BufferPool::new(2);
+        pool.touch(1);
+        pool.touch(2);
+        pool.touch(1); // 1 is now more recent than 2
+        pool.touch(3); // evicts 2
+        pool.touch(1);
+        assert_eq!(pool.stats().hits, 2, "1 hit twice");
+        assert_eq!(pool.stats().misses, 3);
+        assert_eq!(pool.stats().evictions, 1);
+        pool.touch(2); // miss again (was evicted)
+        assert_eq!(pool.stats().misses, 4);
+    }
+
+    #[test]
+    fn hit_rate_bounds() {
+        let mut pool = BufferPool::new(4);
+        assert_eq!(pool.stats().hit_rate(), 0.0);
+        pool.touch(1);
+        pool.touch(1);
+        assert!((pool.stats().hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(pool.resident_blocks(), 1);
+    }
+
+    #[test]
+    fn clustered_layout_has_higher_hit_rate() {
+        let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 4, 3000, 5).generate();
+        let idx = DualLayerIndex::build(&rel, DlOptions::dl());
+        let clustered = BlockLayout::new(&idx, Placement::LayerClustered, 32);
+        let heap_file = BlockLayout::new(&idx, Placement::InsertionOrder, 32);
+        let mut pool_c = BufferPool::new(16);
+        let mut pool_h = BufferPool::new(16);
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..30 {
+            let w = Weights::random(4, &mut rng);
+            let acc = query_accesses(&idx, &w, 10);
+            pool_c.run_query(&clustered, &acc);
+            pool_h.run_query(&heap_file, &acc);
+        }
+        let (hc, hh) = (pool_c.stats().hit_rate(), pool_h.stats().hit_rate());
+        assert!(
+            hc > hh,
+            "layer clustering must cache better: {hc:.3} vs {hh:.3}"
+        );
+        assert!(
+            pool_c.stats().misses < pool_h.stats().misses,
+            "and cause fewer physical reads"
+        );
+    }
+
+    #[test]
+    fn bigger_pool_never_reads_more() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 3, 2000, 8).generate();
+        let idx = DualLayerIndex::build(&rel, DlOptions::dl_plus());
+        let layout = BlockLayout::new(&idx, Placement::LayerClustered, 16);
+        let mut rng = StdRng::seed_from_u64(4);
+        let queries: Vec<Vec<TupleId>> = (0..20)
+            .map(|_| query_accesses(&idx, &Weights::random(3, &mut rng), 10))
+            .collect();
+        let mut misses = Vec::new();
+        for cap in [2usize, 8, 32, 128] {
+            let mut pool = BufferPool::new(cap);
+            for q in &queries {
+                pool.run_query(&layout, q);
+            }
+            misses.push(pool.stats().misses);
+        }
+        assert!(
+            misses.windows(2).all(|w| w[1] <= w[0]),
+            "misses must be non-increasing in capacity: {misses:?}"
+        );
+    }
+}

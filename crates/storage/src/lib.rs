@@ -1,0 +1,18 @@
+//! Persistence and I/O-cost modeling for dual-resolution indexes.
+//!
+//! * [`mod@format`] — a versioned, checksummed binary file format for
+//!   relations and built indexes ([`drtopk_core::IndexSnapshot`]), so the
+//!   expensive construction (the paper's Table IV) runs once;
+//! * [`blocks`] — the paper's disk-based note made concrete: "tuples in
+//!   the same layer are stored in the same disk block to reduce I/O cost"
+//!   (Section VI-A). A [`blocks::BlockLayout`] maps tuples to fixed-size
+//!   blocks either layer-clustered or in insertion order, and counts the
+//!   distinct blocks a query's access set touches.
+
+pub mod blocks;
+pub mod bufferpool;
+pub mod format;
+
+pub use blocks::{BlockLayout, Placement};
+pub use bufferpool::{BufferPool, IoStats};
+pub use format::{load_index, load_relation, save_index, save_relation, FormatError};

@@ -1,0 +1,83 @@
+//! Compares every index in the workspace on one dataset: build time and
+//! per-query access cost (the paper's Definition 9 metric) side by side.
+//!
+//! Run with: `cargo run --release --example index_comparison [n] [d]`
+
+use drtopk::baselines::{dg_index, dg_plus_index, HlIndex, OnionIndex};
+use drtopk::common::{Cost, Distribution, Weights, WorkloadSpec};
+use drtopk::core::{DlOptions, DualLayerIndex};
+use drtopk::lists::ta_topk;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(5_000);
+    let d: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let queries = 40;
+    let k = 10;
+
+    for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+        let rel = WorkloadSpec::new(dist, d, n, 99).generate();
+        println!(
+            "\n=== {} — n={n}, d={d}, k={k}, {queries} random queries ===",
+            dist.code()
+        );
+
+        let mut weights = Vec::with_capacity(queries);
+        let mut rng = StdRng::seed_from_u64(1234);
+        for _ in 0..queries {
+            weights.push(Weights::random(d, &mut rng));
+        }
+
+        let report = |name: &str, build_s: f64, run: &mut dyn FnMut(&Weights) -> Cost| {
+            let mut total = 0u64;
+            for w in &weights {
+                total += run(w).total();
+            }
+            println!(
+                "  {:<8} build {:>8.3}s   mean cost {:>10.1} tuples ({:.3}% of n)",
+                name,
+                build_s,
+                total as f64 / queries as f64,
+                100.0 * total as f64 / (queries * n) as f64
+            );
+        };
+
+        let t = Instant::now();
+        let onion = OnionIndex::build(&rel, 64);
+        let b = t.elapsed().as_secs_f64();
+        report("Onion", b, &mut |w| onion.topk(w, k).1);
+
+        let t = Instant::now();
+        let hl = HlIndex::build(&rel, 64);
+        let b = t.elapsed().as_secs_f64();
+        report("HL", b, &mut |w| hl.topk_hl(w, k).1);
+        report("HL+", b, &mut |w| hl.topk_hl_plus(w, k).1);
+
+        let t = Instant::now();
+        let dg = dg_index(&rel);
+        let b = t.elapsed().as_secs_f64();
+        report("DG", b, &mut |w| dg.topk(w, k).cost);
+
+        let t = Instant::now();
+        let dgp = dg_plus_index(&rel);
+        let b = t.elapsed().as_secs_f64();
+        report("DG+", b, &mut |w| dgp.topk(w, k).cost);
+
+        let t = Instant::now();
+        let dl = DualLayerIndex::build(&rel, DlOptions::dl());
+        let b = t.elapsed().as_secs_f64();
+        report("DL", b, &mut |w| dl.topk(w, k).cost);
+
+        let t = Instant::now();
+        let dlp = DualLayerIndex::build(&rel, DlOptions::dl_plus());
+        let b = t.elapsed().as_secs_f64();
+        report("DL+", b, &mut |w| dlp.topk(w, k).cost);
+
+        // List-based reference without any index reuse (builds lists per
+        // query — shown for context, not a layer index).
+        report("TA", 0.0, &mut |w| ta_topk(&rel, w, k).1);
+    }
+}

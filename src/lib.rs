@@ -1,0 +1,33 @@
+//! # drtopk — Dual-Resolution Layer Indexing for Top-k Queries
+//!
+//! A from-scratch Rust implementation of the dual-resolution layer index of
+//! Lee, Cho & Hwang (*Efficient Dual-Resolution Layer Indexing for Top-k
+//! Queries*, ICDE 2012), together with every substrate and baseline the
+//! paper builds on: skyline algorithms (BNL, SFS, BSkyTree), d-dimensional
+//! convex hulls and convex skylines, the threshold algorithm over sorted
+//! lists, k-means clustering, and the Onion / DG / DG+ / HL / HL+ indexes.
+//!
+//! This facade crate re-exports the workspace's public API. Start with
+//! [`DualLayerIndex`](core::DualLayerIndex):
+//!
+//! ```
+//! use drtopk::common::{Distribution, Weights, WorkloadSpec};
+//! use drtopk::core::{DualLayerIndex, DlOptions};
+//!
+//! let data = WorkloadSpec::new(Distribution::Independent, 3, 500, 42).generate();
+//! let index = DualLayerIndex::build(&data, DlOptions::default());
+//! let w = Weights::new(vec![0.2, 0.3, 0.5]).unwrap();
+//! let result = index.topk(&w, 10);
+//! assert_eq!(result.ids.len(), 10);
+//! // The paper's cost metric: tuples actually scored during the query.
+//! assert!(result.cost.total() <= 500);
+//! ```
+
+pub use drtopk_baselines as baselines;
+pub use drtopk_cluster as cluster;
+pub use drtopk_common as common;
+pub use drtopk_core as core;
+pub use drtopk_geometry as geometry;
+pub use drtopk_lists as lists;
+pub use drtopk_skyline as skyline;
+pub use drtopk_storage as storage;

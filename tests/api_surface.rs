@@ -1,0 +1,102 @@
+//! Locks the public facade API: everything README advertises must work
+//! through `drtopk::` paths — persistence, dynamic updates, monotone and
+//! threshold queries, the list-based baselines, ingestion.
+
+use drtopk::common::{
+    relation_from_csv, topk_bruteforce, ColumnSpec, Direction, Distribution, Weights, WorkloadSpec,
+};
+use drtopk::core::{
+    DlOptions, DualLayerIndex, DynamicIndex, QueryScratch, WeightedPower, ZeroMode,
+};
+use drtopk::lists::{nra_topk, ta_topk};
+use drtopk::storage::{
+    blocks::{query_accesses, BlockLayout, Placement},
+    load_index, save_index,
+};
+
+#[test]
+fn end_to_end_service_lifecycle() {
+    let data = WorkloadSpec::new(Distribution::AntiCorrelated, 3, 800, 5).generate();
+    let index = DualLayerIndex::build(
+        &data,
+        DlOptions {
+            parallel: true,
+            ..DlOptions::default()
+        },
+    );
+    let w = Weights::new(vec![0.2, 0.5, 0.3]).unwrap();
+    let want = topk_bruteforce(&data, &w, 12);
+    assert_eq!(index.topk(&w, 12).ids, want);
+
+    // Persist / reload.
+    let dir = std::env::temp_dir().join("drtopk_api_surface");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("idx.drt");
+    save_index(&index, &path).unwrap();
+    let reloaded = load_index(&path).unwrap();
+    assert_eq!(reloaded.topk(&w, 12).ids, want);
+    assert_eq!(reloaded.topk(&w, 12).cost, index.topk(&w, 12).cost);
+
+    // Scratch reuse, monotone, threshold.
+    let mut scratch = QueryScratch::for_index(&reloaded);
+    assert_eq!(reloaded.topk_with_scratch(&w, 12, &mut scratch).ids, want);
+    let f = WeightedPower {
+        weights: vec![0.2, 0.5, 0.3],
+        power: 2.0,
+    };
+    let mono = reloaded.topk_monotone(&f, 5);
+    assert_eq!(mono.ids.len(), 5);
+    let bound = w.score(data.tuple(want[4]));
+    let range = reloaded.range_by_score(&w, bound);
+    assert_eq!(&range.ids[..5], &want[..5]);
+
+    // Block I/O accounting.
+    let acc = query_accesses(&reloaded, &w, 12);
+    let layout = BlockLayout::new(&reloaded, Placement::LayerClustered, 16);
+    assert!(layout.blocks_touched(&acc) >= 1);
+    assert!(layout.blocks_touched(&acc) <= acc.len());
+
+    // Dynamic updates.
+    let mut dynamic = DynamicIndex::new(&data, DlOptions::default(), 0.25);
+    let h = dynamic.insert(&[0.001, 0.001, 0.001]).unwrap();
+    assert_eq!(dynamic.topk(&w, 1).0, vec![h]);
+    assert!(dynamic.delete(h));
+}
+
+#[test]
+fn list_algorithms_through_facade() {
+    let data = WorkloadSpec::new(Distribution::Independent, 3, 400, 9).generate();
+    let w = Weights::uniform(3);
+    let want = topk_bruteforce(&data, &w, 8);
+    assert_eq!(ta_topk(&data, &w, 8).0, want);
+    assert_eq!(nra_topk(&data, &w, 8).0, want);
+}
+
+#[test]
+fn csv_to_index_pipeline() {
+    let csv = "a,b\n0.9,10\n0.5,20\n0.1,30\n";
+    let specs = [
+        ColumnSpec {
+            column: 0,
+            direction: Direction::LowerIsBetter,
+        },
+        ColumnSpec {
+            column: 1,
+            direction: Direction::HigherIsBetter,
+        },
+    ];
+    let (rel, norm) = relation_from_csv(csv.as_bytes(), &specs).unwrap();
+    assert_eq!(rel.len(), 3);
+    let idx = DualLayerIndex::build(
+        &rel,
+        DlOptions {
+            zero: ZeroMode::None,
+            ..DlOptions::default()
+        },
+    );
+    // Row 2 (0.1, 30) is best on both axes after normalization.
+    let res = idx.topk(&Weights::uniform(2), 1);
+    assert_eq!(res.ids, vec![2]);
+    let raw = norm.denormalize(rel.tuple(2)).unwrap();
+    assert!((raw[0] - 0.1).abs() < 1e-9 && (raw[1] - 30.0).abs() < 1e-6);
+}

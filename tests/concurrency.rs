@@ -1,0 +1,40 @@
+//! Concurrency: a built index is immutable and `Sync` — many threads may
+//! query it simultaneously with identical results.
+
+use drtopk::common::{topk_bruteforce, Distribution, Weights, WorkloadSpec};
+use drtopk::core::{DlOptions, DualLayerIndex, QueryScratch};
+use std::sync::Arc;
+
+#[test]
+fn concurrent_queries_are_consistent() {
+    let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 4, 2000, 3).generate();
+    let idx = Arc::new(DualLayerIndex::build(&rel, DlOptions::default()));
+    let rel = Arc::new(rel);
+    let mut handles = Vec::new();
+    for worker in 0..8u64 {
+        let idx = Arc::clone(&idx);
+        let rel = Arc::clone(&rel);
+        handles.push(std::thread::spawn(move || {
+            use rand::{rngs::StdRng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(worker);
+            let mut scratch = QueryScratch::for_index(&idx);
+            for _ in 0..50 {
+                let w = Weights::random(4, &mut rng);
+                let got = idx.topk_with_scratch(&w, 10, &mut scratch);
+                assert_eq!(got.ids, topk_bruteforce(&rel, &w, 10));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+}
+
+#[test]
+fn index_is_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DualLayerIndex>();
+    assert_send_sync::<drtopk::baselines::HlIndex>();
+    assert_send_sync::<drtopk::baselines::OnionIndex>();
+    assert_send_sync::<drtopk::baselines::AppRiIndex>();
+}

@@ -1,0 +1,176 @@
+//! Cross-crate differential tests: every query processor in the workspace
+//! must return exactly the brute-force top-k (scores ascending, ties by
+//! tuple id) on every distribution, dimensionality, and retrieval size.
+
+use drtopk::baselines::{dg_index, dg_plus_index, HlIndex, OnionIndex};
+use drtopk::common::{topk_bruteforce, Distribution, Weights, WorkloadSpec};
+use drtopk::core::{DlOptions, DualLayerIndex, EdsPolicy, ZeroMode};
+use drtopk::lists::ta_topk;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const N: usize = 400;
+
+fn distributions() -> [Distribution; 3] {
+    [
+        Distribution::Independent,
+        Distribution::AntiCorrelated,
+        Distribution::Correlated,
+    ]
+}
+
+#[test]
+fn dual_layer_variants_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(555);
+    for dist in distributions() {
+        for d in 2..=5 {
+            let rel = WorkloadSpec::new(dist, d, N, 808).generate();
+            let variants = [
+                ("DL", DlOptions::dl()),
+                ("DL+", DlOptions::dl_plus()),
+                ("DG", DlOptions::dg()),
+                ("DG+", DlOptions::dg_plus()),
+            ];
+            for (name, opts) in variants {
+                let idx = DualLayerIndex::build(&rel, opts);
+                for k in [1, 2, 10, 50, N] {
+                    let w = Weights::random(d, &mut rng);
+                    let got = idx.topk(&w, k);
+                    let want = topk_bruteforce(&rel, &w, k);
+                    assert_eq!(got.ids, want, "{name} {dist:?} d={d} k={k}");
+                    assert!(
+                        got.cost.evaluated <= N as u64,
+                        "{name}: cannot evaluate more tuples than exist"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn eds_policies_all_correct() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for policy in [
+        EdsPolicy::FirstFacet,
+        EdsPolicy::AllFacets,
+        EdsPolicy::BestUniform,
+    ] {
+        for d in [2, 4] {
+            let rel = WorkloadSpec::new(Distribution::AntiCorrelated, d, N, 31).generate();
+            let idx = DualLayerIndex::build(
+                &rel,
+                DlOptions {
+                    eds_policy: policy,
+                    ..DlOptions::dl()
+                },
+            );
+            for k in [1, 10, 40] {
+                let w = Weights::random(d, &mut rng);
+                assert_eq!(
+                    idx.topk(&w, k).ids,
+                    topk_bruteforce(&rel, &w, k),
+                    "{policy:?} d={d} k={k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_modes_all_correct() {
+    let mut rng = StdRng::seed_from_u64(17);
+    for zero in [
+        ZeroMode::None,
+        ZeroMode::Clustered { clusters: 0 },
+        ZeroMode::Clustered { clusters: 3 },
+        ZeroMode::Clustered { clusters: 64 },
+        ZeroMode::Exact2d,
+        ZeroMode::Auto,
+    ] {
+        for d in [2, 3] {
+            let rel = WorkloadSpec::new(Distribution::Independent, d, N, 5).generate();
+            let idx = DualLayerIndex::build(
+                &rel,
+                DlOptions {
+                    zero,
+                    ..DlOptions::default()
+                },
+            );
+            for k in [1, 10, 60] {
+                let w = Weights::random(d, &mut rng);
+                assert_eq!(
+                    idx.topk(&w, k).ids,
+                    topk_bruteforce(&rel, &w, k),
+                    "{zero:?} d={d} k={k}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fine_layer_cap_is_correct() {
+    let mut rng = StdRng::seed_from_u64(91);
+    let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 3, N, 13).generate();
+    for cap in [1, 2, 5] {
+        let idx = DualLayerIndex::build(
+            &rel,
+            DlOptions {
+                max_fine_layers: cap,
+                ..DlOptions::dl()
+            },
+        );
+        for k in [1, 20] {
+            let w = Weights::random(3, &mut rng);
+            assert_eq!(
+                idx.topk(&w, k).ids,
+                topk_bruteforce(&rel, &w, k),
+                "cap={cap} k={k}"
+            );
+        }
+    }
+}
+
+#[test]
+fn baselines_match_oracle() {
+    let mut rng = StdRng::seed_from_u64(4242);
+    for dist in distributions() {
+        for d in 2..=4 {
+            let rel = WorkloadSpec::new(dist, d, N, 2027).generate();
+            let onion = OnionIndex::build(&rel, 0);
+            let onion_capped = OnionIndex::build(&rel, 8);
+            let hl = HlIndex::build(&rel, 0);
+            let dg = dg_index(&rel);
+            let dgp = dg_plus_index(&rel);
+            for k in [1, 10, 50] {
+                let w = Weights::random(d, &mut rng);
+                let want = topk_bruteforce(&rel, &w, k);
+                assert_eq!(onion.topk(&w, k).0, want, "Onion {dist:?} d={d} k={k}");
+                assert_eq!(
+                    onion_capped.topk(&w, k).0,
+                    want,
+                    "Onion-capped {dist:?} d={d} k={k}"
+                );
+                assert_eq!(hl.topk_hl(&w, k).0, want, "HL {dist:?} d={d} k={k}");
+                assert_eq!(hl.topk_hl_plus(&w, k).0, want, "HL+ {dist:?} d={d} k={k}");
+                assert_eq!(dg.topk(&w, k).ids, want, "DG {dist:?} d={d} k={k}");
+                assert_eq!(dgp.topk(&w, k).ids, want, "DG+ {dist:?} d={d} k={k}");
+                assert_eq!(ta_topk(&rel, &w, k).0, want, "TA {dist:?} d={d} k={k}");
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_queries_are_deterministic() {
+    let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 4, N, 3).generate();
+    let idx = DualLayerIndex::build(&rel, DlOptions::default());
+    let w = Weights::new(vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+    let first = idx.topk(&w, 25);
+    for _ in 0..5 {
+        let again = idx.topk(&w, 25);
+        assert_eq!(again.ids, first.ids);
+        assert_eq!(again.cost, first.cost);
+    }
+}

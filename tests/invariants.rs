@@ -1,0 +1,134 @@
+//! Cross-crate invariant tests: the paper's theorems and the structural
+//! claims of Table II, checked on real index builds.
+
+use drtopk::baselines::{dg_index, dg_plus_index, HlIndex};
+use drtopk::common::{Distribution, Weights, WorkloadSpec};
+use drtopk::core::verify::{verify_edge_soundness, verify_edges, verify_structure};
+use drtopk::core::{DlOptions, DualLayerIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn all_structural_invariants_hold() {
+    let mut rng = StdRng::seed_from_u64(404);
+    for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+        for d in 2..=5 {
+            let rel = WorkloadSpec::new(dist, d, 300, 71).generate();
+            for opts in [
+                DlOptions::dl(),
+                DlOptions::dl_plus(),
+                DlOptions::dg(),
+                DlOptions::dg_plus(),
+            ] {
+                let idx = DualLayerIndex::build(&rel, opts);
+                verify_structure(&idx);
+                verify_edges(&idx);
+                for _ in 0..3 {
+                    verify_edge_soundness(&idx, &Weights::random(d, &mut rng));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn theorem_5_holds_per_query() {
+    // cost(DL) ≤ cost(DG) for every single query — the inclusion is
+    // deterministic, not just on average (DL's freeing condition is a
+    // strict strengthening of DG's and both pop exactly the top-k).
+    let mut rng = StdRng::seed_from_u64(6);
+    for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+        for d in 2..=4 {
+            let rel = WorkloadSpec::new(dist, d, 500, 15).generate();
+            let dl = DualLayerIndex::build(&rel, DlOptions::dl());
+            let dg = dg_index(&rel);
+            for k in [1, 10, 50] {
+                for _ in 0..10 {
+                    let w = Weights::random(d, &mut rng);
+                    let (c_dl, c_dg) = (dl.topk(&w, k).cost.total(), dg.topk(&w, k).cost.total());
+                    assert!(
+                        c_dl <= c_dg,
+                        "Theorem 5: DL={c_dl} DG={c_dg} ({dist:?} d={d} k={k})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn dl_plus_beats_dg_plus_per_query() {
+    // With the same clustering, DL+'s extra ∃-constraints and sub-layered
+    // zero layer can only remove evaluations relative to DG+.
+    let mut rng = StdRng::seed_from_u64(60);
+    for d in [3, 4] {
+        let rel = WorkloadSpec::new(Distribution::AntiCorrelated, d, 500, 44).generate();
+        let dlp = DualLayerIndex::build(&rel, DlOptions::dl_plus());
+        let dgp = dg_plus_index(&rel);
+        for k in [1, 10, 50] {
+            for _ in 0..5 {
+                let w = Weights::random(d, &mut rng);
+                let (a, b) = (dlp.topk(&w, k).cost.total(), dgp.topk(&w, k).cost.total());
+                assert!(a <= b, "DL+={a} DG+={b} (d={d} k={k})");
+            }
+        }
+    }
+}
+
+#[test]
+fn table_2_selectivity_ordering() {
+    // Table II: aggregate access cost ordering our approach < skyline-layer
+    // approach, and selective-within-layer (HL+) < complete access. Checked
+    // on the anti-correlated 4-d default where the gaps are widest.
+    let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 4, 800, 3).generate();
+    let dl = DualLayerIndex::build(&rel, DlOptions::dl());
+    let dlp = DualLayerIndex::build(&rel, DlOptions::dl_plus());
+    let dg = dg_index(&rel);
+    let hl = HlIndex::build(&rel, 64);
+    let mut rng = StdRng::seed_from_u64(9);
+    let (mut c_dl, mut c_dlp, mut c_dg, mut c_hlp) = (0u64, 0u64, 0u64, 0u64);
+    for _ in 0..20 {
+        let w = Weights::random(4, &mut rng);
+        c_dl += dl.topk(&w, 10).cost.total();
+        c_dlp += dlp.topk(&w, 10).cost.total();
+        c_dg += dg.topk(&w, 10).cost.total();
+        c_hlp += hl.topk_hl_plus(&w, 10).1.total();
+    }
+    assert!(c_dl < c_dg, "DL ({c_dl}) must beat DG ({c_dg})");
+    assert!(c_dlp <= c_dl, "DL+ ({c_dlp}) must not exceed DL ({c_dl})");
+    assert!(c_dlp < c_hlp, "DL+ ({c_dlp}) must beat HL+ ({c_hlp})");
+}
+
+#[test]
+fn first_layer_access_is_selective_for_plus_variants() {
+    // The paper's Section V motivation: without a zero layer the whole L¹¹
+    // is evaluated; with it only part of L¹ is touched.
+    let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 4, 800, 21).generate();
+    let dl = DualLayerIndex::build(&rel, DlOptions::dl());
+    let dlp = DualLayerIndex::build(&rel, DlOptions::dl_plus());
+    let first_fine = dl.stats().first_fine_size as u64;
+    let mut rng = StdRng::seed_from_u64(123);
+    for _ in 0..10 {
+        let w = Weights::random(4, &mut rng);
+        let base = dl.topk(&w, 1).cost;
+        assert!(
+            base.total() >= first_fine,
+            "DL evaluates all of L11 for top-1"
+        );
+        let plus = dlp.topk(&w, 1).cost;
+        assert!(
+            plus.total() < base.total(),
+            "DL+ must touch less than DL for top-1"
+        );
+    }
+}
+
+#[test]
+fn build_is_deterministic() {
+    let rel = WorkloadSpec::new(Distribution::Independent, 3, 300, 5).generate();
+    let a = DualLayerIndex::build(&rel, DlOptions::default());
+    let b = DualLayerIndex::build(&rel, DlOptions::default());
+    assert_eq!(a.stats(), b.stats());
+    let w = Weights::uniform(3);
+    assert_eq!(a.topk(&w, 20).ids, b.topk(&w, 20).ids);
+}

@@ -1,0 +1,213 @@
+//! End-to-end pinning of every worked example in the paper, through the
+//! public facade: Example 1 (top-5), Fig. 2 (layerings), Examples 2–4
+//! (EDS sets, edges, statuses), Example 5 / Table III (query trace).
+
+use drtopk::baselines::OnionIndex;
+use drtopk::common::relation::{toy_dataset, toy_id};
+use drtopk::common::{TupleId, Weights};
+use drtopk::core::{DlOptions, DualLayerIndex, NodeId};
+use drtopk::geometry::facet_is_eds;
+use drtopk::skyline::{skyline_layers, SkylineAlgo};
+
+fn ids(labels: &[char]) -> Vec<TupleId> {
+    let mut v: Vec<TupleId> = labels.iter().map(|&c| toy_id(c)).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn example_1_alice_and_betty() {
+    let r = toy_dataset();
+    let idx = DualLayerIndex::build(&r, DlOptions::default());
+    // Alice: w = (0.5, 0.5), top-5 = {a, b, f, d, e}; F(a) = 3.5 (×10).
+    let alice = Weights::new(vec![0.5, 0.5]).unwrap();
+    let top5 = idx.topk(&alice, 5);
+    assert_eq!(
+        top5.ids,
+        vec![
+            toy_id('a'),
+            toy_id('b'),
+            toy_id('f'),
+            toy_id('d'),
+            toy_id('e')
+        ]
+    );
+    assert!((alice.score(r.tuple(toy_id('a'))) * 10.0 - 3.5).abs() < 1e-9);
+    // Betty: w = (0.75, 0.25) — price matters more; results may differ.
+    let betty = Weights::new(vec![0.75, 0.25]).unwrap();
+    let betty_top5 = idx.topk(&betty, 5);
+    assert_eq!(
+        betty_top5.ids,
+        drtopk::common::topk_bruteforce(&r, &betty, 5)
+    );
+}
+
+#[test]
+fn fig_2a_skyline_layers() {
+    let r = toy_dataset();
+    let all: Vec<TupleId> = (0..11).collect();
+    let layers = skyline_layers(&r, &all, SkylineAlgo::BSkyTree);
+    assert_eq!(
+        layers,
+        vec![
+            ids(&['a', 'b', 'c', 'f', 'g']),
+            ids(&['d', 'e', 'i', 'j']),
+            ids(&['h', 'k'])
+        ]
+    );
+}
+
+#[test]
+fn fig_2b_convex_layers() {
+    let r = toy_dataset();
+    let onion = OnionIndex::build(&r, 0);
+    let got: Vec<Vec<TupleId>> = onion
+        .layers()
+        .iter()
+        .map(|l| {
+            let mut v = l.clone();
+            v.sort_unstable();
+            v
+        })
+        .collect();
+    assert_eq!(
+        got,
+        vec![
+            ids(&['a', 'b', 'c']),
+            ids(&['d', 'f', 'g']),
+            ids(&['e', 'j']),
+            ids(&['h', 'i']),
+            ids(&['k'])
+        ]
+    );
+}
+
+#[test]
+fn example_2_eds_of_f() {
+    let r = toy_dataset();
+    // {a, b} is an EDS of f: the segment crosses f's dominating region.
+    assert!(facet_is_eds(&r, &[toy_id('a'), toy_id('b')], toy_id('f')));
+    // {b, c} is not an EDS of f, but is one of g.
+    assert!(!facet_is_eds(&r, &[toy_id('b'), toy_id('c')], toy_id('f')));
+    assert!(facet_is_eds(&r, &[toy_id('b'), toy_id('c')], toy_id('g')));
+}
+
+#[test]
+fn example_3_dual_resolution_layer() {
+    let r = toy_dataset();
+    let idx = DualLayerIndex::build(&r, DlOptions::dl());
+    let fine: Vec<Vec<Vec<TupleId>>> = idx
+        .coarse_layers()
+        .iter()
+        .map(|l| {
+            l.fine
+                .iter()
+                .map(|f| {
+                    let mut v = f.clone();
+                    v.sort_unstable();
+                    v
+                })
+                .collect()
+        })
+        .collect();
+    assert_eq!(
+        fine,
+        vec![
+            vec![ids(&['a', 'b', 'c']), ids(&['f', 'g'])],
+            vec![ids(&['d', 'e', 'j']), ids(&['i'])],
+            vec![ids(&['h', 'k'])],
+        ]
+    );
+    // "a ∀-dominates {d, e, i}".
+    let mut a_out: Vec<NodeId> = idx.forall_out(toy_id('a') as NodeId).to_vec();
+    a_out.sort_unstable();
+    assert_eq!(
+        a_out,
+        ids(&['d', 'e', 'i'])
+            .iter()
+            .map(|&t| t as NodeId)
+            .collect::<Vec<_>>()
+    );
+    // "b and c ∃-dominate g".
+    assert_eq!(
+        idx.exists_in(toy_id('g') as NodeId),
+        vec![toy_id('b'), toy_id('c')]
+    );
+}
+
+#[test]
+fn example_4_statuses() {
+    let r = toy_dataset();
+    let idx = DualLayerIndex::build(&r, DlOptions::dl());
+    // ∀-dominance-free initially: the first coarse layer.
+    for c in ['a', 'b', 'c', 'f', 'g'] {
+        assert_eq!(
+            idx.forall_in_degree(toy_id(c) as NodeId),
+            0,
+            "{c} must be ∀-free"
+        );
+    }
+    // ∃-dominance-free initially: first fine sublayer of each coarse layer.
+    for c in ['a', 'b', 'c', 'd', 'e', 'j', 'h', 'k'] {
+        assert_eq!(
+            idx.exists_in_degree(toy_id(c) as NodeId),
+            0,
+            "{c} must be ∃-free"
+        );
+    }
+    // i becomes ∀-free once a and f are reported.
+    assert_eq!(
+        idx.forall_in(toy_id('i') as NodeId),
+        vec![toy_id('a'), toy_id('f')]
+    );
+    // f becomes ∃-free once a or b is reported.
+    assert_eq!(
+        idx.exists_in(toy_id('f') as NodeId),
+        vec![toy_id('a'), toy_id('b')]
+    );
+}
+
+#[test]
+fn example_5_table_iii_trace() {
+    let r = toy_dataset();
+    let idx = DualLayerIndex::build(&r, DlOptions::dl());
+    let (res, trace) = idx.topk_traced(&Weights::uniform(2), 3);
+    let id = |c: char| toy_id(c);
+    // Steps 1-2: seed Q with L11 = {a, b, c}.
+    assert_eq!(trace.seeds, vec![id('a'), id('b'), id('c')]);
+    // Step 3-4: pop a, update {d, e, f, i}; Q = {b, f, d, e, c}.
+    assert_eq!(trace.steps[0].popped, id('a'));
+    assert_eq!(
+        trace.steps[0].queue_after,
+        vec![id('b'), id('f'), id('d'), id('e'), id('c')]
+    );
+    // Step 5-6: pop b, update {g, j}; Q = {f, d, e, c, g}.
+    assert_eq!(trace.steps[1].popped, id('b'));
+    assert_eq!(
+        trace.steps[1].queue_after,
+        vec![id('f'), id('d'), id('e'), id('c'), id('g')]
+    );
+    // Step 7: pop f; top-3 = {a, b, f}.
+    assert_eq!(res.ids, vec![id('a'), id('b'), id('f')]);
+}
+
+#[test]
+fn fig_7_zero_layer_clusters() {
+    // Section V-B illustrated on the toy dataset: forcing a clustered zero
+    // layer over L¹ = {a,b,c,f,g} produces pseudo-tuples that dominate
+    // their clusters and cut first-layer access.
+    use drtopk::core::ZeroMode;
+    let r = toy_dataset();
+    let idx = DualLayerIndex::build(
+        &r,
+        DlOptions {
+            zero: ZeroMode::Clustered { clusters: 2 },
+            ..DlOptions::default()
+        },
+    );
+    assert_eq!(idx.stats().pseudo_tuples, 2);
+    let w = Weights::uniform(2);
+    let res = idx.topk(&w, 3);
+    assert_eq!(res.ids, vec![toy_id('a'), toy_id('b'), toy_id('f')]);
+    assert!(res.cost.pseudo_evaluated >= 1);
+}

@@ -1,83 +1,56 @@
-//! Criterion bench: ablations of the design choices DESIGN.md calls out —
+//! Timing bench: ablations of the design choices DESIGN.md calls out —
 //! ∃-edge policy, fine-sublayer cap, and zero-layer cluster count — on
 //! build time. (Their effect on query *cost* is reported by
 //! `repro`-companion measurements in EXPERIMENTS.md.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use drtopk_bench::dataset;
+use drtopk_bench::timing::sample;
 use drtopk_common::Distribution;
 use drtopk_core::{DlOptions, DualLayerIndex, EdsPolicy, ZeroMode};
-use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_ablation(c: &mut Criterion) {
+fn main() {
     let rel = dataset(Distribution::AntiCorrelated, 3, 2_000);
 
-    let mut g = c.benchmark_group("ablation_eds_policy");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(4));
-    g.warm_up_time(Duration::from_secs(1));
+    println!("ablation_eds_policy — build time per ∃-edge policy");
     for policy in [
         EdsPolicy::FirstFacet,
         EdsPolicy::AllFacets,
         EdsPolicy::BestUniform,
     ] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{policy:?}")),
-            &rel,
-            |b, rel| {
-                b.iter(|| {
-                    black_box(DualLayerIndex::build(
-                        rel,
-                        DlOptions {
-                            eds_policy: policy,
-                            ..DlOptions::dl()
-                        },
-                    ))
-                })
-            },
-        );
+        sample(&format!("eds/{policy:?}"), 5, || {
+            DualLayerIndex::build(
+                &rel,
+                DlOptions {
+                    eds_policy: policy,
+                    ..DlOptions::dl()
+                },
+            )
+        });
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("ablation_fine_cap");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(4));
-    g.warm_up_time(Duration::from_secs(1));
+    println!("ablation_fine_cap — build time per fine-sublayer cap (0 = unlimited)");
     for cap in [1usize, 2, 4, 0] {
-        g.bench_with_input(BenchmarkId::from_parameter(cap), &rel, |b, rel| {
-            b.iter(|| {
-                black_box(DualLayerIndex::build(
-                    rel,
-                    DlOptions {
-                        max_fine_layers: cap,
-                        ..DlOptions::dl()
-                    },
-                ))
-            })
+        sample(&format!("fine_cap/{cap}"), 5, || {
+            DualLayerIndex::build(
+                &rel,
+                DlOptions {
+                    max_fine_layers: cap,
+                    ..DlOptions::dl()
+                },
+            )
         });
     }
-    g.finish();
 
-    let mut g = c.benchmark_group("ablation_zero_clusters");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(4));
-    g.warm_up_time(Duration::from_secs(1));
+    println!("ablation_zero_clusters — build time per zero-layer cluster count");
     for clusters in [4usize, 16, 64] {
-        g.bench_with_input(BenchmarkId::from_parameter(clusters), &rel, |b, rel| {
-            b.iter(|| {
-                black_box(DualLayerIndex::build(
-                    rel,
-                    DlOptions {
-                        zero: ZeroMode::Clustered { clusters },
-                        ..DlOptions::default()
-                    },
-                ))
-            })
+        sample(&format!("zero_clusters/{clusters}"), 5, || {
+            DualLayerIndex::build(
+                &rel,
+                DlOptions {
+                    zero: ZeroMode::Clustered { clusters },
+                    ..DlOptions::default()
+                },
+            )
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_ablation);
-criterion_main!(benches);

@@ -1,31 +1,19 @@
-//! Criterion bench: index construction time (the paper's Table IV),
-//! bench-sized so Criterion can iterate.
+//! Timing bench: index construction time (the paper's Table IV),
+//! bench-sized so a run finishes in seconds.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drtopk_bench::timing::sample;
 use drtopk_bench::{build_index, dataset, Algo};
 use drtopk_common::Distribution;
-use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table4_build");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(4));
-    g.warm_up_time(Duration::from_secs(1));
+fn main() {
+    println!("table4_build — build time, min/mean/max per build");
     for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
         let n = 2_000;
         let d = 4;
         let rel = dataset(dist, d, n);
         for algo in [Algo::Hl, Algo::Dg, Algo::DgPlus, Algo::Dl, Algo::DlPlus] {
-            g.bench_with_input(
-                BenchmarkId::new(algo.name(), dist.code()),
-                &rel,
-                |b, rel| b.iter(|| black_box(build_index(rel, algo).0)),
-            );
+            let label = format!("build/{}/{}", algo.name(), dist.code());
+            sample(&label, 5, || build_index(&rel, algo).0);
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_build);
-criterion_main!(benches);

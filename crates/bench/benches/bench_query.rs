@@ -1,17 +1,13 @@
-//! Criterion bench: top-k query latency per index (complements the
+//! Timing bench: top-k query latency per index (complements the
 //! tuples-evaluated cost metric reported by the `repro` harness — the
 //! paper notes the two are proportional).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drtopk_bench::timing::sample;
 use drtopk_bench::{build_index, dataset, query_weights, Algo};
 use drtopk_common::Distribution;
-use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_query(c: &mut Criterion) {
-    let mut g = c.benchmark_group("query_latency");
-    g.measurement_time(Duration::from_secs(4));
-    g.warm_up_time(Duration::from_secs(1));
+fn main() {
+    println!("query_latency — one pass over 64 random weight vectors");
     let n = 10_000;
     let d = 4;
     let k = 10;
@@ -27,21 +23,13 @@ fn bench_query(c: &mut Criterion) {
             Algo::DlPlus,
         ] {
             let (built, _) = build_index(&rel, algo);
-            let mut i = 0usize;
-            g.bench_with_input(
-                BenchmarkId::new(algo.name(), dist.code()),
-                &built,
-                |b, built| {
-                    b.iter(|| {
-                        i = (i + 1) % weights.len();
-                        black_box(built.query_cost(algo, &weights[i], k))
-                    })
-                },
-            );
+            let label = format!("query/{}/{}", algo.name(), dist.code());
+            sample(&label, 5, || {
+                weights
+                    .iter()
+                    .map(|w| built.query_cost(algo, w, k))
+                    .sum::<u64>()
+            });
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_query);
-criterion_main!(benches);

@@ -1,31 +1,19 @@
-//! Criterion bench: skyline algorithm comparison (BNL vs SFS vs BSkyTree),
+//! Timing bench: skyline algorithm comparison (BNL vs SFS vs BSkyTree),
 //! the substrate choice behind the coarse layers (paper reference [28]).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use drtopk_bench::dataset;
+use drtopk_bench::timing::sample;
 use drtopk_common::{Distribution, TupleId};
 use drtopk_skyline::SkylineAlgo;
-use std::hint::black_box;
-use std::time::Duration;
 
-fn bench_skyline(c: &mut Criterion) {
-    let mut g = c.benchmark_group("skyline");
-    g.sample_size(10);
-    g.measurement_time(Duration::from_secs(4));
-    g.warm_up_time(Duration::from_secs(1));
+fn main() {
+    println!("skyline — one full skyline over n=10000, d=4");
     for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
         let rel = dataset(dist, 4, 10_000);
         let ids: Vec<TupleId> = (0..rel.len() as TupleId).collect();
         for algo in [SkylineAlgo::Bnl, SkylineAlgo::Sfs, SkylineAlgo::BSkyTree] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("{algo:?}"), dist.code()),
-                &rel,
-                |b, rel| b.iter(|| black_box(algo.run(rel, &ids))),
-            );
+            let label = format!("skyline/{algo:?}/{}", dist.code());
+            sample(&label, 5, || algo.run(&rel, &ids));
         }
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_skyline);
-criterion_main!(benches);

@@ -215,7 +215,7 @@ fn main() {
     }
 
     if let Some(path) = &cfg.json {
-        let json = serde_json::to_string_pretty(&out).expect("serializable");
+        let json = drtopk_bench::json::Value::array(out.iter().map(|m| m.to_json())).pretty();
         std::fs::write(path, json).expect("write json");
         eprintln!("wrote {} measurements to {path}", out.len());
     }

@@ -1,0 +1,211 @@
+//! Batch query throughput harness.
+//!
+//! Measures, for each `(n, d, k)` cell:
+//!
+//! * per-query latency (p50/p99) and QPS of a sequential loop of
+//!   [`DualLayerIndex::topk`] calls (fresh scratch each query — the
+//!   baseline an application gets without the batch engine);
+//! * wall-clock QPS of [`BatchExecutor::run_uniform`] at each requested
+//!   thread count (pooled scratch, scoped-thread fan-out);
+//! * mean paper cost (Definition 9) per query, which is identical across
+//!   all execution modes — the executor is bit-deterministic.
+//!
+//! Results land in a JSON file (default `BENCH_throughput.json`), one
+//! object per cell, plus host metadata so numbers from different machines
+//! are never compared blindly.
+//!
+//! ```text
+//! throughput [--n 100000[,N...]] [--d 3[,...]] [--k 10[,...]]
+//!            [--threads 1,2,4] [--queries 1000] [--out FILE]
+//! ```
+
+use drtopk_bench::json::Value;
+use drtopk_bench::{dataset, query_weights};
+use drtopk_common::Distribution;
+use drtopk_core::{BatchExecutor, DlOptions, DualLayerIndex};
+use std::time::Instant;
+
+struct Config {
+    ns: Vec<usize>,
+    ds: Vec<usize>,
+    ks: Vec<usize>,
+    threads: Vec<usize>,
+    queries: usize,
+    out: String,
+}
+
+impl Config {
+    fn parse(args: &[String]) -> Result<Config, String> {
+        let mut cfg = Config {
+            ns: vec![100_000],
+            ds: vec![3],
+            ks: vec![10],
+            threads: vec![1, 2, 4],
+            queries: 1000,
+            out: "BENCH_throughput.json".to_string(),
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let val = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{flag} requires a value"))?;
+            match flag {
+                "--n" => cfg.ns = parse_list(val)?,
+                "--d" => cfg.ds = parse_list(val)?,
+                "--k" => cfg.ks = parse_list(val)?,
+                "--threads" => cfg.threads = parse_list(val)?,
+                "--queries" => cfg.queries = parse_list(val)?[0],
+                "--out" => cfg.out = val.clone(),
+                other => return Err(format!("unknown flag {other}")),
+            }
+            i += 2;
+        }
+        if cfg.queries == 0 {
+            return Err("--queries must be positive".to_string());
+        }
+        Ok(cfg)
+    }
+}
+
+fn parse_list(s: &str) -> Result<Vec<usize>, String> {
+    let v: Result<Vec<usize>, _> = s.split(',').map(|p| p.trim().parse::<usize>()).collect();
+    match v {
+        Ok(list) if !list.is_empty() => Ok(list),
+        _ => Err(format!("cannot parse list {s:?}")),
+    }
+}
+
+/// Nearest-rank percentile of a sorted slice (q in 0..=1).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn run_cell(n: usize, d: usize, k: usize, cfg: &Config) -> Value {
+    eprintln!("cell n={n} d={d} k={k}: building DL+ index...");
+    let rel = dataset(Distribution::Independent, d, n);
+    let t0 = Instant::now();
+    let idx = DualLayerIndex::build(&rel, DlOptions::dl_plus());
+    let build_secs = t0.elapsed().as_secs_f64();
+    let weights = query_weights(d, cfg.queries, 0xC0FFEE);
+
+    // Warmup: touch the index and fault in the columns once.
+    let _ = idx.topk(&weights[0], k);
+
+    // Sequential baseline: one topk call per query, timed individually
+    // for the latency distribution.
+    let mut latencies_us = Vec::with_capacity(weights.len());
+    let mut total_cost = 0u64;
+    let seq_t0 = Instant::now();
+    let mut reference = Vec::with_capacity(weights.len());
+    for w in &weights {
+        let q0 = Instant::now();
+        let r = idx.topk(w, k);
+        latencies_us.push(q0.elapsed().as_secs_f64() * 1e6);
+        total_cost += r.cost.total();
+        reference.push(r);
+    }
+    let seq_secs = seq_t0.elapsed().as_secs_f64();
+    let seq_qps = weights.len() as f64 / seq_secs;
+    let mean_cost = total_cost as f64 / weights.len() as f64;
+    let mut sorted = latencies_us.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let (p50, p99) = (percentile(&sorted, 0.50), percentile(&sorted, 0.99));
+    eprintln!(
+        "  sequential: {seq_qps:.0} q/s, p50 {p50:.1}µs p99 {p99:.1}µs, mean cost {mean_cost:.1}"
+    );
+
+    // Executor passes at each thread count; every result is checked
+    // against the sequential reference (the determinism contract).
+    let mut executor_rows = Vec::new();
+    let mut single_qps = seq_qps;
+    for &t in &cfg.threads {
+        let exec = BatchExecutor::with_threads(&idx, t);
+        let e0 = Instant::now();
+        let results = exec.run_uniform(&weights, k);
+        let secs = e0.elapsed().as_secs_f64();
+        let qps = weights.len() as f64 / secs;
+        for (r, s) in results.iter().zip(&reference) {
+            assert_eq!(r.ids, s.ids, "executor answers diverged at threads={t}");
+            assert_eq!(r.cost, s.cost, "executor costs diverged at threads={t}");
+        }
+        eprintln!(
+            "  executor threads={t}: {qps:.0} q/s ({:.2}x sequential)",
+            qps / seq_qps
+        );
+        if t == 1 {
+            single_qps = qps;
+        }
+        executor_rows.push(Value::object([
+            ("threads", Value::uint(t)),
+            ("qps", Value::float(qps)),
+            ("speedup_vs_sequential", Value::float(qps / seq_qps)),
+        ]));
+    }
+
+    Value::object([
+        ("n", Value::uint(n)),
+        ("d", Value::uint(d)),
+        ("k", Value::uint(k)),
+        ("queries", Value::uint(cfg.queries)),
+        ("build_seconds", Value::float(build_secs)),
+        ("mean_cost", Value::float(mean_cost)),
+        (
+            "sequential",
+            Value::object([
+                ("qps", Value::float(seq_qps)),
+                ("p50_us", Value::float(p50)),
+                ("p99_us", Value::float(p99)),
+            ]),
+        ),
+        ("executor", Value::Array(executor_rows)),
+        ("single_thread_qps", Value::float(single_qps)),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match Config::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("throughput: {e}");
+            eprintln!(
+                "usage: throughput [--n N[,..]] [--d D[,..]] [--k K[,..]] \
+                 [--threads T[,..]] [--queries Q] [--out FILE]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let mut cells = Vec::new();
+    for &n in &cfg.ns {
+        for &d in &cfg.ds {
+            for &k in &cfg.ks {
+                cells.push(run_cell(n, d, k, &cfg));
+            }
+        }
+    }
+    let doc = Value::object([
+        (
+            "host",
+            Value::object([("available_parallelism", Value::uint(host_threads))]),
+        ),
+        (
+            "note",
+            Value::str(
+                "executor results are bit-identical to sequential topk; \
+                 thread speedups require available_parallelism > 1",
+            ),
+        ),
+        ("cells", Value::Array(cells)),
+    ]);
+    std::fs::write(&cfg.out, doc.pretty()).expect("write results file");
+    eprintln!("wrote {}", cfg.out);
+}

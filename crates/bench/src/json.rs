@@ -1,0 +1,176 @@
+//! Minimal JSON emitter for benchmark reports.
+//!
+//! The build environment is offline, so instead of `serde_json` the bench
+//! binaries serialize through this tiny tree builder. Only what the
+//! reports need: objects (insertion-ordered), arrays, strings, integers,
+//! floats, and booleans, pretty-printed with two-space indentation.
+
+use std::fmt::Write as _;
+
+/// A JSON value tree.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    String(String),
+    Array(Vec<Value>),
+    /// Keys keep insertion order so reports diff cleanly.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    pub fn str(s: &str) -> Value {
+        Value::String(s.to_string())
+    }
+
+    pub fn uint(v: usize) -> Value {
+        Value::Int(v as i64)
+    }
+
+    pub fn float(v: f64) -> Value {
+        Value::Float(v)
+    }
+
+    pub fn array(items: impl IntoIterator<Item = Value>) -> Value {
+        Value::Array(items.into_iter().collect())
+    }
+
+    pub fn object<'a>(fields: impl IntoIterator<Item = (&'a str, Value)>) -> Value {
+        Value::Object(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Pretty-prints with two-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Value::Int(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::Float(v) => {
+                if v.is_finite() {
+                    // `{v:?}` keeps a decimal point or exponent so the token
+                    // parses back as a float; plain `{}` prints `1` for 1.0.
+                    let _ = write!(out, "{v:?}");
+                } else {
+                    // JSON has no NaN/Infinity literal.
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    write_escaped(out, key);
+                    out.push_str(": ");
+                    value.write(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_structure() {
+        let v = Value::object([
+            ("name", Value::str("dl+")),
+            ("n", Value::uint(100)),
+            ("qps", Value::float(1234.5)),
+            ("ok", Value::Bool(true)),
+            ("tags", Value::array([Value::str("a"), Value::str("b")])),
+            ("empty", Value::array([])),
+        ]);
+        let s = v.pretty();
+        assert!(s.starts_with("{\n  \"name\": \"dl+\",\n"));
+        assert!(s.contains("\"qps\": 1234.5"));
+        assert!(s.contains("\"tags\": [\n    \"a\",\n    \"b\"\n  ]"));
+        assert!(s.contains("\"empty\": []"));
+        assert!(s.ends_with("}\n"));
+    }
+
+    #[test]
+    fn floats_always_parse_as_floats() {
+        assert_eq!(Value::float(1.0).pretty(), "1.0\n");
+        assert_eq!(Value::float(f64::NAN).pretty(), "null\n");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let s = Value::str("a\"b\\c\nd\u{1}").pretty();
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"\n");
+    }
+}

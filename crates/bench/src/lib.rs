@@ -1,13 +1,15 @@
-//! Shared machinery for the experiment harness (`repro` binary) and the
-//! Criterion benches: dataset construction, index wrappers, and cost
-//! measurement matching the paper's Definition 9.
+//! Shared machinery for the experiment harness (`repro` binary), the
+//! timing benches, and the `throughput` driver: dataset construction,
+//! index wrappers, and cost measurement matching the paper's Definition 9.
+
+pub mod json;
+pub mod timing;
 
 use drtopk_baselines::HlIndex;
 use drtopk_common::{Distribution, Weights, WorkloadSpec};
 use drtopk_core::{DlOptions, DualLayerIndex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use serde::Serialize;
 use std::time::Instant;
 
 /// Scale of an experiment run.
@@ -38,7 +40,7 @@ impl Scale {
 }
 
 /// The algorithms compared in the paper's evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algo {
     Onion,
     AppRi,
@@ -111,7 +113,7 @@ impl BuiltIndex {
 }
 
 /// One measured series point, serializable for EXPERIMENTS.md tooling.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Measurement {
     pub experiment: String,
     pub dist: String,
@@ -122,6 +124,22 @@ pub struct Measurement {
     /// Mean tuples evaluated per query (Definition 9).
     pub mean_cost: f64,
     pub queries: usize,
+}
+
+impl Measurement {
+    /// Renders this point as a JSON object.
+    pub fn to_json(&self) -> json::Value {
+        json::Value::object([
+            ("experiment", json::Value::str(&self.experiment)),
+            ("dist", json::Value::str(&self.dist)),
+            ("algo", json::Value::str(self.algo)),
+            ("n", json::Value::uint(self.n)),
+            ("d", json::Value::uint(self.d)),
+            ("k", json::Value::uint(self.k)),
+            ("mean_cost", json::Value::float(self.mean_cost)),
+            ("queries", json::Value::uint(self.queries)),
+        ])
+    }
 }
 
 /// Generates `queries` random weight vectors (the paper's setting:

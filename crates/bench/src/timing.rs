@@ -1,0 +1,65 @@
+//! Plain-`main()` timing support for the `benches/` programs.
+//!
+//! The offline build has no Criterion, so each bench is an ordinary
+//! binary (`harness = false`) that samples a closure a fixed number of
+//! times and prints one summary line. Deliberately simple: no outlier
+//! rejection, no plots — min/mean/max over explicit samples, which is
+//! enough to rank alternatives and spot order-of-magnitude regressions.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Runs `f` once as warm-up, then `samples` timed times, and prints
+/// `label: min/mean/max` in adaptive units. Returns the mean seconds.
+pub fn sample<R>(label: &str, samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    black_box(f());
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples.max(1) {
+        let t0 = Instant::now();
+        black_box(f());
+        times.push(t0.elapsed().as_secs_f64());
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    let mean = times.iter().sum::<f64>() / times.len() as f64;
+    println!(
+        "{label:<44} {:>10}/{:>10}/{:>10}  ({} samples)",
+        fmt_secs(min),
+        fmt_secs(mean),
+        fmt_secs(max),
+        times.len()
+    );
+    mean
+}
+
+/// Formats a duration in seconds with an adaptive unit.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_returns_positive_mean() {
+        let mean = sample("noop", 3, || 1 + 1);
+        assert!(mean >= 0.0);
+    }
+
+    #[test]
+    fn units_scale() {
+        assert_eq!(fmt_secs(2.5), "2.500 s");
+        assert_eq!(fmt_secs(2.5e-3), "2.500 ms");
+        assert_eq!(fmt_secs(2.5e-6), "2.500 µs");
+        assert_eq!(fmt_secs(2.5e-9), "2.5 ns");
+    }
+}

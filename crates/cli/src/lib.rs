@@ -10,12 +10,13 @@
 //! drtopk build    --data data.drt --out index.drt [--variant dl+|dl|dg|dg+] [--parallel]
 //! drtopk stats    --index index.drt
 //! drtopk query    --index index.drt --weights 0.3,0.3,0.4 --k 10
+//! drtopk batch    --index index.drt --weights-file queries.txt --k 10 [--threads T]
 //! ```
 
 use drtopk_common::{
     relation_from_csv, ColumnSpec, Direction, Distribution, Weights, WorkloadSpec,
 };
-use drtopk_core::{DlOptions, DualLayerIndex, ZeroMode};
+use drtopk_core::{BatchExecutor, DlOptions, DualLayerIndex, ZeroMode};
 use drtopk_storage::{load_index, load_relation, save_index, save_relation};
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -69,8 +70,21 @@ impl Flags {
                 continue;
             }
             const KNOWN: &[&str] = &[
-                "dist", "dims", "n", "seed", "out", "csv", "columns", "data", "variant",
-                "clusters", "index", "weights", "k",
+                "dist",
+                "dims",
+                "n",
+                "seed",
+                "out",
+                "csv",
+                "columns",
+                "data",
+                "variant",
+                "clusters",
+                "index",
+                "weights",
+                "weights-file",
+                "k",
+                "threads",
             ];
             if !KNOWN.contains(&name) {
                 return Err(CliError::usage(format!("unknown flag --{name}")));
@@ -120,6 +134,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "build" => cmd_build(&flags),
         "stats" => cmd_stats(&flags),
         "query" => cmd_query(&flags),
+        "batch" => cmd_batch(&flags),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::usage(format!(
             "unknown command {other:?}\n{}",
@@ -138,6 +153,7 @@ commands:
   build     --data FILE --out FILE [--variant dl+|dl|dg|dg+] [--parallel]
   stats     --index FILE
   query     --index FILE --weights W1,W2,... [--k K]
+  batch     --index FILE --weights-file FILE [--k K] [--threads T]
   help
 "
     .to_string()
@@ -330,6 +346,87 @@ fn cmd_query(f: &Flags) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses a weights file: one comma-separated weight vector per line;
+/// blank lines and `#` comments are skipped.
+fn parse_weights_file(text: &str, dims: usize) -> Result<Vec<Weights>, CliError> {
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let raw: Vec<f64> = line
+            .split(',')
+            .map(|p| p.trim().parse::<f64>())
+            .collect::<Result<_, _>>()
+            .map_err(|_| {
+                CliError::usage(format!(
+                    "weights file line {}: cannot parse {line:?}",
+                    lineno + 1
+                ))
+            })?;
+        let w = Weights::new(raw)
+            .map_err(|e| CliError::usage(format!("weights file line {}: {e}", lineno + 1)))?;
+        if w.dims() != dims {
+            return Err(CliError::usage(format!(
+                "weights file line {}: index has {dims} attributes but {} weights were given",
+                lineno + 1,
+                w.dims()
+            )));
+        }
+        out.push(w);
+    }
+    if out.is_empty() {
+        return Err(CliError::usage(
+            "weights file contains no weight vectors".to_string(),
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_batch(f: &Flags) -> Result<String, CliError> {
+    let path = PathBuf::from(f.require("index")?);
+    let weights_path = PathBuf::from(f.require("weights-file")?);
+    let k: usize = f.parse_num("k", 10)?;
+    let threads: usize = f.parse_num("threads", 0)?;
+    let idx = load_index(&path).map_err(|e| CliError::runtime(e.to_string()))?;
+    let text = std::fs::read_to_string(&weights_path)
+        .map_err(|e| CliError::runtime(format!("{}: {e}", weights_path.display())))?;
+    let queries = parse_weights_file(&text, idx.dims())?;
+    let exec = BatchExecutor::with_threads(&idx, threads);
+    let t0 = std::time::Instant::now();
+    let results = exec.run_uniform(&queries, k);
+    let secs = t0.elapsed().as_secs_f64();
+    let mut out = String::new();
+    let mut total_cost = 0u64;
+    for (qi, r) in results.iter().enumerate() {
+        let ids: Vec<String> = r.ids.iter().map(|t| t.to_string()).collect();
+        let _ = writeln!(
+            out,
+            "query {qi}: cost {} top-{} [{}]",
+            r.cost.total(),
+            r.ids.len(),
+            ids.join(", ")
+        );
+        total_cost += r.cost.total();
+    }
+    let qps = if secs > 0.0 {
+        results.len() as f64 / secs
+    } else {
+        f64::INFINITY
+    };
+    let _ = writeln!(
+        out,
+        "{} queries on {} threads in {:.3}s ({:.0} queries/s, mean cost {:.1})",
+        results.len(),
+        exec.effective_threads(queries.len()),
+        secs,
+        qps,
+        total_cost as f64 / results.len() as f64
+    );
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +567,122 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.message.contains("2 attributes"));
+    }
+
+    #[test]
+    fn batch_subcommand_runs_weights_file() {
+        let data = tmp("batch.data.drt");
+        let index = tmp("batch.index.drt");
+        run(&argv(&[
+            "generate",
+            "--dist",
+            "ind",
+            "--dims",
+            "3",
+            "--n",
+            "300",
+            "--seed",
+            "9",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            index.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let wf = tmp("batch.weights.txt");
+        std::fs::write(
+            &wf,
+            "# one weight vector per line\n0.2, 0.5, 0.3\n\n0.6,0.2,0.2\n0.1,0.1,0.8\n",
+        )
+        .unwrap();
+        let out = run(&argv(&[
+            "batch",
+            "--index",
+            index.to_str().unwrap(),
+            "--weights-file",
+            wf.to_str().unwrap(),
+            "--k",
+            "5",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("query 0:"), "{out}");
+        assert!(out.contains("query 2:"), "{out}");
+        assert!(out.contains("3 queries on 2 threads"), "{out}");
+
+        // Batch answers must match single-query answers.
+        let single = run(&argv(&[
+            "query",
+            "--index",
+            index.to_str().unwrap(),
+            "--weights",
+            "0.2,0.5,0.3",
+            "--k",
+            "5",
+        ]))
+        .unwrap();
+        let first_id = single
+            .lines()
+            .nth(1)
+            .and_then(|l| l.split_whitespace().nth(1))
+            .unwrap()
+            .to_string();
+        assert!(out
+            .lines()
+            .next()
+            .unwrap()
+            .contains(&format!("[{first_id}")));
+    }
+
+    #[test]
+    fn batch_rejects_bad_weights_files() {
+        let data = tmp("batchbad.data.drt");
+        let index = tmp("batchbad.index.drt");
+        run(&argv(&[
+            "generate",
+            "--dist",
+            "ind",
+            "--dims",
+            "2",
+            "--n",
+            "60",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            index.to_str().unwrap(),
+        ]))
+        .unwrap();
+        for (name, content, want) in [
+            ("empty.txt", "# only comments\n\n", "no weight vectors"),
+            ("arity.txt", "0.3,0.3,0.4\n", "2 attributes"),
+            ("garbage.txt", "0.5,banana\n", "cannot parse"),
+        ] {
+            let wf = tmp(name);
+            std::fs::write(&wf, content).unwrap();
+            let err = run(&argv(&[
+                "batch",
+                "--index",
+                index.to_str().unwrap(),
+                "--weights-file",
+                wf.to_str().unwrap(),
+            ]))
+            .unwrap_err();
+            assert!(err.message.contains(want), "{name}: {}", err.message);
+        }
     }
 
     #[test]

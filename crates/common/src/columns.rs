@@ -1,0 +1,259 @@
+//! Column-major (SoA) mirror of a [`Relation`] with a fused scoring kernel.
+//!
+//! The traversal engine scores tuples in blocks — a seed set or a batch of
+//! newly freed nodes per pop — and the row-major [`Relation`] layout makes
+//! that a strided gather per attribute. [`Columns`] transposes the data
+//! once at build time so [`Columns::score_block`] can sweep one contiguous
+//! column per dimension with an auto-vectorizable inner loop.
+//!
+//! Bit-identity contract: for every id, `score_block` produces *exactly*
+//! the `f64` that [`Weights::score`] produces on the same row — the kernel
+//! accumulates per row in the same dimension order (`0.0 + w_0·x_0 +
+//! w_1·x_1 + …`), so batching never perturbs score-based orderings.
+
+use crate::relation::Relation;
+use crate::weights::Weights;
+
+/// Column-major copy of a set of rows (a relation, optionally followed by
+/// extra rows such as pseudo-tuples).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Columns {
+    dims: usize,
+    len: usize,
+    /// Column j occupies `data[j*len .. (j+1)*len]`.
+    data: Vec<f64>,
+}
+
+impl Columns {
+    /// Transposes a relation into column-major layout.
+    pub fn from_relation(rel: &Relation) -> Self {
+        Columns::from_flat_rows(rel.dims(), rel.flat())
+    }
+
+    /// Transposes a relation followed by extra row-major rows (the index's
+    /// zero-layer pseudo-tuples), so node ids `0..n+p` index directly.
+    ///
+    /// # Panics
+    /// Panics if `extra.len()` is not a multiple of the relation's arity.
+    pub fn from_relation_with_extra(rel: &Relation, extra: &[f64]) -> Self {
+        let dims = rel.dims();
+        assert_eq!(
+            extra.len() % dims,
+            0,
+            "extra rows must match the relation's arity"
+        );
+        let n = rel.len();
+        let p = extra.len() / dims;
+        let len = n + p;
+        let mut data = vec![0.0; dims * len];
+        if len == 0 {
+            return Columns { dims, len, data };
+        }
+        for (j, col) in data.chunks_exact_mut(len).enumerate() {
+            let (real, pseudo) = col.split_at_mut(n);
+            for (i, v) in real.iter_mut().enumerate() {
+                *v = rel.flat()[i * dims + j];
+            }
+            for (i, v) in pseudo.iter_mut().enumerate() {
+                *v = extra[i * dims + j];
+            }
+        }
+        Columns { dims, len, data }
+    }
+
+    /// Transposes a flat row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `dims` is zero or `rows.len()` is not a multiple of it.
+    pub fn from_flat_rows(dims: usize, rows: &[f64]) -> Self {
+        assert!(dims > 0, "dims must be positive");
+        assert_eq!(
+            rows.len() % dims,
+            0,
+            "flat buffer length must be a multiple of dims"
+        );
+        let len = rows.len() / dims;
+        let mut data = vec![0.0; rows.len()];
+        if len == 0 {
+            return Columns { dims, len, data };
+        }
+        for (j, col) in data.chunks_exact_mut(len).enumerate() {
+            for (i, v) in col.iter_mut().enumerate() {
+                *v = rows[i * dims + j];
+            }
+        }
+        Columns { dims, len, data }
+    }
+
+    /// Number of attributes per row.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether there are no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Borrows attribute column `j`.
+    ///
+    /// # Panics
+    /// Panics if `j >= dims`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.data[j * self.len..(j + 1) * self.len]
+    }
+
+    /// Scores rows `ids` under `w` into `out` (resized to `ids.len()`):
+    /// `out[p] = F(row ids[p])`, bit-identical to [`Weights::score`] per row.
+    ///
+    /// Sweeps one column per dimension: the first dimension initializes the
+    /// accumulators, each further dimension does a fused gather-multiply-add
+    /// over a contiguous column, which the compiler can vectorize.
+    ///
+    /// # Panics
+    /// Panics if `w`'s dimensionality differs or any id is out of range.
+    pub fn score_block(&self, w: &Weights, ids: &[u32], out: &mut Vec<f64>) {
+        assert_eq!(w.dims(), self.dims, "weight dimensionality mismatch");
+        out.clear();
+        out.resize(ids.len(), 0.0);
+        for (j, &wj) in w.as_slice().iter().enumerate() {
+            let col = self.col(j);
+            if j == 0 {
+                for (o, &id) in out.iter_mut().zip(ids) {
+                    // Matches the scalar iterator-sum fold, which starts
+                    // at 0.0: products here are non-negative, so 0.0 + p
+                    // is bitwise p.
+                    *o = wj * col[id as usize];
+                }
+            } else {
+                for (o, &id) in out.iter_mut().zip(ids) {
+                    *o += wj * col[id as usize];
+                }
+            }
+        }
+    }
+
+    /// Scores a single row, through the same per-row accumulation order as
+    /// [`Columns::score_block`].
+    pub fn score_one(&self, w: &Weights, id: u32) -> f64 {
+        assert_eq!(w.dims(), self.dims, "weight dimensionality mismatch");
+        let mut acc = 0.0;
+        for (j, &wj) in w.as_slice().iter().enumerate() {
+            acc += wj * self.col(j)[id as usize];
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_relation(rng: &mut StdRng, d: usize, n: usize) -> Relation {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| rng.gen_range(0.0..1.0f64)).collect())
+            .collect();
+        Relation::from_rows(d, &rows).unwrap()
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let rel =
+            Relation::from_rows(2, &[vec![0.1, 0.2], vec![0.3, 0.4], vec![0.5, 0.6]]).unwrap();
+        let cols = Columns::from_relation(&rel);
+        assert_eq!((cols.dims(), cols.len()), (2, 3));
+        assert_eq!(cols.col(0), &[0.1, 0.3, 0.5]);
+        assert_eq!(cols.col(1), &[0.2, 0.4, 0.6]);
+    }
+
+    #[test]
+    fn kernel_matches_scalar_bit_for_bit() {
+        // The satellite contract: score_block == Weights::score to the last
+        // bit, across dims (including d = 1) and random data.
+        let mut rng = StdRng::seed_from_u64(0xC0);
+        for d in 1..=6 {
+            let rel = random_relation(&mut rng, d, 64);
+            let cols = Columns::from_relation(&rel);
+            let w = Weights::random(d, &mut rng);
+            let ids: Vec<u32> = (0..rel.len() as u32).collect();
+            let mut out = Vec::new();
+            cols.score_block(&w, &ids, &mut out);
+            for (&id, &got) in ids.iter().zip(&out) {
+                let want = w.score(rel.tuple(id));
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "d={d} id={id}: {got} vs {want}"
+                );
+                assert_eq!(cols.score_one(&w, id).to_bits(), want.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_handles_duplicate_and_unordered_ids() {
+        let mut rng = StdRng::seed_from_u64(0xC1);
+        let rel = random_relation(&mut rng, 3, 32);
+        let cols = Columns::from_relation(&rel);
+        let w = Weights::random(3, &mut rng);
+        let ids = [7u32, 7, 0, 31, 7, 2, 2];
+        let mut out = Vec::new();
+        cols.score_block(&w, &ids, &mut out);
+        assert_eq!(out.len(), ids.len());
+        for (&id, &got) in ids.iter().zip(&out) {
+            assert_eq!(got.to_bits(), w.score(rel.tuple(id)).to_bits());
+        }
+    }
+
+    #[test]
+    fn extra_rows_are_addressable_past_n() {
+        let rel = Relation::from_rows(2, &[vec![0.1, 0.9], vec![0.5, 0.5]]).unwrap();
+        let extra = [0.2, 0.3, 0.8, 0.7]; // two pseudo rows
+        let cols = Columns::from_relation_with_extra(&rel, &extra);
+        assert_eq!(cols.len(), 4);
+        let w = Weights::new(vec![0.25, 0.75]).unwrap();
+        assert_eq!(
+            cols.score_one(&w, 2).to_bits(),
+            w.score(&[0.2, 0.3]).to_bits()
+        );
+        assert_eq!(
+            cols.score_one(&w, 3).to_bits(),
+            w.score(&[0.8, 0.7]).to_bits()
+        );
+    }
+
+    #[test]
+    fn empty_block_and_empty_columns() {
+        let cols = Columns::from_flat_rows(3, &[]);
+        assert!(cols.is_empty());
+        let w = Weights::uniform(3);
+        let mut out = vec![1.0; 5];
+        cols.score_block(&w, &[], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn reuses_output_capacity() {
+        let mut rng = StdRng::seed_from_u64(0xC2);
+        let rel = random_relation(&mut rng, 2, 16);
+        let cols = Columns::from_relation(&rel);
+        let w = Weights::uniform(2);
+        let mut out = Vec::new();
+        cols.score_block(&w, &[0, 1, 2, 3], &mut out);
+        let cap = out.capacity();
+        cols.score_block(&w, &[4, 5], &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.capacity() >= cap.min(4));
+    }
+}

@@ -8,6 +8,7 @@
 //! implements the paper's evaluation metric (Definition 9: the number of
 //! tuples accessed *and* scored during query processing).
 
+pub mod columns;
 pub mod cost;
 pub mod dominance;
 pub mod error;
@@ -17,6 +18,7 @@ pub mod oracle;
 pub mod relation;
 pub mod weights;
 
+pub use columns::Columns;
 pub use cost::Cost;
 pub use dominance::{dominates, dominates_eq, DomOrd};
 pub use error::Error;

@@ -62,6 +62,34 @@ impl Relation {
         Ok(r)
     }
 
+    /// Builds a relation from a flat row-major buffer, validating shape and
+    /// value range like [`Relation::from_rows`]. Use this for untrusted
+    /// input (decoded files, CLI ingest); [`Relation::from_flat_unchecked`]
+    /// is for trusted synthetic data only.
+    pub fn from_flat(dims: usize, data: Vec<f64>) -> Result<Self, Error> {
+        if dims == 0 {
+            return Err(Error::InvalidDimension(0));
+        }
+        if !data.len().is_multiple_of(dims) {
+            return Err(Error::DimensionMismatch {
+                expected: dims,
+                got: data.len() % dims,
+            });
+        }
+        for (i, &v) in data.iter().enumerate() {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(Error::InvalidValue {
+                    tuple: i / dims,
+                    dim: i % dims,
+                    value: v,
+                });
+            }
+        }
+        let r = Relation { dims, data };
+        r.check_len()?;
+        Ok(r)
+    }
+
     /// Builds a relation from a flat row-major buffer without range checks.
     ///
     /// # Panics
@@ -231,5 +259,26 @@ mod tests {
         let r = Relation::from_flat_unchecked(2, vec![0.1, 0.2, 0.3, 0.4]);
         assert_eq!(r.len(), 2);
         assert_eq!(r.flat(), &[0.1, 0.2, 0.3, 0.4]);
+    }
+
+    #[test]
+    fn checked_from_flat_validates() {
+        let r = Relation::from_flat(2, vec![0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!(Relation::from_flat(0, vec![]).is_err());
+        assert!(Relation::from_flat(2, vec![0.1]).is_err(), "ragged buffer");
+        assert!(
+            Relation::from_flat(2, vec![0.1, 1.5]).is_err(),
+            "out-of-range value"
+        );
+        assert!(Relation::from_flat(2, vec![0.1, f64::NAN]).is_err());
+        assert!(Relation::from_flat(2, vec![0.1, f64::INFINITY]).is_err());
+        match Relation::from_flat(2, vec![0.1, 0.2, -0.5, 0.4]) {
+            Err(Error::InvalidValue { tuple, dim, value }) => {
+                assert_eq!((tuple, dim), (1, 0));
+                assert_eq!(value, -0.5);
+            }
+            other => panic!("expected InvalidValue, got {other:?}"),
+        }
     }
 }

@@ -13,7 +13,7 @@
 //!   scratch allocation, optionally fanned out over threads.
 
 use crate::index::{DualLayerIndex, NodeId};
-use crate::query::{QueryScratch, TopkResult};
+use crate::query::TopkResult;
 use drtopk_common::{dominates, Cost, TupleId, Weights};
 
 impl DualLayerIndex {
@@ -101,43 +101,15 @@ impl DualLayerIndex {
         out
     }
 
-    /// Answers many queries with one scratch allocation; with
+    /// Answers many queries with one scratch allocation per worker; with
     /// `parallel = true` the batch fans out over all cores (results are
-    /// identical either way).
+    /// identical either way). Thin wrapper over
+    /// [`BatchExecutor`](crate::batch::BatchExecutor), kept for API
+    /// stability; use the executor directly for per-request `k` or an
+    /// explicit thread count.
     pub fn topk_batch(&self, queries: &[Weights], k: usize, parallel: bool) -> Vec<TopkResult> {
-        if !parallel || queries.len() <= 1 {
-            let mut scratch = QueryScratch::for_index(self);
-            return queries
-                .iter()
-                .map(|w| self.topk_with_scratch(w, k, &mut scratch))
-                .collect();
-        }
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4);
-        let chunk = queries.len().div_ceil(workers);
-        let mut out: Vec<Option<TopkResult>> = Vec::with_capacity(queries.len());
-        out.resize_with(queries.len(), || None);
-        std::thread::scope(|scope| {
-            let mut rest: &mut [Option<TopkResult>] = &mut out;
-            let mut offset = 0;
-            while offset < queries.len() {
-                let take = chunk.min(queries.len() - offset);
-                let (slice, tail) = rest.split_at_mut(take);
-                rest = tail;
-                let qs = &queries[offset..offset + take];
-                scope.spawn(move || {
-                    let mut scratch = QueryScratch::for_index(self);
-                    for (slot, w) in slice.iter_mut().zip(qs) {
-                        *slot = Some(self.topk_with_scratch(w, k, &mut scratch));
-                    }
-                });
-                offset += take;
-            }
-        });
-        out.into_iter()
-            .map(|r| r.expect("all queries answered"))
-            .collect()
+        let threads = if parallel { 0 } else { 1 };
+        crate::batch::BatchExecutor::with_threads(self, threads).run_uniform(queries, k)
     }
 }
 

@@ -1,0 +1,168 @@
+//! Concurrent batch query execution.
+//!
+//! A [`BatchExecutor`] answers many independent `(weights, k)` requests
+//! against one index by fanning contiguous chunks of the request slice
+//! across scoped worker threads. Each worker allocates a single
+//! [`QueryScratch`] and reuses it for every request of its chunk, so a
+//! batch of q queries costs O(threads) scratch allocations instead of
+//! O(q).
+//!
+//! Determinism: results come back in request order, and each individual
+//! result is bit-identical to a sequential [`DualLayerIndex::topk`] call —
+//! queries never share mutable state, and the traversal itself is
+//! deterministic, so the thread count can only change wall-clock time,
+//! never answers or costs.
+
+use crate::index::DualLayerIndex;
+use crate::par::{parallel_map_with, resolve_workers};
+use crate::query::{QueryScratch, TopkResult};
+use drtopk_common::Weights;
+
+/// Multi-threaded executor for batches of top-k requests over one index.
+///
+/// ```
+/// use drtopk_common::{Distribution, Weights, WorkloadSpec};
+/// use drtopk_core::{BatchExecutor, DlOptions, DualLayerIndex};
+///
+/// let rel = WorkloadSpec::new(Distribution::Independent, 3, 200, 1).generate();
+/// let idx = DualLayerIndex::build(&rel, DlOptions::dl_plus());
+/// let requests = vec![(Weights::uniform(3), 5), (Weights::uniform(3), 1)];
+/// let results = BatchExecutor::new(&idx).run(&requests);
+/// assert_eq!(results.len(), 2);
+/// assert_eq!(results[0].ids, idx.topk(&Weights::uniform(3), 5).ids);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BatchExecutor<'a> {
+    idx: &'a DualLayerIndex,
+    threads: usize,
+}
+
+impl<'a> BatchExecutor<'a> {
+    /// An executor that uses all available cores.
+    pub fn new(idx: &'a DualLayerIndex) -> Self {
+        BatchExecutor { idx, threads: 0 }
+    }
+
+    /// An executor with an explicit thread count (`0` = all cores).
+    pub fn with_threads(idx: &'a DualLayerIndex, threads: usize) -> Self {
+        BatchExecutor { idx, threads }
+    }
+
+    /// The thread count this executor would use for a batch of `requests`
+    /// requests.
+    pub fn effective_threads(&self, requests: usize) -> usize {
+        resolve_workers(self.threads, requests)
+    }
+
+    /// Answers every `(weights, k)` request, returning results in request
+    /// order. Each result is bit-identical to `self.idx.topk(&w, k)`.
+    ///
+    /// # Panics
+    /// Panics if any weight vector's dimensionality differs from the
+    /// index's.
+    pub fn run(&self, requests: &[(Weights, usize)]) -> Vec<TopkResult> {
+        let idx = self.idx;
+        parallel_map_with(
+            requests,
+            self.threads,
+            &|| QueryScratch::for_index(idx),
+            &|scratch, (w, k)| idx.topk_with_scratch(w, *k, scratch),
+        )
+    }
+
+    /// Answers every query with the same `k` — the common benchmark shape.
+    pub fn run_uniform(&self, queries: &[Weights], k: usize) -> Vec<TopkResult> {
+        let idx = self.idx;
+        parallel_map_with(
+            queries,
+            self.threads,
+            &|| QueryScratch::for_index(idx),
+            &|scratch, w| idx.topk_with_scratch(w, k, scratch),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::DlOptions;
+    use drtopk_common::{Distribution, WorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn batch_fixture(d: usize, n: usize) -> (DualLayerIndex, Vec<(Weights, usize)>) {
+        let rel = WorkloadSpec::new(Distribution::AntiCorrelated, d, n, 13).generate();
+        let idx = DualLayerIndex::build(&rel, DlOptions::dl_plus());
+        let mut rng = StdRng::seed_from_u64(0xBA7C);
+        let requests: Vec<(Weights, usize)> = (0..60)
+            .map(|_| (Weights::random(d, &mut rng), rng.gen_range(1..=25usize)))
+            .collect();
+        (idx, requests)
+    }
+
+    #[test]
+    fn batch_is_bit_identical_to_sequential_across_thread_counts() {
+        // The satellite contract: same ids, same cost as a sequential
+        // topk loop, for threads in {1, 2, 8}.
+        for d in [2, 3] {
+            let (idx, requests) = batch_fixture(d, 400);
+            let sequential: Vec<TopkResult> =
+                requests.iter().map(|(w, k)| idx.topk(w, *k)).collect();
+            for threads in [1usize, 2, 8] {
+                let exec = BatchExecutor::with_threads(&idx, threads);
+                let batch = exec.run(&requests);
+                assert_eq!(batch.len(), sequential.len());
+                for (i, (b, s)) in batch.iter().zip(&sequential).enumerate() {
+                    assert_eq!(b.ids, s.ids, "d={d} threads={threads} request {i}");
+                    assert_eq!(b.cost, s.cost, "d={d} threads={threads} request {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_uniform_matches_per_request_k() {
+        let (idx, requests) = batch_fixture(3, 300);
+        let queries: Vec<Weights> = requests.iter().map(|(w, _)| w.clone()).collect();
+        let uniform = BatchExecutor::with_threads(&idx, 2).run_uniform(&queries, 7);
+        let explicit: Vec<(Weights, usize)> = queries.iter().map(|w| (w.clone(), 7)).collect();
+        let general = BatchExecutor::with_threads(&idx, 2).run(&explicit);
+        for (a, b) in uniform.iter().zip(&general) {
+            assert_eq!(a.ids, b.ids);
+            assert_eq!(a.cost, b.cost);
+        }
+    }
+
+    #[test]
+    fn mixed_k_values_and_edge_requests() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 2, 150, 5).generate();
+        let idx = DualLayerIndex::build(&rel, DlOptions::dl());
+        let requests = vec![
+            (Weights::uniform(2), 0), // empty answer
+            (Weights::uniform(2), 1),
+            (Weights::new(vec![0.99, 0.01]).unwrap(), 150), // full relation
+            (Weights::new(vec![0.01, 0.99]).unwrap(), 999), // k > n
+        ];
+        let out = BatchExecutor::with_threads(&idx, 2).run(&requests);
+        assert!(out[0].ids.is_empty());
+        assert_eq!(out[1].ids.len(), 1);
+        assert_eq!(out[2].ids.len(), 150);
+        assert_eq!(out[3].ids.len(), 150);
+        for ((w, k), r) in requests.iter().zip(&out) {
+            let want = idx.topk(w, *k);
+            assert_eq!(r.ids, want.ids);
+            assert_eq!(r.cost, want.cost);
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_effective_threads() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 2, 50, 2).generate();
+        let idx = DualLayerIndex::build(&rel, DlOptions::dl());
+        let exec = BatchExecutor::with_threads(&idx, 4);
+        assert!(exec.run(&[]).is_empty());
+        assert_eq!(exec.effective_threads(100), 4);
+        assert_eq!(exec.effective_threads(2), 2);
+        assert!(BatchExecutor::new(&idx).effective_threads(100) >= 1);
+    }
+}

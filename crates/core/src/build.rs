@@ -2,9 +2,10 @@
 
 use crate::index::{CoarseLayer, Csr, DualLayerIndex, IndexStats, NodeId};
 use crate::options::{DlOptions, EdsPolicy, ZeroMode};
+use crate::par::parallel_map;
 use crate::zero::Zero2d;
 use drtopk_cluster::{cluster_min_corners, kmeans};
-use drtopk_common::{dominates, Relation, TupleId};
+use drtopk_common::{dominates, Columns, Relation, TupleId};
 use drtopk_geometry::csky::{convex_layers, ConvexLayer};
 use drtopk_geometry::facet_is_eds;
 use drtopk_skyline::skyline_layers;
@@ -274,6 +275,7 @@ impl DualLayerIndex {
                 .map_or(0, |f| f.len()),
         };
 
+        let columns = Columns::from_relation_with_extra(rel, &pseudo);
         DualLayerIndex {
             rel: rel.clone(),
             opts,
@@ -287,6 +289,7 @@ impl DualLayerIndex {
             pseudo_fine,
             zero2d,
             seeds,
+            columns,
             stats,
         }
     }
@@ -396,45 +399,6 @@ fn exists_edges_between(
     }
 }
 
-/// Maps `f` over `items` using scoped threads, one chunk per available
-/// core, preserving order. Used by the parallel build phases: each work
-/// item (a coarse layer, a layer pair, a fine pair) is independent.
-fn parallel_map<T: Sync, R: Send>(items: &[T], f: &(dyn Fn(&T) -> R + Sync)) -> Vec<R> {
-    if items.len() <= 1 {
-        return items.iter().map(f).collect();
-    }
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4);
-    let workers = workers.min(items.len());
-    let chunk = items.len().div_ceil(workers);
-    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    std::thread::scope(|scope| {
-        let mut rest: &mut [Option<R>] = &mut out;
-        let mut offset = 0;
-        let mut handles = Vec::new();
-        while offset < items.len() {
-            let take = chunk.min(items.len() - offset);
-            let (slice, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let items_chunk = &items[offset..offset + take];
-            handles.push(scope.spawn(move || {
-                for (slot, item) in slice.iter_mut().zip(items_chunk) {
-                    *slot = Some(f(item));
-                }
-            }));
-            offset += take;
-        }
-        for h in handles {
-            h.join().expect("parallel build worker panicked");
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,15 +426,5 @@ mod tests {
                 }
             }
         }
-    }
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<usize> = (0..103).collect();
-        let out = parallel_map(&items, &|&x| x * 2);
-        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
-        let empty: Vec<usize> = Vec::new();
-        assert!(parallel_map(&empty, &|&x: &usize| x).is_empty());
-        assert_eq!(parallel_map(&[7usize], &|&x| x + 1), vec![8]);
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::options::DlOptions;
 use crate::zero::Zero2d;
-use drtopk_common::{Relation, TupleId};
+use drtopk_common::{Columns, Relation, TupleId};
 
 /// Node identifier inside the index graph. Values below `n` are real tuple
 /// ids; values `n..n+p` address zero-layer pseudo-tuples.
@@ -114,6 +114,9 @@ pub struct DualLayerIndex {
     pub(crate) zero2d: Option<Zero2d>,
     /// Nodes free at query start (chain members excluded in 2-d mode).
     pub(crate) seeds: Vec<NodeId>,
+    /// Column-major mirror of the relation followed by the pseudo-tuples
+    /// (node ids index it directly); the traversal's scoring kernel.
+    pub(crate) columns: Columns,
     pub(crate) stats: IndexStats,
 }
 
@@ -172,6 +175,13 @@ impl DualLayerIndex {
             let p = node as usize - n;
             &self.pseudo[p * d..(p + 1) * d]
         }
+    }
+
+    /// Column-major (SoA) view of all node coordinates — real tuples at
+    /// `0..n`, pseudo-tuples at `n..n+p` — used by the batch scoring kernel.
+    #[inline]
+    pub fn columns(&self) -> &Columns {
+        &self.columns
     }
 
     /// Whether a node is a real tuple (vs. a zero-layer pseudo-tuple).

@@ -27,17 +27,20 @@
 //! adds a flat zero layer — which is exactly how the paper describes them.
 
 pub mod analytics;
+pub mod batch;
 pub mod build;
 pub mod dynamic;
 pub mod explain;
 pub mod index;
 pub mod monotone;
 pub mod options;
+mod par;
 pub mod query;
 pub mod snapshot;
 pub mod verify;
 pub mod zero;
 
+pub use batch::BatchExecutor;
 pub use dynamic::{DynamicIndex, Handle};
 pub use explain::QueryExplain;
 pub use index::{DualLayerIndex, IndexStats, NodeId};

@@ -79,6 +79,10 @@ pub struct QueryScratch {
     chain_wait: Vec<bool>,
     chain_pos: Vec<u32>,
     heap: BinaryHeap<Entry>,
+    /// Nodes freed since the last flush, awaiting batch scoring.
+    freed: Vec<NodeId>,
+    /// Kernel output buffer, parallel to `freed` during a flush.
+    scores: Vec<f64>,
 }
 
 impl QueryScratch {
@@ -92,6 +96,8 @@ impl QueryScratch {
             chain_wait: Vec::with_capacity(total),
             chain_pos: Vec::new(),
             heap: BinaryHeap::new(),
+            freed: Vec::new(),
+            scores: Vec::new(),
         }
     }
 
@@ -107,6 +113,7 @@ impl QueryScratch {
         self.chain_wait.clear();
         self.chain_wait.resize(total, false);
         self.heap.clear();
+        self.freed.clear();
         if idx.zero2d.is_some() {
             self.chain_pos.clear();
             self.chain_pos.resize(total, u32::MAX);
@@ -208,6 +215,8 @@ impl DualLayerIndex {
             chain_wait,
             chain_pos,
             heap,
+            freed,
+            scores,
             ..
         } = scratch;
         // Chain gating for the exact 2-d zero layer: all chain members
@@ -221,12 +230,13 @@ impl DualLayerIndex {
             chain_wait[z.chain[seed_pos] as usize] = false;
         }
         for &s in &self.seeds {
-            enqueue(self, w, s, heap, enqueued, cost);
+            mark_freed(self, s, freed, enqueued, cost);
         }
         if let Some(z) = &self.zero2d {
             let seed = z.chain[z.select(w)];
-            enqueue(self, w, seed as NodeId, heap, enqueued, cost);
+            mark_freed(self, seed as NodeId, freed, enqueued, cost);
         }
+        flush_freed(self, w, heap, freed, scores);
     }
 
     /// Pops the minimum-key free node and relaxes its out-edges, possibly
@@ -240,14 +250,21 @@ impl DualLayerIndex {
             chain_wait,
             chain_pos,
             heap,
+            freed,
+            scores,
         } = scratch;
         let entry = heap.pop()?;
         let node = entry.node;
+        // Relaxation only *marks* newly free nodes; they are scored in one
+        // kernel call and pushed at the end of the pop. The heap order is
+        // total and `enqueued` dedups at mark time, so deferring the pushes
+        // to the pop boundary leaves the pop sequence (and therefore ids
+        // and cost) identical to immediate insertion.
         // Relax ∀ out-edges: a target needs *all* dominators popped.
         for &t in self.forall.out(node) {
             remaining[t as usize] -= 1;
             if remaining[t as usize] == 0 && !eblocked[t as usize] && !chain_wait[t as usize] {
-                enqueue(self, w, t, heap, enqueued, cost);
+                mark_freed(self, t, freed, enqueued, cost);
             }
         }
         // Relax ∃ out-edges: a target needs *any* EDS member popped.
@@ -255,7 +272,7 @@ impl DualLayerIndex {
             if eblocked[t as usize] {
                 eblocked[t as usize] = false;
                 if remaining[t as usize] == 0 && !chain_wait[t as usize] {
-                    enqueue(self, w, t, heap, enqueued, cost);
+                    mark_freed(self, t, freed, enqueued, cost);
                 }
             }
         }
@@ -264,23 +281,24 @@ impl DualLayerIndex {
             let pos = chain_pos[node as usize];
             if pos != u32::MAX {
                 let pos = pos as usize;
-                let mut free_neighbor = |p: usize, heap: &mut BinaryHeap<Entry>| {
+                let mut free_neighbor = |p: usize, freed: &mut Vec<NodeId>| {
                     let nb = z.chain[p] as usize;
                     if chain_wait[nb] {
                         chain_wait[nb] = false;
                         if remaining[nb] == 0 && !eblocked[nb] {
-                            enqueue(self, w, nb as NodeId, heap, enqueued, cost);
+                            mark_freed(self, nb as NodeId, freed, enqueued, cost);
                         }
                     }
                 };
                 if pos > 0 {
-                    free_neighbor(pos - 1, heap);
+                    free_neighbor(pos - 1, freed);
                 }
                 if pos + 1 < z.chain.len() {
-                    free_neighbor(pos + 1, heap);
+                    free_neighbor(pos + 1, freed);
                 }
             }
         }
+        flush_freed(self, w, heap, freed, scores);
         Some(entry)
     }
 
@@ -342,12 +360,12 @@ impl DualLayerIndex {
     }
 }
 
-/// Inserts a node into the queue (scoring it) unless already present.
-fn enqueue(
+/// Marks a node as freed (deduplicated, cost-ticked); it is scored and
+/// pushed by the next [`flush_freed`].
+fn mark_freed(
     idx: &DualLayerIndex,
-    w: &Weights,
     node: NodeId,
-    heap: &mut BinaryHeap<Entry>,
+    freed: &mut Vec<NodeId>,
     enqueued: &mut [bool],
     cost: &mut Cost,
 ) {
@@ -355,17 +373,37 @@ fn enqueue(
         return;
     }
     enqueued[node as usize] = true;
-    let real = idx.is_real(node);
-    if real {
+    if idx.is_real(node) {
         cost.tick();
     } else {
         cost.tick_pseudo();
     }
-    heap.push(Entry {
-        score: w.score(idx.node_coords(node)),
-        real,
-        node,
-    });
+    freed.push(node);
+}
+
+/// Scores all marked nodes in one columnar kernel call and pushes them
+/// onto the queue. The kernel's scores are bit-identical to
+/// [`Weights::score`], so heap ordering is unchanged versus per-node
+/// scoring.
+fn flush_freed(
+    idx: &DualLayerIndex,
+    w: &Weights,
+    heap: &mut BinaryHeap<Entry>,
+    freed: &mut Vec<NodeId>,
+    scores: &mut Vec<f64>,
+) {
+    if freed.is_empty() {
+        return;
+    }
+    idx.columns.score_block(w, freed, scores);
+    for (&node, &score) in freed.iter().zip(scores.iter()) {
+        heap.push(Entry {
+            score,
+            real: idx.is_real(node),
+            node,
+        });
+    }
+    freed.clear();
 }
 
 /// A lazily-evaluated top-k traversal: yields `(tuple id, score)` pairs in

@@ -8,7 +8,7 @@
 use crate::index::{CoarseLayer, Csr, DualLayerIndex, IndexStats, NodeId};
 use crate::options::DlOptions;
 use crate::zero::Zero2d;
-use drtopk_common::{Error, Relation, TupleId};
+use drtopk_common::{Columns, Error, Relation, TupleId};
 
 /// Flat, public representation of a built index.
 #[derive(Debug, Clone, PartialEq)]
@@ -90,7 +90,10 @@ impl DualLayerIndex {
                 got: snap.data.len() % snap.dims,
             });
         }
-        let rel = Relation::from_flat_unchecked(snap.dims, snap.data.clone());
+        // Snapshots typically arrive from decoded files: validate values,
+        // not just shape, so corrupt payloads can't smuggle out-of-range
+        // coordinates past the traversal's invariants.
+        let rel = Relation::from_flat(snap.dims, snap.data.clone())?;
         let n = rel.len();
         let pseudo_count = snap.pseudo.len() / snap.dims;
         let total = n + pseudo_count;
@@ -209,6 +212,7 @@ impl DualLayerIndex {
                 .and_then(|l| l.fine.first())
                 .map_or(0, |f| f.len()),
         };
+        let columns = Columns::from_relation_with_extra(&rel, &snap.pseudo);
         Ok(DualLayerIndex {
             rel,
             opts,
@@ -222,6 +226,7 @@ impl DualLayerIndex {
             pseudo_fine: snap.pseudo_fine.clone(),
             zero2d,
             seeds,
+            columns,
             stats,
         })
     }

@@ -1,6 +1,8 @@
-//! Property-based tests for the geometry substrate: QuickHull containment
-//! and facet sanity, LP optimality/feasibility, convex-skyline membership
-//! against the definitional LP oracle, and the 2-d chain against it too.
+//! Randomized property tests for the geometry substrate: QuickHull
+//! containment and facet sanity, LP optimality/feasibility, convex-skyline
+//! membership against the definitional LP oracle, and the 2-d chain
+//! against it too. Seeded loops stand in for a property-testing framework
+//! (the build is offline); every case is deterministic per seed.
 
 use drtopk_common::{Relation, TupleId};
 use drtopk_geometry::csky::{convex_skyline, hull_vertices};
@@ -8,47 +10,50 @@ use drtopk_geometry::hull2d::lower_left_chain;
 use drtopk_geometry::hulldd::quickhull;
 use drtopk_geometry::lp::{Cmp, LpOutcome, Simplex};
 use drtopk_geometry::GEOM_EPS;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
     a.iter().zip(b).map(|(x, y)| x * y).sum()
 }
 
-fn arb_points(dmin: usize, dmax: usize) -> impl Strategy<Value = (usize, Vec<f64>)> {
-    (dmin..=dmax, 10usize..=120).prop_flat_map(|(d, n)| {
-        proptest::collection::vec(0.0f64..1.0, d * n).prop_map(move |pts| (d, pts))
-    })
+/// Arbitrary point cloud: d in dmin..=dmax, n in 10..=120, coords in [0,1).
+fn arb_points(rng: &mut StdRng, dmin: usize, dmax: usize) -> (usize, Vec<f64>) {
+    let d = rng.gen_range(dmin..=dmax);
+    let n = rng.gen_range(10usize..=120);
+    let pts: Vec<f64> = (0..d * n).map(|_| rng.gen_range(0.0..1.0f64)).collect();
+    (d, pts)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn quickhull_contains_all_points((d, pts) in arb_points(2, 5)) {
+#[test]
+fn quickhull_contains_all_points() {
+    for case in 0u64..48 {
+        let mut rng = StdRng::seed_from_u64(0x6E0_0000 + case);
+        let (d, pts) = arb_points(&mut rng, 2, 5);
         match quickhull(&pts, d, GEOM_EPS) {
             Ok(hull) => {
                 let n = pts.len() / d;
-                prop_assert!(!hull.facets.is_empty());
+                assert!(!hull.facets.is_empty(), "case {case}");
                 for f in &hull.facets {
-                    prop_assert_eq!(f.vertices.len(), d);
+                    assert_eq!(f.vertices.len(), d, "case {case}");
                     let norm = dot(&f.normal, &f.normal).sqrt();
-                    prop_assert!((norm - 1.0).abs() < 1e-9, "unit normal");
+                    assert!((norm - 1.0).abs() < 1e-9, "case {case}: unit normal");
                     for i in 0..n {
                         let p = &pts[i * d..(i + 1) * d];
-                        prop_assert!(
+                        assert!(
                             dot(&f.normal, p) <= f.offset + 1e-6,
-                            "point {} above a facet", i
+                            "case {case}: point {i} above a facet"
                         );
                     }
                     // Facet vertices lie on the plane.
                     for &v in &f.vertices {
                         let p = &pts[v as usize * d..(v as usize + 1) * d];
-                        prop_assert!((dot(&f.normal, p) - f.offset).abs() < 1e-6);
+                        assert!((dot(&f.normal, p) - f.offset).abs() < 1e-6, "case {case}");
                     }
                 }
                 // Vertices are a subset of the input ids.
                 for &v in &hull.vertices {
-                    prop_assert!((v as usize) < n);
+                    assert!((v as usize) < n, "case {case}");
                 }
             }
             Err(_) => {
@@ -56,66 +61,81 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn lp_reports_feasible_optimum(
-        n_vars in 1usize..=4,
-        rows in proptest::collection::vec(
-            (proptest::collection::vec(-3.0f64..3.0, 4), 0.5f64..5.0),
-            1..=5
-        ),
-        obj in proptest::collection::vec(-2.0f64..2.0, 4),
-    ) {
+#[test]
+fn lp_reports_feasible_optimum() {
+    for case in 0u64..48 {
+        let mut rng = StdRng::seed_from_u64(0x6E1_0000 + case);
+        let n_vars = rng.gen_range(1usize..=4);
+        let n_rows = rng.gen_range(1usize..=5);
+        let rows: Vec<(Vec<f64>, f64)> = (0..n_rows)
+            .map(|_| {
+                let a: Vec<f64> = (0..n_vars).map(|_| rng.gen_range(-3.0..3.0f64)).collect();
+                (a, rng.gen_range(0.5..5.0f64))
+            })
+            .collect();
+        let obj: Vec<f64> = (0..n_vars).map(|_| rng.gen_range(-2.0..2.0f64)).collect();
         // Constraints of the form a·x <= b with b > 0: x = 0 is feasible,
         // so the LP is never infeasible; it may be unbounded.
-        let mut s = Simplex::maximize(obj[..n_vars].to_vec());
+        let mut s = Simplex::maximize(obj.clone());
         for (a, b) in &rows {
-            s.constraint(&a[..n_vars], Cmp::Le, *b);
+            s.constraint(a, Cmp::Le, *b);
         }
         match s.solve() {
             LpOutcome::Optimal { x, value } => {
-                prop_assert_eq!(x.len(), n_vars);
+                assert_eq!(x.len(), n_vars, "case {case}");
                 for xi in &x {
-                    prop_assert!(*xi >= -1e-9, "x must be nonnegative");
+                    assert!(*xi >= -1e-9, "case {case}: x must be nonnegative");
                 }
                 for (a, b) in &rows {
-                    prop_assert!(dot(&a[..n_vars], &x) <= b + 1e-7, "constraint violated");
+                    assert!(dot(a, &x) <= b + 1e-7, "case {case}: constraint violated");
                 }
                 // Optimum at least as good as the origin (objective 0).
-                prop_assert!(value >= -1e-9);
+                assert!(value >= -1e-9, "case {case}");
             }
             LpOutcome::Unbounded => {
                 // Fine: some direction improves forever. Sanity: at least
                 // one objective coefficient is positive.
-                prop_assert!(obj[..n_vars].iter().any(|&c| c > 0.0));
+                assert!(obj.iter().any(|&c| c > 0.0), "case {case}");
             }
-            LpOutcome::Infeasible => prop_assert!(false, "x=0 is feasible"),
+            LpOutcome::Infeasible => panic!("case {case}: x=0 is feasible"),
         }
     }
+}
 
-    #[test]
-    fn chain_is_exactly_the_lower_left_hull((_, pts) in arb_points(2, 2)) {
+#[test]
+fn chain_is_exactly_the_lower_left_hull() {
+    for case in 0u64..48 {
+        let mut rng = StdRng::seed_from_u64(0x6E2_0000 + case);
+        let (_, pts) = arb_points(&mut rng, 2, 2);
         let n = pts.len() / 2;
         let points: Vec<(f64, f64)> = (0..n).map(|i| (pts[i * 2], pts[i * 2 + 1])).collect();
         let chain = lower_left_chain(&points);
-        prop_assert!(!chain.is_empty());
+        assert!(!chain.is_empty(), "case {case}");
         // (1) Strictly monotone: x increasing, y decreasing along the chain.
         for w in chain.windows(2) {
-            prop_assert!(points[w[0]].0 < points[w[1]].0);
-            prop_assert!(points[w[0]].1 > points[w[1]].1);
+            assert!(points[w[0]].0 < points[w[1]].0, "case {case}");
+            assert!(points[w[0]].1 > points[w[1]].1, "case {case}");
         }
         // (2) Strictly convex turns.
         for w in chain.windows(3) {
             let (a, b, c) = (points[w[0]], points[w[1]], points[w[2]]);
             let cross = (b.0 - a.0) * (c.1 - a.1) - (b.1 - a.1) * (c.0 - a.0);
-            prop_assert!(cross > 0.0, "chain must make strict left turns");
+            assert!(
+                cross > 0.0,
+                "case {case}: chain must make strict left turns"
+            );
         }
         // (3) Endpoints: the chain starts at the min-x frontier and ends at
         // the min-y frontier.
         let min_x = points.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
         let min_y = points.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
-        prop_assert!((points[chain[0]].0 - min_x).abs() < 1e-12);
-        prop_assert!((points[*chain.last().unwrap()].1 - min_y).abs() < 1e-12);
+        assert!((points[chain[0]].0 - min_x).abs() < 1e-12, "case {case}");
+        assert!(
+            (points[*chain.last().unwrap()].1 - min_y).abs() < 1e-12,
+            "case {case}"
+        );
         // (4) Completeness: no point lies strictly below the chain.
         for (qi, &q) in points.iter().enumerate() {
             if chain.contains(&qi) {
@@ -128,17 +148,21 @@ proptest! {
                     // lower hull — impossible (tolerate the eps the chain
                     // builder itself uses for collinearity).
                     let cross = (b.0 - a.0) * (q.1 - a.1) - (b.1 - a.1) * (q.0 - a.0);
-                    prop_assert!(
+                    assert!(
                         cross >= -1e-9,
-                        "point {} lies strictly below chain segment", qi
+                        "case {case}: point {qi} lies strictly below chain segment"
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn convex_skyline_always_contains_a_minimizer((d, pts) in arb_points(3, 4)) {
+#[test]
+fn convex_skyline_always_contains_a_minimizer() {
+    for case in 0u64..48 {
+        let mut rng = StdRng::seed_from_u64(0x6E3_0000 + case);
+        let (d, pts) = arb_points(&mut rng, 3, 4);
         // The extraction may be a strict subset of the exact convex
         // skyline, but it must always contain a minimizer of the uniform
         // weight (the progress guarantee DL's peeling relies on).
@@ -146,17 +170,23 @@ proptest! {
         let n = rel.len();
         let all: Vec<TupleId> = (0..n as TupleId).collect();
         let cs = convex_skyline(&rel, &all);
-        prop_assert!(!cs.members.is_empty());
+        assert!(!cs.members.is_empty(), "case {case}");
         let sum = |t: TupleId| -> f64 { rel.tuple(t).iter().sum() };
         let best = (0..n as TupleId).map(sum).fold(f64::INFINITY, f64::min);
-        prop_assert!(
-            cs.members.iter().any(|&p| (sum(all[p as usize]) - best).abs() < 1e-12),
-            "uniform-weight minimizer missing from the convex skyline"
+        assert!(
+            cs.members
+                .iter()
+                .any(|&p| (sum(all[p as usize]) - best).abs() < 1e-12),
+            "case {case}: uniform-weight minimizer missing from the convex skyline"
         );
     }
+}
 
-    #[test]
-    fn hull_vertex_layer_is_superset_of_convex_skyline((d, pts) in arb_points(3, 4)) {
+#[test]
+fn hull_vertex_layer_is_superset_of_convex_skyline() {
+    for case in 0u64..48 {
+        let mut rng = StdRng::seed_from_u64(0x6E4_0000 + case);
+        let (d, pts) = arb_points(&mut rng, 3, 4);
         let rel = Relation::from_flat_unchecked(d, pts.clone());
         let all: Vec<TupleId> = (0..rel.len() as TupleId).collect();
         if let Some(fat) = hull_vertices(&rel, &all) {
@@ -164,9 +194,9 @@ proptest! {
             for m in &cs.members {
                 // Fast extraction adds the uniform minimizer explicitly,
                 // which is also always a hull vertex.
-                prop_assert!(
+                assert!(
                     fat.contains(m),
-                    "convex-skyline member {} missing from the fat hull layer", m
+                    "case {case}: convex-skyline member {m} missing from the fat hull layer"
                 );
             }
         }

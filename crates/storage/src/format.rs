@@ -193,7 +193,10 @@ pub fn relation_from_bytes(data: &[u8]) -> Result<Relation, FormatError> {
             "payload not a multiple of dims".into(),
         ));
     }
-    Ok(Relation::from_flat_unchecked(dims, flat))
+    // Checked constructor: a file that passes CRC can still carry
+    // out-of-range or non-finite coordinates (e.g. written by another
+    // tool); reject those instead of handing them to the traversal.
+    Relation::from_flat(dims, flat).map_err(|e| FormatError::Invalid(e.to_string()))
 }
 
 /// Serializes an index snapshot to bytes.
@@ -356,6 +359,20 @@ mod tests {
         let bytes = relation_to_bytes(&rel);
         let back = relation_from_bytes(&bytes).unwrap();
         assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn relation_decode_rejects_out_of_range_values() {
+        // A well-framed file (valid CRC) whose payload carries coordinates
+        // the engine's invariants forbid must fail to decode.
+        for bad in [-0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let rel = Relation::from_flat_unchecked(2, vec![0.2, 0.8, bad, 0.5]);
+            let bytes = relation_to_bytes(&rel);
+            assert!(
+                matches!(relation_from_bytes(&bytes), Err(FormatError::Invalid(_))),
+                "value {bad} must be rejected"
+            );
+        }
     }
 
     #[test]

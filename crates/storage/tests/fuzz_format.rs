@@ -1,32 +1,36 @@
 //! Failure-injection tests for the storage format: arbitrary and mutated
 //! byte streams must never panic the decoders — every malformed input is
-//! a clean `Err`.
+//! a clean `Err`. Seeded loops stand in for a fuzzing framework (the
+//! build is offline); every case is deterministic per seed.
 
 use drtopk_common::{Distribution, WorkloadSpec};
 use drtopk_core::{DlOptions, DualLayerIndex};
 use drtopk_storage::format::{
     index_from_bytes, index_to_bytes, relation_from_bytes, relation_to_bytes,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn random_bytes_never_panic() {
+    for case in 0u64..256 {
+        let mut rng = StdRng::seed_from_u64(0xF0_0000 + case);
+        let len = rng.gen_range(0usize..512);
+        let data: Vec<u8> = (0..len).map(|_| rng.gen::<u8>()).collect();
         let _ = relation_from_bytes(&data);
         let _ = index_from_bytes(&data);
     }
+}
 
-    #[test]
-    fn mutated_relation_files_never_panic(
-        seed in 0u64..50,
-        flip_at in 0usize..4096,
-        flip_bit in 0u8..8,
-    ) {
+#[test]
+fn mutated_relation_files_never_panic() {
+    for case in 0u64..256 {
+        let mut rng = StdRng::seed_from_u64(0xF1_0000 + case);
+        let seed = rng.gen_range(0u64..50);
         let rel = WorkloadSpec::new(Distribution::Independent, 3, 40, seed).generate();
         let mut bytes = relation_to_bytes(&rel);
-        let pos = flip_at % bytes.len();
+        let pos = rng.gen_range(0usize..4096) % bytes.len();
+        let flip_bit = rng.gen_range(0u8..8);
         bytes[pos] ^= 1 << flip_bit;
         if let Ok(back) = relation_from_bytes(&bytes) {
             // A flip that survives decoding must have hit a value bit
@@ -35,16 +39,26 @@ proptest! {
             // flip landed on a byte that decodes identically, which a
             // single bit flip cannot do). Reaching here means CRC
             // failed to catch a corruption.
-            prop_assert!(back == rel, "single bit flip slipped past the checksum");
+            assert!(
+                back == rel,
+                "case {case}: single bit flip slipped past the checksum"
+            );
         }
     }
+}
 
-    #[test]
-    fn truncated_index_files_never_panic(seed in 0u64..20, cut in 1usize..200) {
+#[test]
+fn truncated_index_files_never_panic() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(0xF2_0000 + case);
+        let seed = rng.gen_range(0u64..20);
         let rel = WorkloadSpec::new(Distribution::Independent, 2, 30, seed).generate();
         let idx = DualLayerIndex::build(&rel, DlOptions::dl());
         let bytes = index_to_bytes(&idx.to_snapshot());
-        let cut = cut % bytes.len();
-        prop_assert!(index_from_bytes(&bytes[..cut]).is_err());
+        let cut = rng.gen_range(1usize..200) % bytes.len();
+        assert!(
+            index_from_bytes(&bytes[..cut]).is_err(),
+            "case {case}: truncated file decoded"
+        );
     }
 }

@@ -1,42 +1,42 @@
-//! Property-based tests (proptest) over arbitrary relations, weights, and
+//! Randomized property tests over arbitrary relations, weights, and
 //! retrieval sizes: correctness and the paper's cost dominance must hold
-//! for *any* input, not just the synthetic generators.
+//! for *any* input, not just the synthetic generators. Seeded loops stand
+//! in for a property-testing framework (the build is offline); every case
+//! is deterministic per seed, and failures print the seed that produced
+//! them.
 
 use drtopk::baselines::{HlIndex, OnionIndex};
 use drtopk::common::{dominates, topk_bruteforce, Relation, TupleId, Weights};
 use drtopk::core::{DlOptions, DualLayerIndex};
 use drtopk::geometry::{convex_skyline, facet_is_eds};
 use drtopk::skyline::{bskytree, naive};
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// An arbitrary relation: d in 2..=4, n in 1..=60, values in (0,1) from a
 /// coarse grid so duplicates and collinear/coplanar cases appear often.
-fn arb_relation() -> impl Strategy<Value = Relation> {
-    (2usize..=4, 1usize..=60).prop_flat_map(|(d, n)| {
-        proptest::collection::vec(
-            proptest::collection::vec((1u32..=40).prop_map(|v| v as f64 / 41.0), d),
-            n,
-        )
-        .prop_map(move |rows| Relation::from_rows(d, &rows).expect("grid rows are valid"))
-    })
+fn arb_relation(rng: &mut StdRng) -> Relation {
+    let d = rng.gen_range(2usize..=4);
+    let n = rng.gen_range(1usize..=60);
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            (0..d)
+                .map(|_| rng.gen_range(1u32..=40) as f64 / 41.0)
+                .collect()
+        })
+        .collect();
+    Relation::from_rows(d, &rows).expect("grid rows are valid")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn dl_matches_oracle_scores(rel in arb_relation(), k in 1usize..=20, seed in 0u64..1000) {
+#[test]
+fn dl_matches_oracle_scores() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(0xD1_0000 + case);
+        let rel = arb_relation(&mut rng);
+        let k = rng.gen_range(1usize..=20);
         let d = rel.dims();
-        let w = {
-            // Derive weights deterministically from the seed.
-            let mut raw = Vec::with_capacity(d);
-            let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-            for _ in 0..d {
-                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                raw.push(1.0 + (s >> 33) as f64 / u32::MAX as f64);
-            }
-            Weights::new(raw).unwrap()
-        };
+        let raw: Vec<f64> = (0..d).map(|_| rng.gen_range(1.0..2.0f64)).collect();
+        let w = Weights::new(raw).unwrap();
         let idx = DualLayerIndex::build(&rel, DlOptions::dl_plus());
         let got = idx.topk(&w, k);
         let want = topk_bruteforce(&rel, &w, k);
@@ -44,92 +44,134 @@ proptest! {
         // invariant under tie permutations, plus set size.
         let gs: Vec<f64> = got.ids.iter().map(|&t| w.score(rel.tuple(t))).collect();
         let ws: Vec<f64> = want.iter().map(|&t| w.score(rel.tuple(t))).collect();
-        prop_assert_eq!(gs.len(), ws.len());
+        assert_eq!(gs.len(), ws.len(), "case {case}");
         for (a, b) in gs.iter().zip(&ws) {
-            prop_assert!((a - b).abs() < 1e-9, "score mismatch: {} vs {}", a, b);
+            assert!((a - b).abs() < 1e-9, "case {case}: score {a} vs {b}");
         }
     }
+}
 
-    #[test]
-    fn skyline_algorithms_agree(rel in arb_relation()) {
+#[test]
+fn skyline_algorithms_agree() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(0xD2_0000 + case);
+        let rel = arb_relation(&mut rng);
         let ids: Vec<TupleId> = (0..rel.len() as TupleId).collect();
-        prop_assert_eq!(bskytree(&rel, &ids), naive(&rel, &ids));
+        assert_eq!(bskytree(&rel, &ids), naive(&rel, &ids), "case {case}");
     }
+}
 
-    #[test]
-    fn convex_skyline_members_are_skyline_tuples(rel in arb_relation()) {
+#[test]
+fn convex_skyline_members_are_skyline_tuples() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(0xD3_0000 + case);
+        let rel = arb_relation(&mut rng);
         let ids: Vec<TupleId> = (0..rel.len() as TupleId).collect();
         let cs = convex_skyline(&rel, &ids);
-        prop_assert!(!cs.members.is_empty());
+        assert!(!cs.members.is_empty(), "case {case}");
         // Every convex-skyline member is undominated (CSKY ⊆ SKY).
         for &p in &cs.members {
             let t = rel.tuple(ids[p as usize]);
             for &o in &ids {
                 if o != ids[p as usize] {
-                    prop_assert!(
+                    assert!(
                         !dominates(rel.tuple(o), t),
-                        "convex skyline member {} is dominated", ids[p as usize]
+                        "case {case}: convex skyline member {} is dominated",
+                        ids[p as usize]
                     );
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn eds_guarantee_holds_for_random_facets(
-        rel in arb_relation(),
-        picks in proptest::collection::vec(0usize..1000, 5),
-        wseed in 1u32..50,
-    ) {
+#[test]
+fn eds_guarantee_holds_for_random_facets() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(0xD4_0000 + case);
+        let rel = arb_relation(&mut rng);
         let n = rel.len();
         let d = rel.dims();
-        let facet: Vec<TupleId> = picks.iter().take(d).map(|&p| (p % n) as TupleId).collect();
-        let target = (picks[4] % n) as TupleId;
+        let facet: Vec<TupleId> = (0..d)
+            .map(|_| rng.gen_range(0usize..1000) % n)
+            .map(|p| p as TupleId)
+            .collect();
+        let target = (rng.gen_range(0usize..1000) % n) as TupleId;
+        let wseed = rng.gen_range(1u32..50);
         if facet.contains(&target) {
-            return Ok(());
+            continue;
         }
         if facet_is_eds(&rel, &facet, target) {
             // The defining guarantee: for EVERY positive weight vector some
             // facet member scores strictly below the target.
             for i in 0..5 {
-                let raw: Vec<f64> =
-                    (0..d).map(|j| 1.0 + ((wseed as usize + i * 7 + j * 13) % 17) as f64).collect();
+                let raw: Vec<f64> = (0..d)
+                    .map(|j| 1.0 + ((wseed as usize + i * 7 + j * 13) % 17) as f64)
+                    .collect();
                 let w = Weights::new(raw).unwrap();
-                let tmin = facet.iter().map(|&f| w.score(rel.tuple(f))).fold(f64::INFINITY, f64::min);
-                prop_assert!(
+                let tmin = facet
+                    .iter()
+                    .map(|&f| w.score(rel.tuple(f)))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(
                     tmin < w.score(rel.tuple(target)) + 1e-12,
-                    "EDS member must precede target for every weight"
+                    "case {case}: EDS member must precede target for every weight"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn baselines_match_oracle_scores(rel in arb_relation(), k in 1usize..=15) {
+#[test]
+fn baselines_match_oracle_scores() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(0xD5_0000 + case);
+        let rel = arb_relation(&mut rng);
+        let k = rng.gen_range(1usize..=15);
         let d = rel.dims();
         let w = Weights::uniform(d);
         let want: Vec<f64> = topk_bruteforce(&rel, &w, k)
-            .iter().map(|&t| w.score(rel.tuple(t))).collect();
+            .iter()
+            .map(|&t| w.score(rel.tuple(t)))
+            .collect();
         let onion = OnionIndex::build(&rel, 0);
         let hl = HlIndex::build(&rel, 0);
-        let o: Vec<f64> = onion.topk(&w, k).0.iter().map(|&t| w.score(rel.tuple(t))).collect();
-        let h: Vec<f64> = hl.topk_hl_plus(&w, k).0.iter().map(|&t| w.score(rel.tuple(t))).collect();
-        prop_assert_eq!(o.len(), want.len());
-        prop_assert_eq!(h.len(), want.len());
+        let o: Vec<f64> = onion
+            .topk(&w, k)
+            .0
+            .iter()
+            .map(|&t| w.score(rel.tuple(t)))
+            .collect();
+        let h: Vec<f64> = hl
+            .topk_hl_plus(&w, k)
+            .0
+            .iter()
+            .map(|&t| w.score(rel.tuple(t)))
+            .collect();
+        assert_eq!(o.len(), want.len(), "case {case}");
+        assert_eq!(h.len(), want.len(), "case {case}");
         for (a, b) in o.iter().zip(&want) {
-            prop_assert!((a - b).abs() < 1e-9, "Onion score mismatch");
+            assert!((a - b).abs() < 1e-9, "case {case}: Onion score mismatch");
         }
         for (a, b) in h.iter().zip(&want) {
-            prop_assert!((a - b).abs() < 1e-9, "HL+ score mismatch");
+            assert!((a - b).abs() < 1e-9, "case {case}: HL+ score mismatch");
         }
     }
+}
 
-    #[test]
-    fn cost_dominance_dl_vs_dg(rel in arb_relation(), k in 1usize..=15) {
+#[test]
+fn cost_dominance_dl_vs_dg() {
+    for case in 0u64..64 {
+        let mut rng = StdRng::seed_from_u64(0xD6_0000 + case);
+        let rel = arb_relation(&mut rng);
+        let k = rng.gen_range(1usize..=15);
         let d = rel.dims();
         let w = Weights::uniform(d);
         let dl = DualLayerIndex::build(&rel, DlOptions::dl());
         let dg = DualLayerIndex::build(&rel, DlOptions::dg());
-        prop_assert!(dl.topk(&w, k).cost.total() <= dg.topk(&w, k).cost.total());
+        assert!(
+            dl.topk(&w, k).cost.total() <= dg.topk(&w, k).cost.total(),
+            "case {case}"
+        );
     }
 }

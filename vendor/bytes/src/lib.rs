@@ -1,0 +1,202 @@
+//! Offline drop-in subset of the `bytes` crate.
+//!
+//! Implements exactly the API surface the storage format code uses:
+//! [`BytesMut`] as an append-only little-endian encoder, [`Bytes`] as a
+//! consuming little-endian decoder, and the [`Buf`]/[`BufMut`] traits that
+//! host their methods. Backed by plain `Vec<u8>` — no shared-buffer
+//! refcounting, which the workspace never relied on.
+
+use std::ops::Deref;
+
+/// Read cursor over a byte buffer (little-endian accessors).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Borrows the unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Skips `n` bytes.
+    ///
+    /// # Panics
+    /// Panics if fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.chunk()[..4].try_into().unwrap());
+        self.advance(4);
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.chunk()[..8].try_into().unwrap());
+        self.advance(8);
+        v
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+/// Append-only writer (little-endian encoders).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+/// Growable byte buffer, written through [`BufMut`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.inner,
+            pos: 0,
+        }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Immutable byte buffer with a read cursor, consumed through [`Buf`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Copies a slice into an owned buffer.
+    pub fn copy_from_slice(src: &[u8]) -> Self {
+        Bytes {
+            data: src.to_vec(),
+            pos: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.remaining()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn chunk(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(n <= self.remaining(), "advance past end of buffer");
+        self.pos += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u8(0xAB);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(0x0123_4567_89AB_CDEF);
+        w.put_f64_le(std::f64::consts::PI);
+        w.put_slice(b"xyz");
+        assert_eq!(w.len(), 1 + 4 + 8 + 8 + 3);
+
+        let mut r = Bytes::copy_from_slice(&w);
+        assert_eq!(r.get_u8(), 0xAB);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f64_le(), std::f64::consts::PI);
+        assert!(r.has_remaining());
+        assert_eq!(r.chunk(), b"xyz");
+        r.advance(3);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "advance past end")]
+    fn advance_past_end_panics() {
+        let mut b = Bytes::copy_from_slice(b"ab");
+        b.advance(3);
+    }
+
+    #[test]
+    fn freeze_matches_copy() {
+        let mut w = BytesMut::new();
+        w.put_u32_le(7);
+        let frozen = w.clone().freeze();
+        assert_eq!(frozen, Bytes::copy_from_slice(&w));
+    }
+}

@@ -7,7 +7,7 @@
 //! ```text
 //! drtopk generate --dist ant --dims 4 --n 20000 --seed 7 --out data.drt
 //! drtopk import   --csv hotels.csv --columns 1:low,2:high,3:low --out data.drt
-//! drtopk build    --data data.drt --out index.drt [--variant dl+|dl|dg|dg+] [--parallel]
+//! drtopk build    --data data.drt --out index.drt [--variant dl+|dl|dg|dg+] [--parallel] [--threads T] [--stats]
 //! drtopk stats    --index index.drt
 //! drtopk query    --index index.drt --weights 0.3,0.3,0.4 --k 10
 //! drtopk batch    --index index.drt --weights-file queries.txt --k 10 [--threads T]
@@ -64,7 +64,7 @@ impl Flags {
                 )));
             };
             // Boolean switches take no value.
-            if name == "parallel" {
+            if name == "parallel" || name == "stats" {
                 switches.push(name.to_string());
                 i += 1;
                 continue;
@@ -151,6 +151,7 @@ commands:
   generate  --dist ind|ant|cor --dims D --n N [--seed S] --out FILE
   import    --csv FILE --columns IDX:low|high[,...] --out FILE
   build     --data FILE --out FILE [--variant dl+|dl|dg|dg+] [--parallel]
+            [--threads T] [--stats]
   stats     --index FILE
   query     --index FILE --weights W1,W2,... [--k K]
   batch     --index FILE --weights-file FILE [--k K] [--threads T]
@@ -255,6 +256,7 @@ fn cmd_build(f: &Flags) -> Result<String, CliError> {
     let out = PathBuf::from(f.require("out")?);
     let mut opts = variant_options(f.get("variant").unwrap_or("dl+"))?;
     opts.parallel = f.has("parallel");
+    opts.build_threads = f.parse_num("threads", 0)?;
     if let Some(c) = f.get("clusters") {
         let clusters: usize = c
             .parse()
@@ -262,20 +264,23 @@ fn cmd_build(f: &Flags) -> Result<String, CliError> {
         opts.zero = ZeroMode::Clustered { clusters };
     }
     let rel = load_relation(&data).map_err(|e| CliError::runtime(e.to_string()))?;
-    let t0 = std::time::Instant::now();
-    let idx = DualLayerIndex::build(&rel, opts);
-    let secs = t0.elapsed().as_secs_f64();
+    let (idx, profile) = DualLayerIndex::build_with_profile(&rel, opts);
     save_index(&idx, &out).map_err(|e| CliError::runtime(e.to_string()))?;
     let s = idx.stats();
-    Ok(format!(
-        "built in {secs:.2}s: {} coarse / {} fine layers, {} ∀-edges, {} ∃-edges, {} pseudo\nwrote {}\n",
+    let mut text = format!(
+        "built in {:.2}s: {} coarse / {} fine layers, {} ∀-edges, {} ∃-edges, {} pseudo\nwrote {}\n",
+        profile.total_seconds,
         s.coarse_layers,
         s.fine_layers,
         s.forall_edges,
         s.exists_edges,
         s.pseudo_tuples,
         out.display()
-    ))
+    );
+    if f.has("stats") {
+        let _ = writeln!(text, "{profile}");
+    }
+    Ok(text)
 }
 
 fn stats_text(idx: &DualLayerIndex, path: &Path) -> String {
@@ -470,9 +475,15 @@ mod tests {
             "--variant",
             "dl+",
             "--parallel",
+            "--threads",
+            "2",
+            "--stats",
         ]))
         .unwrap();
         assert!(out.contains("coarse"));
+        // --stats appends the per-phase profile table.
+        assert!(out.contains("coarse peel"), "{out}");
+        assert!(out.contains("dominance tests"), "{out}");
 
         let out = run(&argv(&["stats", "--index", index.to_str().unwrap()])).unwrap();
         assert!(out.contains("tuples            500"));
@@ -616,7 +627,10 @@ mod tests {
         .unwrap();
         assert!(out.contains("query 0:"), "{out}");
         assert!(out.contains("query 2:"), "{out}");
-        assert!(out.contains("3 queries on 2 threads"), "{out}");
+        // Three queries are below the per-worker chunking threshold, so the
+        // executor collapses them onto one worker regardless of the host's
+        // core count.
+        assert!(out.contains("3 queries on 1 threads"), "{out}");
 
         // Batch answers must match single-query answers.
         let single = run(&argv(&[

@@ -15,6 +15,7 @@ pub mod error;
 pub mod generator;
 pub mod ingest;
 pub mod oracle;
+pub mod par;
 pub mod relation;
 pub mod weights;
 

@@ -14,9 +14,17 @@
 //! never answers or costs.
 
 use crate::index::DualLayerIndex;
-use crate::par::{parallel_map_with, resolve_workers};
+use crate::par::{parallel_map_chunked, resolve_workers_chunked};
 use crate::query::{QueryScratch, TopkResult};
 use drtopk_common::Weights;
+
+/// Smallest number of requests worth handing one worker thread. A top-k
+/// query on a built index runs in tens of microseconds, so dispatching
+/// fewer requests than this per thread costs more in spawn/join overhead
+/// than the parallelism recovers (the PR-1 throughput sweep measured
+/// speedup < 1 at 2 threads for exactly this reason). Small batches
+/// therefore collapse onto fewer workers.
+const MIN_REQUESTS_PER_WORKER: usize = 8;
 
 /// Multi-threaded executor for batches of top-k requests over one index.
 ///
@@ -49,9 +57,10 @@ impl<'a> BatchExecutor<'a> {
     }
 
     /// The thread count this executor would use for a batch of `requests`
-    /// requests.
+    /// requests: the configured count, clamped to available cores and to
+    /// one worker per [`MIN_REQUESTS_PER_WORKER`]-request chunk.
     pub fn effective_threads(&self, requests: usize) -> usize {
-        resolve_workers(self.threads, requests)
+        resolve_workers_chunked(self.threads, requests, MIN_REQUESTS_PER_WORKER)
     }
 
     /// Answers every `(weights, k)` request, returning results in request
@@ -62,9 +71,10 @@ impl<'a> BatchExecutor<'a> {
     /// index's.
     pub fn run(&self, requests: &[(Weights, usize)]) -> Vec<TopkResult> {
         let idx = self.idx;
-        parallel_map_with(
+        parallel_map_chunked(
             requests,
             self.threads,
+            MIN_REQUESTS_PER_WORKER,
             &|| QueryScratch::for_index(idx),
             &|scratch, (w, k)| idx.topk_with_scratch(w, *k, scratch),
         )
@@ -73,9 +83,10 @@ impl<'a> BatchExecutor<'a> {
     /// Answers every query with the same `k` — the common benchmark shape.
     pub fn run_uniform(&self, queries: &[Weights], k: usize) -> Vec<TopkResult> {
         let idx = self.idx;
-        parallel_map_with(
+        parallel_map_chunked(
             queries,
             self.threads,
+            MIN_REQUESTS_PER_WORKER,
             &|| QueryScratch::for_index(idx),
             &|scratch, w| idx.topk_with_scratch(w, k, scratch),
         )
@@ -161,8 +172,14 @@ mod tests {
         let idx = DualLayerIndex::build(&rel, DlOptions::dl());
         let exec = BatchExecutor::with_threads(&idx, 4);
         assert!(exec.run(&[]).is_empty());
-        assert_eq!(exec.effective_threads(100), 4);
-        assert_eq!(exec.effective_threads(2), 2);
+        // Never more than requested, never oversubscribed past the host.
+        let cores = std::thread::available_parallelism().map_or(4, |p| p.get());
+        assert_eq!(exec.effective_threads(100), 4.min(cores));
+        // Batches smaller than one minimum chunk run on a single worker —
+        // the small-batch overhead fix.
+        assert_eq!(exec.effective_threads(2), 1);
+        assert_eq!(exec.effective_threads(MIN_REQUESTS_PER_WORKER - 1), 1);
+        assert!(exec.effective_threads(2 * MIN_REQUESTS_PER_WORKER) <= 2);
         assert!(BatchExecutor::new(&idx).effective_threads(100) >= 1);
     }
 }

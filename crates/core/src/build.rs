@@ -1,14 +1,45 @@
 //! Index construction (Algorithm 1 plus edge and zero-layer building).
+//!
+//! This is the optimized construction pipeline: an incremental sorted
+//! skyline peel for the coarse layers, sort-merge ∀-edge generation with
+//! per-dimension min/max block pruning, min-sum-pruned ∃-edge generation,
+//! and scoped-thread fan-out over independent layer jobs. Every pruning
+//! rule is *order-preserving*: it only skips work whose outcome is forced,
+//! so the built index is bit-identical to the retained sequential
+//! reference ([`DualLayerIndex::build_reference`]) at every thread count —
+//! the differential suite in `tests/build_differential.rs` holds the two paths
+//! to byte-equal snapshots.
 
 use crate::index::{CoarseLayer, Csr, DualLayerIndex, IndexStats, NodeId};
 use crate::options::{DlOptions, EdsPolicy, ZeroMode};
 use crate::par::parallel_map;
+use crate::profile::BuildProfile;
 use crate::zero::Zero2d;
 use drtopk_cluster::{cluster_min_corners, kmeans};
 use drtopk_common::{dominates, Columns, Relation, TupleId};
 use drtopk_geometry::csky::{convex_layers, ConvexLayer};
 use drtopk_geometry::facet_is_eds;
-use drtopk_skyline::skyline_layers;
+use drtopk_skyline::{skyline_layers, skyline_layers_incremental, SkylineAlgo};
+use std::time::Instant;
+
+/// Sources per ∀-edge pruning block: for each block of the sum-sorted
+/// source list the per-dimension min and max are precomputed, so whole
+/// blocks are skipped (min-corner incomparable) or bulk-accepted
+/// (max-corner dominated) without a single pairwise test.
+const FORALL_BLOCK: usize = 64;
+
+/// Facets per ∃-edge pruning block (same idea over facet min-corners and
+/// minimum member sums).
+const EXISTS_BLOCK: usize = 32;
+
+/// Safety margin for the ∃-edge minimum-sum prune. A facet whose minimum
+/// member sum is ≥ the target's sum cannot contain a dominating virtual
+/// point (every convex combination's sum is ≥ the minimum member sum,
+/// while domination forces a strictly smaller sum), so `facet_is_eds`
+/// must return false for it — but that test computes the virtual point in
+/// floating point, so the prune only fires with this much slack to stay
+/// exactly equivalent even under worst-case rounding.
+const EXISTS_SUM_MARGIN: f64 = 1e-7;
 
 impl DualLayerIndex {
     /// Builds the dual-resolution layer index over `rel`.
@@ -19,15 +50,37 @@ impl DualLayerIndex {
     /// with facet-derived ∃-dominance edges, then attach the configured
     /// zero layer.
     pub fn build(rel: &Relation, opts: DlOptions) -> DualLayerIndex {
+        Self::build_with_profile(rel, opts).0
+    }
+
+    /// Like [`DualLayerIndex::build`], additionally returning per-phase
+    /// wall-clock and dominance-test counts (see [`BuildProfile`]).
+    pub fn build_with_profile(rel: &Relation, opts: DlOptions) -> (DualLayerIndex, BuildProfile) {
+        let build_start = Instant::now();
+        let mut profile = BuildProfile::default();
         let n = rel.len();
         let d = rel.dims();
         let all: Vec<TupleId> = (0..n as TupleId).collect();
+        let threads = if opts.parallel { opts.build_threads } else { 1 };
 
-        // Phase 1: coarse layers (iterated skylines).
-        let coarse = skyline_layers(rel, &all, opts.skyline_algo);
+        // Phase 1: coarse layers (iterated skylines). The sort-based
+        // algorithms peel incrementally — one sorted pass assigns every
+        // tuple its layer; the nested-loop baselines keep the literal
+        // peel-per-layer definition (they exist as ablation contrast).
+        let t0 = Instant::now();
+        let coarse = match opts.skyline_algo {
+            SkylineAlgo::BSkyTree | SkylineAlgo::DivideConquer | SkylineAlgo::Sfs => {
+                let (layers, tests) = skyline_layers_incremental(rel, &all, threads);
+                profile.coarse_peel.dominance_tests = tests;
+                layers
+            }
+            algo => skyline_layers(rel, &all, algo),
+        };
+        profile.coarse_peel.seconds = t0.elapsed().as_secs_f64();
 
         // Phase 2: fine sublayers (iterated convex skylines per layer).
         // Coarse layers are independent, so this parallelizes cleanly.
+        let t0 = Instant::now();
         let split_one = |members: &Vec<TupleId>| -> (CoarseLayer, Vec<Vec<Vec<TupleId>>>) {
             if opts.split_fine {
                 let mut peeled: Vec<ConvexLayer> = convex_layers(rel, members);
@@ -58,40 +111,38 @@ impl DualLayerIndex {
                 )
             }
         };
-        let split: Vec<(CoarseLayer, Vec<Vec<Vec<TupleId>>>)> = if opts.parallel {
-            parallel_map(&coarse, &split_one)
-        } else {
-            coarse.iter().map(split_one).collect()
-        };
+        let split: Vec<(CoarseLayer, Vec<Vec<Vec<TupleId>>>)> =
+            parallel_map(&coarse, threads, &split_one);
         let mut layers: Vec<CoarseLayer> = Vec::with_capacity(coarse.len());
         let mut fine_facets: Vec<Vec<Vec<Vec<TupleId>>>> = Vec::with_capacity(coarse.len());
         for (layer, facets) in split {
             layers.push(layer);
             fine_facets.push(facets);
         }
+        profile.fine_split.seconds = t0.elapsed().as_secs_f64();
 
         // Phase 3: ∀-dominance edges between adjacent coarse layers. Each
         // pair is independent; parallelized per pair.
+        let t0 = Instant::now();
         let pairs: Vec<(Vec<TupleId>, Vec<TupleId>)> = layers
             .windows(2)
             .map(|w| (w[0].members().collect(), w[1].members().collect()))
             .collect();
         let forall_one = |(sources, targets): &(Vec<TupleId>, Vec<TupleId>)| {
             let mut edges = Vec::new();
-            forall_edges_between(rel, sources, targets, &mut edges);
-            edges
+            let tests = forall_edges_between(rel, sources, targets, &mut edges);
+            (edges, tests)
         };
-        let mut forall_edges: Vec<(NodeId, NodeId)> = if opts.parallel {
-            parallel_map(&pairs, &forall_one)
-                .into_iter()
-                .flatten()
-                .collect()
-        } else {
-            pairs.iter().flat_map(forall_one).collect()
-        };
+        let mut forall_edges: Vec<(NodeId, NodeId)> = Vec::new();
+        for (edges, tests) in parallel_map(&pairs, threads, &forall_one) {
+            forall_edges.extend(edges);
+            profile.forall_edges.dominance_tests += tests;
+        }
+        profile.forall_edges.seconds = t0.elapsed().as_secs_f64();
 
         // Phase 4: ∃-dominance edges between adjacent fine sublayers
         // (independent per fine pair).
+        let t0 = Instant::now();
         let mut exists_edges: Vec<(NodeId, NodeId)> = Vec::new();
         if opts.split_fine {
             let fine_pairs: Vec<(usize, usize)> = layers
@@ -103,26 +154,24 @@ impl DualLayerIndex {
                 .collect();
             let exists_one = |&(ci, j): &(usize, usize)| {
                 let mut edges = Vec::new();
-                exists_edges_between(
+                let tests = exists_edges_between(
                     rel,
                     &fine_facets[ci][j],
                     &layers[ci].fine[j + 1],
                     opts.eds_policy,
                     &mut edges,
                 );
-                edges
+                (edges, tests)
             };
-            exists_edges = if opts.parallel {
-                parallel_map(&fine_pairs, &exists_one)
-                    .into_iter()
-                    .flatten()
-                    .collect()
-            } else {
-                fine_pairs.iter().flat_map(exists_one).collect()
-            };
+            for (edges, tests) in parallel_map(&fine_pairs, threads, &exists_one) {
+                exists_edges.extend(edges);
+                profile.exists_edges.dominance_tests += tests;
+            }
         }
+        profile.exists_edges.seconds = t0.elapsed().as_secs_f64();
 
         // Phase 5: zero layer (skipped for empty relations).
+        let t0 = Instant::now();
         let zero = if n == 0 {
             ZeroMode::None
         } else {
@@ -185,7 +234,7 @@ impl DualLayerIndex {
                     pseudo_fine = players.iter().map(|l| l.members.to_vec()).collect();
                     for j in 0..players.len().saturating_sub(1) {
                         let mut edges_local: Vec<(NodeId, NodeId)> = Vec::new();
-                        exists_edges_between(
+                        profile.zero_layer.dominance_tests += exists_edges_between(
                             &prel,
                             &players[j].facets,
                             &players[j + 1].members,
@@ -214,7 +263,7 @@ impl DualLayerIndex {
                         .map(|i| (pseudo_count + i) as TupleId)
                         .collect();
                     let mut edges_local: Vec<(NodeId, NodeId)> = Vec::new();
-                    exists_edges_between(
+                    profile.zero_layer.dominance_tests += exists_edges_between(
                         &crel,
                         &facets,
                         &ctargets,
@@ -232,8 +281,10 @@ impl DualLayerIndex {
             }
             ZeroMode::Auto => unreachable!("resolved above"),
         }
+        profile.zero_layer.seconds = t0.elapsed().as_secs_f64();
 
         // Assemble CSRs over the unified node space.
+        let t0 = Instant::now();
         let total = n + pseudo_count;
         let (forall, forall_indeg) = Csr::from_edges(total, &mut forall_edges);
         let (exists, exists_indeg) = Csr::from_edges(total, &mut exists_edges);
@@ -276,7 +327,9 @@ impl DualLayerIndex {
         };
 
         let columns = Columns::from_relation_with_extra(rel, &pseudo);
-        DualLayerIndex {
+        profile.assemble_seconds = t0.elapsed().as_secs_f64();
+        profile.total_seconds = build_start.elapsed().as_secs_f64();
+        let idx = DualLayerIndex {
             rel: rel.clone(),
             opts,
             layers,
@@ -291,51 +344,113 @@ impl DualLayerIndex {
             seeds,
             columns,
             stats,
-        }
+        };
+        (idx, profile)
     }
 }
 
-/// Adds an edge `(s, t)` for every `s ∈ sources` dominating `t ∈ targets`.
+/// Adds an edge `(s, t)` for every `s ∈ sources` dominating `t ∈ targets`;
+/// returns the number of dominance tests performed.
 ///
-/// Sources are pre-sorted by attribute sum: dominance implies a strictly
-/// smaller sum, so each target only scans the prefix of sources whose sum
-/// is below its own.
+/// Sources are sorted by attribute sum (dominance implies a strictly
+/// smaller sum), so each target only considers the prefix of sources below
+/// its own sum — found by binary search instead of a scan — and that
+/// prefix is walked in [`FORALL_BLOCK`]-sized blocks with per-dimension
+/// min/max summaries: a block whose min-corner fails to weakly dominate
+/// the target is skipped whole, a block whose max-corner is weakly
+/// dominated by the target is accepted whole (a smaller sum rules out
+/// equality, so weak dominance is strict). Both rules force the outcome of
+/// every test they skip, so the emitted edge sequence is exactly the
+/// pairwise reference's.
 fn forall_edges_between(
     rel: &Relation,
     sources: &[TupleId],
     targets: &[TupleId],
     edges: &mut Vec<(NodeId, NodeId)>,
-) {
+) -> u64 {
+    let d = rel.dims();
+    // Collected and sorted exactly as the reference path does (same input
+    // order, same sum-only comparator) so that equal-sum sources keep the
+    // same relative order and edges come out in the same sequence.
     let mut by_sum: Vec<(f64, TupleId)> = sources
         .iter()
         .map(|&s| (rel.tuple(s).iter().sum::<f64>(), s))
         .collect();
     by_sum.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-    for &t in targets {
-        let tv = rel.tuple(t);
-        let t_sum: f64 = tv.iter().sum();
-        for &(s_sum, s) in &by_sum {
-            if s_sum >= t_sum {
-                break;
+
+    let blocks = by_sum.len().div_ceil(FORALL_BLOCK);
+    let mut bmin = vec![f64::INFINITY; blocks * d];
+    let mut bmax = vec![f64::NEG_INFINITY; blocks * d];
+    for (i, &(_, s)) in by_sum.iter().enumerate() {
+        let base = (i / FORALL_BLOCK) * d;
+        for (k, &x) in rel.tuple(s).iter().enumerate() {
+            if x < bmin[base + k] {
+                bmin[base + k] = x;
             }
-            if dominates(rel.tuple(s), tv) {
-                edges.push((s as NodeId, t as NodeId));
+            if x > bmax[base + k] {
+                bmax[base + k] = x;
             }
         }
     }
+
+    let mut tests = 0u64;
+    for &t in targets {
+        let tv = rel.tuple(t);
+        let t_sum: f64 = tv.iter().sum();
+        // First source whose sum is not below the target's: sources from
+        // here on can never dominate.
+        let cut = by_sum.partition_point(|&(s_sum, _)| s_sum < t_sum);
+        let mut i = 0;
+        while i < cut {
+            let b = i / FORALL_BLOCK;
+            let end = ((b + 1) * FORALL_BLOCK).min(cut);
+            // Block min/max summaries cover the whole block; the prefix
+            // below `cut` inherits both bounds.
+            let lo = &bmin[b * d..(b + 1) * d];
+            if lo.iter().zip(tv).any(|(m, x)| m > x) {
+                i = end;
+                continue;
+            }
+            let hi = &bmax[b * d..(b + 1) * d];
+            if hi.iter().zip(tv).all(|(m, x)| m <= x) {
+                for &(_, s) in &by_sum[i..end] {
+                    edges.push((s as NodeId, t as NodeId));
+                }
+                i = end;
+                continue;
+            }
+            for &(_, s) in &by_sum[i..end] {
+                tests += 1;
+                if dominates(rel.tuple(s), tv) {
+                    edges.push((s as NodeId, t as NodeId));
+                }
+            }
+            i = end;
+        }
+    }
+    tests
 }
 
 /// Adds ∃-dominance edges from facet members of the previous fine sublayer
-/// to each covered target, under the given policy.
+/// to each covered target, under the given policy; returns the number of
+/// `facet_is_eds` evaluations.
+///
+/// Facets are scanned in enumeration order (the `FirstFacet` policy is
+/// order-sensitive) but a facet is only *tested* when its min-corner
+/// weakly dominates the target and its minimum member sum is materially
+/// below the target's sum (see [`EXISTS_SUM_MARGIN`]); block-level
+/// summaries of both bounds skip entire facet runs. Every skipped facet is
+/// one `facet_is_eds` must reject, so edges match the unpruned reference
+/// exactly.
 fn exists_edges_between(
     rel: &Relation,
     facets: &[Vec<TupleId>],
     targets: &[TupleId],
     policy: EdsPolicy,
     edges: &mut Vec<(NodeId, NodeId)>,
-) {
+) -> u64 {
     if facets.is_empty() || targets.is_empty() {
-        return;
+        return 0;
     }
     let d = rel.dims();
     // Per-facet min-corner prefilter: a facet can only be an EDS of t' if
@@ -360,32 +475,68 @@ fn exists_edges_between(
                 .fold(f64::INFINITY, f64::min)
         })
         .collect();
+    let blocks = facets.len().div_ceil(EXISTS_BLOCK);
+    let mut bcorner = vec![f64::INFINITY; blocks * d];
+    let mut bsum = vec![f64::INFINITY; blocks];
+    for fi in 0..facets.len() {
+        let b = fi / EXISTS_BLOCK;
+        for k in 0..d {
+            if corners[fi][k] < bcorner[b * d + k] {
+                bcorner[b * d + k] = corners[fi][k];
+            }
+        }
+        if min_sums[fi] < bsum[b] {
+            bsum[b] = min_sums[fi];
+        }
+    }
 
+    let mut tests = 0u64;
     let mut members: Vec<TupleId> = Vec::new();
     for &t in targets {
         let tv = rel.tuple(t);
+        let t_sum: f64 = tv.iter().sum();
         members.clear();
         let mut best: Option<(usize, f64)> = None;
-        for (fi, facet) in facets.iter().enumerate() {
-            let corner_ok = corners[fi].iter().zip(tv).all(|(c, x)| c <= x);
-            if !corner_ok || !facet_is_eds(rel, facet, t) {
+        'scan: for b in 0..blocks {
+            if bsum[b] >= t_sum + EXISTS_SUM_MARGIN {
                 continue;
             }
-            match policy {
-                EdsPolicy::FirstFacet => {
-                    members.extend_from_slice(facet);
-                    break;
+            if bcorner[b * d..(b + 1) * d]
+                .iter()
+                .zip(tv)
+                .any(|(c, x)| c > x)
+            {
+                continue;
+            }
+            let lo = b * EXISTS_BLOCK;
+            let hi = ((b + 1) * EXISTS_BLOCK).min(facets.len());
+            for fi in lo..hi {
+                if min_sums[fi] >= t_sum + EXISTS_SUM_MARGIN {
+                    continue;
                 }
-                EdsPolicy::AllFacets => {
-                    for &m in facet {
-                        if !members.contains(&m) {
-                            members.push(m);
+                if corners[fi].iter().zip(tv).any(|(c, x)| c > x) {
+                    continue;
+                }
+                tests += 1;
+                if !facet_is_eds(rel, &facets[fi], t) {
+                    continue;
+                }
+                match policy {
+                    EdsPolicy::FirstFacet => {
+                        members.extend_from_slice(&facets[fi]);
+                        break 'scan;
+                    }
+                    EdsPolicy::AllFacets => {
+                        for &m in &facets[fi] {
+                            if !members.contains(&m) {
+                                members.push(m);
+                            }
                         }
                     }
-                }
-                EdsPolicy::BestUniform => {
-                    if best.is_none_or(|(_, s)| min_sums[fi] > s) {
-                        best = Some((fi, min_sums[fi]));
+                    EdsPolicy::BestUniform => {
+                        if best.is_none_or(|(_, s)| min_sums[fi] > s) {
+                            best = Some((fi, min_sums[fi]));
+                        }
                     }
                 }
             }
@@ -397,12 +548,111 @@ fn exists_edges_between(
             edges.push((m as NodeId, t as NodeId));
         }
     }
+    tests
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::build_reference::{exists_edges_reference, forall_edges_reference};
     use drtopk_common::{Distribution, Weights, WorkloadSpec};
+
+    #[test]
+    fn pruned_forall_edges_match_pairwise_reference() {
+        for dist in [
+            Distribution::Independent,
+            Distribution::Correlated,
+            Distribution::AntiCorrelated,
+        ] {
+            for d in [2, 3, 4] {
+                let rel = WorkloadSpec::new(dist, d, 500, 13).generate();
+                let all: Vec<TupleId> = (0..rel.len() as TupleId).collect();
+                let layers = skyline_layers(&rel, &all, SkylineAlgo::BSkyTree);
+                for w in layers.windows(2) {
+                    let mut fast = Vec::new();
+                    forall_edges_between(&rel, &w[0], &w[1], &mut fast);
+                    let mut slow = Vec::new();
+                    forall_edges_reference(&rel, &w[0], &w[1], &mut slow);
+                    assert_eq!(fast, slow, "{dist:?} d={d}: edge sequences must match");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_exists_edges_match_pairwise_reference() {
+        for dist in [Distribution::Independent, Distribution::AntiCorrelated] {
+            for d in [2, 3, 4] {
+                let rel = WorkloadSpec::new(dist, d, 400, 31).generate();
+                let all: Vec<TupleId> = (0..rel.len() as TupleId).collect();
+                let peeled = convex_layers(&rel, &all);
+                for policy in [
+                    EdsPolicy::FirstFacet,
+                    EdsPolicy::AllFacets,
+                    EdsPolicy::BestUniform,
+                ] {
+                    for w in peeled.windows(2) {
+                        let mut fast = Vec::new();
+                        exists_edges_between(&rel, &w[0].facets, &w[1].members, policy, &mut fast);
+                        let mut slow = Vec::new();
+                        exists_edges_reference(
+                            &rel,
+                            &w[0].facets,
+                            &w[1].members,
+                            policy,
+                            &mut slow,
+                        );
+                        assert_eq!(fast, slow, "{dist:?} d={d} {policy:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exists_edges_degenerate_facets_match_reference() {
+        // Hand-built 3-d fixture exercising the shapes convex peeling can
+        // emit in degenerate inputs: a facet listing the same member twice,
+        // facets with fewer than d vertices (segments and singletons), and
+        // empty facet/target slices.
+        let flat = vec![
+            0.1, 0.1, 0.1, // 0: dominates most things
+            0.1, 0.1, 0.1, // 1: exact duplicate of 0
+            0.2, 0.6, 0.3, // 2
+            0.6, 0.2, 0.4, // 3
+            0.5, 0.5, 0.5, // 4: target
+            0.7, 0.7, 0.7, // 5: target dominated by everything above
+            0.05, 0.9, 0.9, // 6: incomparable-ish target
+        ];
+        let rel = Relation::from_flat_unchecked(3, flat);
+        let facet_sets: Vec<Vec<Vec<TupleId>>> = vec![
+            vec![vec![0, 0]],       // duplicate member in one facet
+            vec![vec![0, 1]],       // duplicate *tuples* (distinct ids)
+            vec![vec![2], vec![3]], // singleton facets (< d vertices)
+            vec![vec![2, 3]],       // segment facet in 3-d (< d vertices)
+            vec![vec![0, 2, 3], vec![1], vec![2, 2, 3]],
+            vec![], // empty facet list
+        ];
+        let target_sets: Vec<Vec<TupleId>> = vec![vec![4, 5, 6], vec![5], vec![]];
+        for facets in &facet_sets {
+            for targets in &target_sets {
+                for policy in [
+                    EdsPolicy::FirstFacet,
+                    EdsPolicy::AllFacets,
+                    EdsPolicy::BestUniform,
+                ] {
+                    let mut fast = Vec::new();
+                    exists_edges_between(&rel, facets, targets, policy, &mut fast);
+                    let mut slow = Vec::new();
+                    exists_edges_reference(&rel, facets, targets, policy, &mut slow);
+                    assert_eq!(
+                        fast, slow,
+                        "facets={facets:?} targets={targets:?} {policy:?}"
+                    );
+                }
+            }
+        }
+    }
 
     #[test]
     fn parallel_build_is_identical_to_sequential() {
@@ -411,20 +661,49 @@ mod tests {
                 let rel = WorkloadSpec::new(dist, d, 600, 21).generate();
                 for base in [DlOptions::dl(), DlOptions::dl_plus(), DlOptions::dg_plus()] {
                     let seq = DualLayerIndex::build(&rel, base.clone());
-                    let par = DualLayerIndex::build(
-                        &rel,
-                        DlOptions {
-                            parallel: true,
-                            ..base.clone()
-                        },
-                    );
-                    assert_eq!(seq.stats(), par.stats(), "{dist:?} d={d}");
-                    let w = Weights::uniform(d);
-                    let (a, b) = (seq.topk(&w, 25), par.topk(&w, 25));
-                    assert_eq!(a.ids, b.ids);
-                    assert_eq!(a.cost, b.cost, "parallel build must not change costs");
+                    for build_threads in [0, 3] {
+                        let par = DualLayerIndex::build(
+                            &rel,
+                            DlOptions {
+                                parallel: true,
+                                build_threads,
+                                ..base.clone()
+                            },
+                        );
+                        assert_eq!(seq.stats(), par.stats(), "{dist:?} d={d}");
+                        assert_eq!(
+                            seq.to_snapshot(),
+                            par.to_snapshot(),
+                            "{dist:?} d={d} threads={build_threads}: snapshots must be identical"
+                        );
+                        let w = Weights::uniform(d);
+                        let (a, b) = (seq.topk(&w, 25), par.topk(&w, 25));
+                        assert_eq!(a.ids, b.ids);
+                        assert_eq!(a.cost, b.cost, "parallel build must not change costs");
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn profile_reports_phase_activity() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 3, 500, 9).generate();
+        let (idx, profile) = DualLayerIndex::build_with_profile(&rel, DlOptions::dl_plus());
+        assert!(idx.stats().coarse_layers > 1);
+        assert!(profile.total_seconds > 0.0);
+        assert!(
+            profile.coarse_peel.dominance_tests > 0,
+            "incremental peel counts"
+        );
+        assert!(profile.forall_edges.dominance_tests > 0);
+        assert!(
+            profile.exists_edges.dominance_tests > 0,
+            "split_fine build runs EDS tests"
+        );
+        // DG builds do no EDS work at all.
+        let (_, dg) = DualLayerIndex::build_with_profile(&rel, DlOptions::dg());
+        assert_eq!(dg.exists_edges.dominance_tests, 0);
+        assert_eq!(dg.zero_layer.dominance_tests, 0);
     }
 }

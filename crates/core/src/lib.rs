@@ -29,12 +29,14 @@
 pub mod analytics;
 pub mod batch;
 pub mod build;
+pub mod build_reference;
 pub mod dynamic;
 pub mod explain;
 pub mod index;
 pub mod monotone;
 pub mod options;
 mod par;
+pub mod profile;
 pub mod query;
 pub mod snapshot;
 pub mod verify;
@@ -46,5 +48,6 @@ pub use explain::QueryExplain;
 pub use index::{DualLayerIndex, IndexStats, NodeId};
 pub use monotone::{LogSum, MonotoneScore, WeightedChebyshev, WeightedPower};
 pub use options::{DlOptions, EdsPolicy, ZeroMode};
+pub use profile::{BuildProfile, PhaseProfile};
 pub use query::{QueryScratch, QueryTrace, TopkCursor, TopkResult, TraceStep};
 pub use snapshot::IndexSnapshot;

@@ -62,6 +62,10 @@ pub struct DlOptions {
     /// Parallelize construction across independent layers with scoped
     /// threads (identical output; wall-clock only).
     pub parallel: bool,
+    /// Worker threads for parallel construction (`0` = all available
+    /// cores). Ignored unless `parallel` is set. The built index is
+    /// bit-identical at every thread count.
+    pub build_threads: usize,
 }
 
 impl Default for DlOptions {
@@ -75,6 +79,7 @@ impl Default for DlOptions {
             cluster_seed: 0x5eed,
             max_fine_layers: 0,
             parallel: false,
+            build_threads: 0,
         }
     }
 }

@@ -1,129 +1,9 @@
-//! Shared scoped-thread fan-out used by the parallel build phases and the
-//! batch query executor.
+//! Scoped-thread fan-out primitives, shared across the workspace.
 //!
-//! Both callers need the same shape: map a function over a slice of
-//! independent work items, one contiguous chunk per worker, writing each
-//! result into its item's slot so output order equals input order. The
-//! build phases use stateless workers ([`parallel_map`]); the batch
-//! executor threads a per-worker state — its [`QueryScratch`] — through
-//! every call ([`parallel_map_with`]).
-//!
-//! [`QueryScratch`]: crate::query::QueryScratch
+//! The implementations live in [`drtopk_common::par`] so that the skyline
+//! crate's incremental peel can use the same worker pool without a
+//! dependency cycle (core depends on skyline, not the other way around).
+//! This module re-exports them under the historical `core::par` path used
+//! by the build phases and the batch executor.
 
-/// Resolves a requested worker count: `0` means "all available cores",
-/// anything else is taken literally, and the result never exceeds the
-/// number of items (spawning idle threads is pure overhead).
-pub(crate) fn resolve_workers(requested: usize, items: usize) -> usize {
-    let workers = if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(4)
-    } else {
-        requested
-    };
-    workers.min(items).max(1)
-}
-
-/// Maps `f` over `items` using scoped threads, one chunk per available
-/// core, preserving order. Used by the parallel build phases: each work
-/// item (a coarse layer, a layer pair, a fine pair) is independent.
-pub(crate) fn parallel_map<T: Sync, R: Send>(items: &[T], f: &(dyn Fn(&T) -> R + Sync)) -> Vec<R> {
-    parallel_map_with(items, 0, &|| (), &|(), item| f(item))
-}
-
-/// Like [`parallel_map`], but each worker thread first builds one state
-/// with `init` and reuses it across every item of its chunk — the batch
-/// executor's scratch pool. `threads = 0` uses all available cores.
-///
-/// Order is preserved: result `i` always comes from item `i`, regardless
-/// of thread count, so callers get deterministic output by construction.
-pub(crate) fn parallel_map_with<T: Sync, R: Send, S>(
-    items: &[T],
-    threads: usize,
-    init: &(dyn Fn() -> S + Sync),
-    f: &(dyn Fn(&mut S, &T) -> R + Sync),
-) -> Vec<R> {
-    let workers = resolve_workers(threads, items.len());
-    if workers <= 1 || items.len() <= 1 {
-        let mut state = init();
-        return items.iter().map(|item| f(&mut state, item)).collect();
-    }
-    let chunk = items.len().div_ceil(workers);
-    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
-    out.resize_with(items.len(), || None);
-    std::thread::scope(|scope| {
-        let mut rest: &mut [Option<R>] = &mut out;
-        let mut offset = 0;
-        let mut handles = Vec::new();
-        while offset < items.len() {
-            let take = chunk.min(items.len() - offset);
-            let (slice, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let items_chunk = &items[offset..offset + take];
-            handles.push(scope.spawn(move || {
-                let mut state = init();
-                for (slot, item) in slice.iter_mut().zip(items_chunk) {
-                    *slot = Some(f(&mut state, item));
-                }
-            }));
-            offset += take;
-        }
-        for h in handles {
-            h.join().expect("parallel worker panicked");
-        }
-    });
-    out.into_iter()
-        .map(|r| r.expect("all slots filled"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let items: Vec<usize> = (0..103).collect();
-        let out = parallel_map(&items, &|&x| x * 2);
-        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
-        let empty: Vec<usize> = Vec::new();
-        assert!(parallel_map(&empty, &|&x: &usize| x).is_empty());
-        assert_eq!(parallel_map(&[7usize], &|&x| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn parallel_map_with_threads_one_state_per_worker() {
-        use std::sync::atomic::{AtomicUsize, Ordering};
-        let items: Vec<usize> = (0..57).collect();
-        for threads in [1, 2, 8, 64] {
-            let inits = AtomicUsize::new(0);
-            let out = parallel_map_with(
-                &items,
-                threads,
-                &|| {
-                    inits.fetch_add(1, Ordering::Relaxed);
-                    0usize // per-worker counter: items seen so far
-                },
-                &|seen, &x| {
-                    *seen += 1;
-                    x + 1
-                },
-            );
-            assert_eq!(out, items.iter().map(|x| x + 1).collect::<Vec<_>>());
-            let states = inits.load(Ordering::Relaxed);
-            assert!(
-                states <= resolve_workers(threads, items.len()),
-                "threads={threads}: {states} states"
-            );
-            assert!(states >= 1);
-        }
-    }
-
-    #[test]
-    fn resolve_workers_clamps() {
-        assert_eq!(resolve_workers(8, 3), 3);
-        assert_eq!(resolve_workers(2, 100), 2);
-        assert_eq!(resolve_workers(0, 0), 1);
-        assert!(resolve_workers(0, 1000) >= 1);
-    }
-}
+pub use drtopk_common::par::{parallel_map, parallel_map_chunked, resolve_workers_chunked};

@@ -22,7 +22,7 @@
 //! correctness (see DESIGN.md). To guarantee peeling progress, the
 //! uniform-weight minimizer is always included.
 
-use crate::hull2d::lower_left_chain;
+use crate::hull2d::{cross, lower_left_chain};
 use crate::hulldd::{quickhull, HullError};
 use crate::lp::{Cmp, LpOutcome, Simplex};
 use crate::GEOM_EPS;
@@ -370,8 +370,16 @@ pub struct ConvexLayer {
 
 /// Peels `ids` into consecutive convex layers (Onion-style): layer 1 is the
 /// convex skyline of the set, layer j the convex skyline of the remainder.
+///
+/// In 2-d the whole peel shares one sorted order ([`convex_layers_2d`]);
+/// for d ≥ 3 each layer recomputes its hull but the remainder subtraction
+/// is a merge over the (sorted) member positions instead of a hash set.
 pub fn convex_layers(rel: &Relation, ids: &[TupleId]) -> Vec<ConvexLayer> {
+    if rel.dims() == 2 {
+        return convex_layers_2d(rel, ids);
+    }
     let mut remaining: Vec<TupleId> = ids.to_vec();
+    let mut next: Vec<TupleId> = Vec::new();
     let mut layers = Vec::new();
     while !remaining.is_empty() {
         let cs = convex_skyline(rel, &remaining);
@@ -385,15 +393,132 @@ pub fn convex_layers(rel: &Relation, ids: &[TupleId]) -> Vec<ConvexLayer> {
             .iter()
             .map(|f| f.iter().map(|&p| remaining[p as usize]).collect())
             .collect();
-        // Remove extracted members from the remainder.
-        let in_layer: std::collections::HashSet<u32> = cs.members.iter().copied().collect();
-        let mut next = Vec::with_capacity(remaining.len() - members.len());
+        // Remove extracted members from the remainder. `cs.members` is
+        // sorted ascending, so a single merge pass suffices.
+        next.clear();
+        next.reserve(remaining.len() - members.len());
+        let mut mi = 0;
         for (pos, &id) in remaining.iter().enumerate() {
-            if !in_layer.contains(&(pos as u32)) {
+            if mi < cs.members.len() && cs.members[mi] as usize == pos {
+                mi += 1;
+            } else {
                 next.push(id);
             }
         }
-        remaining = next;
+        debug_assert_eq!(mi, cs.members.len());
+        std::mem::swap(&mut remaining, &mut next);
+        layers.push(ConvexLayer { members, facets });
+    }
+    layers
+}
+
+/// 2-d peel with hull state reused across layers: the points are sorted by
+/// `(x, y, position)` once, and every peel walks that order skipping
+/// already-extracted points. Produces exactly the layers of repeated
+/// [`convex_skyline`] calls: surviving points keep their relative order
+/// between peels, so the shared sort sees them in the same sequence a
+/// per-layer [`lower_left_chain`] sort would, and the chain walk below is
+/// that function's, step for step (duplicate drop, collinearity pop
+/// against the *remaining* spread, equal-x skip, decreasing-y prefix).
+fn convex_layers_2d(rel: &Relation, ids: &[TupleId]) -> Vec<ConvexLayer> {
+    let m = ids.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let pts: Vec<(f64, f64)> = ids
+        .iter()
+        .map(|&id| {
+            let t = rel.tuple(id);
+            (t[0], t[1])
+        })
+        .collect();
+    let mut order: Vec<u32> = (0..m as u32).collect();
+    order.sort_by(|&i, &j| {
+        let (a, b) = (pts[i as usize], pts[j as usize]);
+        a.0.partial_cmp(&b.0)
+            .unwrap()
+            .then(a.1.partial_cmp(&b.1).unwrap())
+            .then(i.cmp(&j))
+    });
+
+    let mut alive = vec![true; m];
+    let mut alive_count = m;
+    let mut layers = Vec::new();
+    let mut hull: Vec<u32> = Vec::new();
+    while alive_count > 0 {
+        // The collinearity tolerance scales with the spread of the points
+        // still in play (matching `lower_left_chain` on the remainder).
+        let (mut lo_x, mut hi_x, mut lo_y, mut hi_y) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
+        for (p, &a) in pts.iter().zip(&alive) {
+            if a {
+                lo_x = lo_x.min(p.0);
+                hi_x = hi_x.max(p.0);
+                lo_y = lo_y.min(p.1);
+                hi_y = hi_y.max(p.1);
+            }
+        }
+        let spread = (hi_x - lo_x).max(hi_y - lo_y).max(f64::MIN_POSITIVE);
+        let tol = GEOM_EPS * spread * spread;
+
+        hull.clear();
+        let mut last_kept: Option<(f64, f64)> = None;
+        for &i in &order {
+            if !alive[i as usize] {
+                continue;
+            }
+            let p = pts[i as usize];
+            // Exact duplicates are consecutive in the sorted order: keep
+            // only the first alive one per peel.
+            if last_kept == Some(p) {
+                continue;
+            }
+            last_kept = Some(p);
+            while hull.len() >= 2 {
+                let a = pts[hull[hull.len() - 2] as usize];
+                let b = pts[hull[hull.len() - 1] as usize];
+                if cross(a, b, p) <= tol {
+                    hull.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&last) = hull.last() {
+                if pts[last as usize].0 == p.0 {
+                    continue;
+                }
+            }
+            hull.push(i);
+        }
+        // The convex skyline is the lower hull's strictly-decreasing-y
+        // prefix.
+        let mut chain_len = 1;
+        while chain_len < hull.len()
+            && pts[hull[chain_len] as usize].1 < pts[hull[chain_len - 1] as usize].1
+        {
+            chain_len += 1;
+        }
+        let chain = &hull[..chain_len];
+
+        let facets: Vec<Vec<TupleId>> = if chain.len() == 1 {
+            vec![vec![ids[chain[0] as usize]]]
+        } else {
+            chain
+                .windows(2)
+                .map(|w| vec![ids[w[0] as usize], ids[w[1] as usize]])
+                .collect()
+        };
+        let mut positions: Vec<u32> = chain.to_vec();
+        positions.sort_unstable();
+        let members: Vec<TupleId> = positions.iter().map(|&p| ids[p as usize]).collect();
+        for &p in &positions {
+            alive[p as usize] = false;
+        }
+        alive_count -= positions.len();
         layers.push(ConvexLayer { members, facets });
     }
     layers
@@ -558,6 +683,74 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The literal definition of convex-layer peeling: one
+    /// [`convex_skyline`] call per layer over the shrinking remainder.
+    fn convex_layers_by_repeated_csky(rel: &Relation, ids: &[TupleId]) -> Vec<ConvexLayer> {
+        let mut remaining: Vec<TupleId> = ids.to_vec();
+        let mut layers = Vec::new();
+        while !remaining.is_empty() {
+            let cs = convex_skyline(rel, &remaining);
+            let members: Vec<TupleId> = cs.members.iter().map(|&p| remaining[p as usize]).collect();
+            let facets: Vec<Vec<TupleId>> = cs
+                .facets
+                .iter()
+                .map(|f| f.iter().map(|&p| remaining[p as usize]).collect())
+                .collect();
+            let in_layer: std::collections::HashSet<u32> = cs.members.iter().copied().collect();
+            remaining = remaining
+                .iter()
+                .enumerate()
+                .filter(|(pos, _)| !in_layer.contains(&(*pos as u32)))
+                .map(|(_, &id)| id)
+                .collect();
+            layers.push(ConvexLayer { members, facets });
+        }
+        layers
+    }
+
+    #[test]
+    fn incremental_2d_peel_matches_repeated_csky() {
+        for dist in [
+            Distribution::Correlated,
+            Distribution::Independent,
+            Distribution::AntiCorrelated,
+        ] {
+            for (n, seed) in [(50, 2u64), (300, 19)] {
+                let rel = WorkloadSpec::new(dist, 2, n, seed).generate();
+                let all: Vec<TupleId> = (0..rel.len() as TupleId).collect();
+                assert_eq!(
+                    convex_layers(&rel, &all),
+                    convex_layers_by_repeated_csky(&rel, &all),
+                    "{dist:?} n={n} seed={seed}: members AND facets must match"
+                );
+            }
+        }
+        // Degenerate shapes: duplicates, collinear runs, equal-x columns.
+        let rows: Vec<Vec<f64>> = vec![
+            vec![0.2, 0.8],
+            vec![0.5, 0.5],
+            vec![0.8, 0.2],
+            vec![0.5, 0.5],
+            vec![0.2, 0.8],
+            vec![0.2, 0.3],
+            vec![0.2, 0.6],
+            vec![0.35, 0.65],
+            vec![0.65, 0.35],
+        ];
+        let rel = Relation::from_rows(2, &rows).unwrap();
+        let all: Vec<TupleId> = (0..rows.len() as TupleId).collect();
+        assert_eq!(
+            convex_layers(&rel, &all),
+            convex_layers_by_repeated_csky(&rel, &all)
+        );
+        // Subset ids (the build peels coarse layers, not 0..n ranges).
+        let subset: Vec<TupleId> = vec![8, 1, 5, 3, 0];
+        assert_eq!(
+            convex_layers(&rel, &subset),
+            convex_layers_by_repeated_csky(&rel, &subset)
+        );
     }
 
     #[test]

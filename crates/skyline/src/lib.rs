@@ -18,4 +18,4 @@ pub mod algorithms;
 pub mod layers;
 
 pub use algorithms::{bnl, bskytree, naive, sfs, SkylineAlgo};
-pub use layers::skyline_layers;
+pub use layers::{skyline_layers, skyline_layers_incremental};

@@ -1,0 +1,128 @@
+//! Build differential suite: the optimized construction pipeline
+//! (incremental sorted peeling, block-pruned sort-merge edge generation,
+//! thread fan-out) must produce an index *byte-identical* to the retained
+//! sequential reference (`DualLayerIndex::build_reference`) — not just
+//! query-equivalent. Equality is checked on the serialized snapshot, so
+//! any drift in layer order, edge order, seeds, or pseudo-tuples fails.
+
+use drtopk::common::{Distribution, WorkloadSpec};
+use drtopk::core::{DlOptions, DualLayerIndex, EdsPolicy, ZeroMode};
+use drtopk::storage::format::index_to_bytes;
+
+fn distributions() -> [Distribution; 3] {
+    [
+        Distribution::Independent,
+        Distribution::AntiCorrelated,
+        Distribution::Correlated,
+    ]
+}
+
+/// Serialized bytes of an index built with the given options/threads.
+fn optimized_bytes(rel: &drtopk::common::Relation, base: &DlOptions, threads: usize) -> Vec<u8> {
+    let idx = DualLayerIndex::build(
+        rel,
+        DlOptions {
+            parallel: true,
+            build_threads: threads,
+            ..base.clone()
+        },
+    );
+    index_to_bytes(&idx.to_snapshot())
+}
+
+fn assert_identical(rel: &drtopk::common::Relation, base: &DlOptions, ctx: &str) {
+    let reference = DualLayerIndex::build_reference(rel, base.clone());
+    let want = index_to_bytes(&reference.to_snapshot());
+    // Sequential optimized path, then the block/parallel path at several
+    // worker counts (0 = all cores). Bit-identity must hold at every one.
+    let seq = DualLayerIndex::build(rel, base.clone());
+    assert_eq!(
+        index_to_bytes(&seq.to_snapshot()),
+        want,
+        "{ctx}: sequential optimized build differs from reference"
+    );
+    for threads in [1, 2, 0] {
+        assert_eq!(
+            optimized_bytes(rel, base, threads),
+            want,
+            "{ctx} threads={threads}: optimized build differs from reference"
+        );
+    }
+}
+
+#[test]
+fn optimized_build_matches_reference_bytes() {
+    // The full n grid is expensive under the unoptimized debug profile;
+    // tier-1 (`cargo test -q`) runs the small sizes, release runs all.
+    let sizes: &[usize] = if cfg!(debug_assertions) {
+        &[100, 1_000]
+    } else {
+        &[100, 1_000, 10_000]
+    };
+    for &n in sizes {
+        for dist in distributions() {
+            for d in [2, 3, 4] {
+                let rel = WorkloadSpec::new(dist, d, n, 97).generate();
+                assert_identical(
+                    &rel,
+                    &DlOptions::dl_plus(),
+                    &format!("DL+ {dist:?} n={n} d={d}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn optimized_build_matches_reference_across_variants() {
+    let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 3, 300, 41).generate();
+    let variants: Vec<(&str, DlOptions)> = vec![
+        ("DL", DlOptions::dl()),
+        ("DG", DlOptions::dg()),
+        ("DG+", DlOptions::dg_plus()),
+        (
+            "DL+/AllFacets",
+            DlOptions {
+                eds_policy: EdsPolicy::AllFacets,
+                ..DlOptions::dl_plus()
+            },
+        ),
+        (
+            "DL+/BestUniform",
+            DlOptions {
+                eds_policy: EdsPolicy::BestUniform,
+                ..DlOptions::dl_plus()
+            },
+        ),
+        (
+            "DL/capped-fine",
+            DlOptions {
+                max_fine_layers: 3,
+                ..DlOptions::dl()
+            },
+        ),
+        (
+            "DL+/fixed-clusters",
+            DlOptions {
+                zero: ZeroMode::Clustered { clusters: 7 },
+                ..DlOptions::dl_plus()
+            },
+        ),
+    ];
+    for (name, base) in &variants {
+        assert_identical(&rel, base, name);
+    }
+    // 2-d exact zero layer exercises the chain-member seed exclusion.
+    let rel2 = WorkloadSpec::new(Distribution::Independent, 2, 500, 43).generate();
+    assert_identical(&rel2, &DlOptions::dl_plus(), "DL+ 2d exact zero");
+}
+
+#[test]
+fn optimized_build_matches_reference_tiny_and_empty() {
+    for n in [0, 1, 2, 5] {
+        for d in [2, 3] {
+            let rel = WorkloadSpec::new(Distribution::Independent, d, n, 7).generate();
+            assert_identical(&rel, &DlOptions::dl_plus(), &format!("tiny n={n} d={d}"));
+        }
+    }
+}

@@ -8,7 +8,13 @@
 //! * wall-clock QPS of [`BatchExecutor::run_uniform`] at each requested
 //!   thread count (pooled scratch, scoped-thread fan-out);
 //! * mean paper cost (Definition 9) per query, which is identical across
-//!   all execution modes — the executor is bit-deterministic.
+//!   all execution modes — the executor is bit-deterministic;
+//! * observability overhead: the sequential pass runs twice, once with the
+//!   metrics registry's runtime recording gate off and once on, and the
+//!   report carries both p50s plus the relative overhead (budget: ≤ 2 %).
+//!   Each cell also embeds the registry snapshot its instrumented passes
+//!   produced. Building with `--no-default-features` compiles recording
+//!   out entirely (`obs.compiled = false` in the report).
 //!
 //! Results land in a JSON file (default `BENCH_throughput.json`), one
 //! object per cell, plus host metadata so numbers from different machines
@@ -96,18 +102,37 @@ fn run_cell(n: usize, d: usize, k: usize, cfg: &Config) -> Value {
     // Warmup: touch the index and fault in the columns once.
     let _ = idx.topk(&weights[0], k);
 
-    // Sequential baseline: one topk call per query, timed individually
-    // for the latency distribution.
-    let mut latencies_us = Vec::with_capacity(weights.len());
-    let mut total_cost = 0u64;
-    let seq_t0 = Instant::now();
+    // Recording-off pass: the identical sequential loop with the metrics
+    // registry gated off — the overhead baseline. Its results become the
+    // reference the instrumented passes are checked against.
+    let m = drtopk_obs::metrics();
+    m.set_recording(false);
+    let mut off_lat_us = Vec::with_capacity(weights.len());
     let mut reference = Vec::with_capacity(weights.len());
     for w in &weights {
         let q0 = Instant::now();
         let r = idx.topk(w, k);
+        off_lat_us.push(q0.elapsed().as_secs_f64() * 1e6);
+        reference.push(r);
+    }
+    off_lat_us.sort_by(|a, b| a.total_cmp(b));
+    let p50_off = percentile(&off_lat_us, 0.50);
+
+    // Sequential baseline, recording on: one topk call per query, timed
+    // individually for the latency distribution. The registry is reset
+    // first so the cell's snapshot covers exactly its instrumented passes.
+    m.set_recording(true);
+    m.reset();
+    let mut latencies_us = Vec::with_capacity(weights.len());
+    let mut total_cost = 0u64;
+    let seq_t0 = Instant::now();
+    for (w, s) in weights.iter().zip(&reference) {
+        let q0 = Instant::now();
+        let r = idx.topk(w, k);
         latencies_us.push(q0.elapsed().as_secs_f64() * 1e6);
         total_cost += r.cost.total();
-        reference.push(r);
+        assert_eq!(r.ids, s.ids, "recording on/off changed answers");
+        assert_eq!(r.cost, s.cost, "recording on/off changed costs");
     }
     let seq_secs = seq_t0.elapsed().as_secs_f64();
     let seq_qps = weights.len() as f64 / seq_secs;
@@ -115,9 +140,15 @@ fn run_cell(n: usize, d: usize, k: usize, cfg: &Config) -> Value {
     let mut sorted = latencies_us.clone();
     sorted.sort_by(|a, b| a.total_cmp(b));
     let (p50, p99) = (percentile(&sorted, 0.50), percentile(&sorted, 0.99));
+    let overhead_pct = if p50_off > 0.0 {
+        (p50 - p50_off) / p50_off * 100.0
+    } else {
+        f64::NAN
+    };
     eprintln!(
         "  sequential: {seq_qps:.0} q/s, p50 {p50:.1}µs p99 {p99:.1}µs, mean cost {mean_cost:.1}"
     );
+    eprintln!("  obs overhead: p50 off {p50_off:.2}µs on {p50:.2}µs ({overhead_pct:+.2}%)");
 
     // Executor passes at each thread count; every result is checked
     // against the sequential reference (the determinism contract).
@@ -147,6 +178,9 @@ fn run_cell(n: usize, d: usize, k: usize, cfg: &Config) -> Value {
         ]));
     }
 
+    // Registry snapshot for this cell: the instrumented sequential pass
+    // plus every executor pass.
+    let snap = m.snapshot();
     Value::object([
         ("n", Value::uint(n)),
         ("d", Value::uint(d)),
@@ -164,7 +198,42 @@ fn run_cell(n: usize, d: usize, k: usize, cfg: &Config) -> Value {
         ),
         ("executor", Value::Array(executor_rows)),
         ("single_thread_qps", Value::float(single_qps)),
+        (
+            "obs",
+            Value::object([
+                ("p50_us_recording_off", Value::float(p50_off)),
+                ("p50_us_recording_on", Value::float(p50)),
+                ("overhead_pct", Value::float(overhead_pct)),
+                ("metrics", metrics_json(&snap)),
+            ]),
+        ),
     ])
+}
+
+/// The cell's registry snapshot as report JSON: every counter plus the
+/// quantiles of both histograms.
+fn metrics_json(snap: &drtopk_obs::MetricsSnapshot) -> Value {
+    let mut fields: Vec<(String, Value)> = snap
+        .counter_rows()
+        .into_iter()
+        .map(|(name, _help, v)| (name.to_string(), Value::uint(v as usize)))
+        .collect();
+    for (name, h) in [
+        ("query_latency_ns", &snap.query_latency_ns),
+        ("query_cost", &snap.query_cost),
+    ] {
+        fields.push((
+            name.to_string(),
+            Value::object([
+                ("count", Value::uint(h.count() as usize)),
+                ("p50", Value::float(h.p50())),
+                ("p95", Value::float(h.p95())),
+                ("p99", Value::float(h.p99())),
+                ("mean", Value::float(h.mean())),
+            ]),
+        ));
+    }
+    Value::Object(fields)
 }
 
 fn main() {
@@ -196,6 +265,19 @@ fn main() {
         (
             "host",
             Value::object([("available_parallelism", Value::uint(host_threads))]),
+        ),
+        (
+            "obs",
+            Value::object([
+                ("compiled", Value::Bool(drtopk_obs::COMPILED)),
+                (
+                    "methodology",
+                    Value::str(
+                        "per cell: identical sequential pass with runtime recording \
+                         off then on; overhead_pct compares the p50s (budget <= 2%)",
+                    ),
+                ),
+            ]),
         ),
         (
             "note",

@@ -85,6 +85,8 @@ impl Flags {
                 "weights-file",
                 "k",
                 "threads",
+                "format",
+                "probe",
             ];
             if !KNOWN.contains(&name) {
                 return Err(CliError::usage(format!("unknown flag --{name}")));
@@ -152,7 +154,7 @@ commands:
   import    --csv FILE --columns IDX:low|high[,...] --out FILE
   build     --data FILE --out FILE [--variant dl+|dl|dg|dg+] [--parallel]
             [--threads T] [--stats]
-  stats     --index FILE
+  stats     --index FILE [--format text|json|prom] [--probe N] [--seed S]
   query     --index FILE --weights W1,W2,... [--k K]
   batch     --index FILE --weights-file FILE [--k K] [--threads T]
   help
@@ -300,10 +302,121 @@ fn stats_text(idx: &DualLayerIndex, path: &Path) -> String {
     out
 }
 
+/// Drives `n` seeded random top-k queries through `idx` so the metrics
+/// registry has live data to export (an offline stand-in for scraping a
+/// serving process).
+fn run_probes(idx: &DualLayerIndex, n: usize, seed: u64) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut scratch = drtopk_core::QueryScratch::for_index(idx);
+    for _ in 0..n {
+        let w = Weights::random(idx.dims(), &mut rng);
+        idx.topk_with_scratch(&w, 10, &mut scratch);
+    }
+}
+
+/// The structural index gauges as `(name, help, value)` rows — shared by
+/// the JSON and Prometheus stats renderers.
+fn index_gauge_rows(idx: &DualLayerIndex) -> Vec<(&'static str, &'static str, u64)> {
+    let s = idx.stats();
+    vec![
+        ("tuples", "Tuples in the indexed relation", s.n as u64),
+        ("dims", "Attribute dimensionality", s.dims as u64),
+        ("coarse_layers", "Coarse layers", s.coarse_layers as u64),
+        ("fine_sublayers", "Fine sublayers", s.fine_layers as u64),
+        (
+            "forall_edges",
+            "Forall-dominance edges",
+            s.forall_edges as u64,
+        ),
+        (
+            "exists_edges",
+            "Exists-dominance edges",
+            s.exists_edges as u64,
+        ),
+        (
+            "pseudo_tuples",
+            "Zero-layer pseudo-tuples",
+            s.pseudo_tuples as u64,
+        ),
+        (
+            "first_layer_size",
+            "Tuples in L1",
+            s.first_layer_size as u64,
+        ),
+        ("first_fine_size", "Tuples in L11", s.first_fine_size as u64),
+        ("query_seeds", "Initially-free query seeds", s.seeds as u64),
+    ]
+}
+
+fn stats_json(idx: &DualLayerIndex, snap: &drtopk_obs::MetricsSnapshot) -> String {
+    let mut out = String::from("{\n  \"index\": {\n");
+    let rows = index_gauge_rows(idx);
+    for (i, (name, _help, value)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(out, "    \"{name}\": {value}{comma}");
+    }
+    let _ = write!(
+        out,
+        "  }},\n  \"metrics\": {}\n}}\n",
+        snap.to_json_indented(1)
+    );
+    out
+}
+
+fn stats_prometheus(idx: &DualLayerIndex, snap: &drtopk_obs::MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, help, value) in index_gauge_rows(idx) {
+        drtopk_obs::snapshot::prom_gauge(
+            &mut out,
+            &format!("drtopk_index_{name}"),
+            help,
+            value as f64,
+        );
+    }
+    out.push_str(&snap.to_prometheus());
+    out
+}
+
 fn cmd_stats(f: &Flags) -> Result<String, CliError> {
     let path = PathBuf::from(f.require("index")?);
     let idx = load_index(&path).map_err(|e| CliError::runtime(e.to_string()))?;
-    Ok(stats_text(&idx, &path))
+    let probes: usize = f.parse_num("probe", 0)?;
+    if probes > 0 {
+        run_probes(&idx, probes, f.parse_num("seed", 42)?);
+    }
+    let snap = drtopk_obs::metrics().snapshot();
+    match f.get("format").unwrap_or("text") {
+        "text" => {
+            let mut out = stats_text(&idx, &path);
+            if snap.queries > 0 {
+                let _ = writeln!(out, "query metrics (this process)");
+                let _ = writeln!(out, "  queries           {}", snap.queries);
+                let _ = writeln!(out, "  tuples evaluated  {}", snap.tuples_evaluated);
+                let _ = writeln!(out, "  pseudo evaluated  {}", snap.pseudo_evaluated);
+                let _ = writeln!(
+                    out,
+                    "  cost p50/p95/p99  {:.0} / {:.0} / {:.0}",
+                    snap.query_cost.p50(),
+                    snap.query_cost.p95(),
+                    snap.query_cost.p99()
+                );
+                let _ = writeln!(
+                    out,
+                    "  latency p50/p99   {:.1} µs / {:.1} µs",
+                    snap.query_latency_ns.p50() / 1e3,
+                    snap.query_latency_ns.p99() / 1e3
+                );
+            }
+            Ok(out)
+        }
+        "json" => Ok(stats_json(&idx, &snap)),
+        "prom" => Ok(stats_prometheus(&idx, &snap)),
+        other => Err(CliError::usage(format!(
+            "--format must be text|json|prom, got {other}"
+        ))),
+    }
 }
 
 fn cmd_query(f: &Flags) -> Result<String, CliError> {
@@ -505,6 +618,90 @@ mod tests {
                 .count(),
             5
         );
+    }
+
+    #[test]
+    fn stats_formats_and_probe() {
+        let data = tmp("statsfmt.data.drt");
+        let index = tmp("statsfmt.index.drt");
+        run(&argv(&[
+            "generate",
+            "--dist",
+            "ant",
+            "--dims",
+            "2",
+            "--n",
+            "400",
+            "--seed",
+            "11",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            index.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let json = run(&argv(&[
+            "stats",
+            "--index",
+            index.to_str().unwrap(),
+            "--format",
+            "json",
+            "--probe",
+            "5",
+        ]))
+        .unwrap();
+        assert!(json.contains("\"tuples\": 400"), "{json}");
+        assert!(json.contains("\"queries\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        let prom = run(&argv(&[
+            "stats",
+            "--index",
+            index.to_str().unwrap(),
+            "--format",
+            "prom",
+            "--probe",
+            "5",
+        ]))
+        .unwrap();
+        assert!(prom.contains("drtopk_index_tuples 400"), "{prom}");
+        assert!(
+            prom.contains("# TYPE drtopk_queries_total counter"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("# TYPE drtopk_query_latency_seconds histogram"),
+            "{prom}"
+        );
+        if drtopk_obs::COMPILED {
+            // The registry is process-global and other tests also run
+            // queries, so assert a floor, not an exact count.
+            let queries: u64 = prom
+                .lines()
+                .find(|l| l.starts_with("drtopk_queries_total "))
+                .and_then(|l| l.rsplit(' ').next())
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(queries >= 5, "{prom}");
+        }
+
+        let err = run(&argv(&[
+            "stats",
+            "--index",
+            index.to_str().unwrap(),
+            "--format",
+            "yaml",
+        ]))
+        .unwrap_err();
+        assert!(err.message.contains("text|json|prom"));
     }
 
     #[test]

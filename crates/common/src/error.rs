@@ -6,7 +6,12 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum Error {
     /// A tuple's arity did not match the relation's dimensionality.
-    DimensionMismatch { expected: usize, got: usize },
+    DimensionMismatch {
+        /// The relation's dimensionality.
+        expected: usize,
+        /// The arity actually supplied.
+        got: usize,
+    },
     /// Dimensionality outside the supported range (the paper evaluates
     /// d in 2..=5; we support any d >= 1 but some structures need d >= 2).
     InvalidDimension(usize),
@@ -15,8 +20,11 @@ pub enum Error {
     InvalidWeights(String),
     /// An attribute value was outside `[0,1]` or non-finite.
     InvalidValue {
+        /// Index of the offending tuple.
         tuple: usize,
+        /// Attribute position of the offending value.
         dim: usize,
+        /// The rejected value.
         value: f64,
     },
     /// A query was issued against an empty relation or with k = 0.

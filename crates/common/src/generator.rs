@@ -40,13 +40,18 @@ impl Distribution {
 /// cardinality, and RNG seed (generation is fully deterministic per spec).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WorkloadSpec {
+    /// Attribute correlation model.
     pub dist: Distribution,
+    /// Attribute dimensionality.
     pub dims: usize,
+    /// Number of tuples to generate.
     pub n: usize,
+    /// RNG seed; equal specs generate equal relations.
     pub seed: u64,
 }
 
 impl WorkloadSpec {
+    /// Bundles the four generation parameters into a spec.
     pub fn new(dist: Distribution, dims: usize, n: usize, seed: u64) -> Self {
         WorkloadSpec {
             dist,

@@ -26,6 +26,7 @@ pub enum Direction {
 pub struct ColumnSpec {
     /// Zero-based column index in the CSV record.
     pub column: usize,
+    /// Whether smaller or larger raw values are preferable.
     pub direction: Direction,
 }
 

@@ -7,6 +7,7 @@
 //! brute-force top-k [`oracle`], and the [`cost::Cost`] counter that
 //! implements the paper's evaluation metric (Definition 9: the number of
 //! tuples accessed *and* scored during query processing).
+#![warn(missing_docs)]
 
 pub mod columns;
 pub mod cost;

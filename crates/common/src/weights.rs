@@ -87,7 +87,9 @@ impl Weights {
 /// breaking, as the paper assumes ties are broken by tuple identifiers.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScoredTuple {
+    /// The tuple's score under some weight vector.
     pub score: f64,
+    /// The scored tuple.
     pub id: crate::relation::TupleId,
 }
 

@@ -58,7 +58,7 @@ impl<'a> BatchExecutor<'a> {
 
     /// The thread count this executor would use for a batch of `requests`
     /// requests: the configured count, clamped to available cores and to
-    /// one worker per [`MIN_REQUESTS_PER_WORKER`]-request chunk.
+    /// one worker per `MIN_REQUESTS_PER_WORKER`-request chunk.
     pub fn effective_threads(&self, requests: usize) -> usize {
         resolve_workers_chunked(self.threads, requests, MIN_REQUESTS_PER_WORKER)
     }
@@ -71,25 +71,31 @@ impl<'a> BatchExecutor<'a> {
     /// index's.
     pub fn run(&self, requests: &[(Weights, usize)]) -> Vec<TopkResult> {
         let idx = self.idx;
-        parallel_map_chunked(
+        drtopk_obs::metrics().batch_enqueue(requests.len() as u64);
+        let out = parallel_map_chunked(
             requests,
             self.threads,
             MIN_REQUESTS_PER_WORKER,
             &|| QueryScratch::for_index(idx),
             &|scratch, (w, k)| idx.topk_with_scratch(w, *k, scratch),
-        )
+        );
+        drtopk_obs::metrics().batch_drain(out.len() as u64);
+        out
     }
 
     /// Answers every query with the same `k` — the common benchmark shape.
     pub fn run_uniform(&self, queries: &[Weights], k: usize) -> Vec<TopkResult> {
         let idx = self.idx;
-        parallel_map_chunked(
+        drtopk_obs::metrics().batch_enqueue(queries.len() as u64);
+        let out = parallel_map_chunked(
             queries,
             self.threads,
             MIN_REQUESTS_PER_WORKER,
             &|| QueryScratch::for_index(idx),
             &|scratch, w| idx.topk_with_scratch(w, k, scratch),
-        )
+        );
+        drtopk_obs::metrics().batch_drain(out.len() as u64);
+        out
     }
 }
 

@@ -117,6 +117,7 @@ impl DynamicIndex {
         let h = self.next_handle;
         self.next_handle += 1;
         self.buffer.push((h, row.to_vec()));
+        drtopk_obs::metrics().dynamic_insert();
         self.maybe_rebuild();
         Ok(h)
     }
@@ -127,6 +128,7 @@ impl DynamicIndex {
             return false;
         }
         self.tombstones.insert(h);
+        drtopk_obs::metrics().dynamic_delete();
         self.maybe_rebuild();
         true
     }
@@ -150,6 +152,7 @@ impl DynamicIndex {
                 merged.push((w.score(self.index.relation().tuple(t)), h));
             }
         }
+        drtopk_obs::metrics().dynamic_buffer_scan(self.buffer.len() as u64);
         for (h, row) in &self.buffer {
             if !self.tombstones.contains(h) {
                 cost.tick();
@@ -196,6 +199,7 @@ impl DynamicIndex {
         self.buffer.clear();
         self.tombstones.clear();
         self.rebuilds += 1;
+        drtopk_obs::metrics().dynamic_rebuild();
     }
 
     fn maybe_rebuild(&mut self) {

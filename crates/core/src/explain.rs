@@ -33,8 +33,11 @@ impl QueryExplain {
         if self.pseudo_evaluated > 0 {
             let _ = writeln!(out, "  L0 (pseudo): {}", self.pseudo_evaluated);
         }
+        // Every layer down to the answer depth is reported, zero or not: a
+        // skipped line would make "L3: 5" ambiguous between "L2 untouched"
+        // and "L2 elided". Deeper layers print only when touched.
         for (i, &c) in self.evaluated_per_layer.iter().enumerate() {
-            if c > 0 {
+            if c > 0 || i < self.answer_depth {
                 let _ = writeln!(out, "  L{}: {}", i + 1, c);
             }
         }
@@ -124,6 +127,25 @@ mod tests {
                 assert_eq!(res.ids, idx.topk(&w, k).ids);
             }
         }
+    }
+
+    #[test]
+    fn render_lists_untouched_layers_up_to_answer_depth() {
+        let ex = QueryExplain {
+            evaluated_per_layer: vec![6, 0, 3, 0, 0],
+            pseudo_evaluated: 2,
+            answer_depth: 4,
+        };
+        let text = ex.render();
+        assert!(text.contains("L0 (pseudo): 2"));
+        // L2 saw zero evaluations but sits above the answer depth: it must
+        // still be listed, explicitly zero.
+        assert!(text.contains("L1: 6"));
+        assert!(text.contains("L2: 0"));
+        assert!(text.contains("L3: 3"));
+        assert!(text.contains("L4: 0"));
+        // Layers past the answer depth with no evaluations stay hidden.
+        assert!(!text.contains("L5"));
     }
 
     #[test]

@@ -56,6 +56,7 @@ impl Csr {
 /// is the concatenation of the sublayers.
 #[derive(Debug, Clone)]
 pub struct CoarseLayer {
+    /// The fine sublayers, in peeling order.
     pub fine: Vec<Vec<TupleId>>,
 }
 
@@ -79,15 +80,25 @@ impl CoarseLayer {
 /// Summary counters describing a built index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IndexStats {
+    /// Tuples in the indexed relation.
     pub n: usize,
+    /// Attribute dimensionality.
     pub dims: usize,
+    /// Number of coarse layers (iterated skylines).
     pub coarse_layers: usize,
+    /// Total fine sublayers across all coarse layers.
     pub fine_layers: usize,
+    /// ∀-dominance edges materialized.
     pub forall_edges: usize,
+    /// ∃-dominance edges materialized.
     pub exists_edges: usize,
+    /// Zero-layer pseudo-tuples (0 without a clustered zero layer).
     pub pseudo_tuples: usize,
+    /// Initially-free nodes that seed every query's queue.
     pub seeds: usize,
+    /// Tuples in the first coarse layer `L¹`.
     pub first_layer_size: usize,
+    /// Tuples in the first fine sublayer `L¹¹`.
     pub first_fine_size: usize,
 }
 

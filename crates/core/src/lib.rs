@@ -25,6 +25,7 @@
 //! The same engine expresses the Dominant Graph baselines: DG is a
 //! dual-resolution index without fine splitting ([`DlOptions::dg`]), DG+
 //! adds a flat zero layer — which is exactly how the paper describes them.
+#![warn(missing_docs)]
 
 pub mod analytics;
 pub mod batch;

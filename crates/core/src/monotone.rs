@@ -34,7 +34,9 @@ pub trait MonotoneScore {
 /// `0 < p < 1` concave; all strictly monotone for positive weights).
 #[derive(Debug, Clone)]
 pub struct WeightedPower {
+    /// Per-attribute positive weights.
     pub weights: Vec<f64>,
+    /// The exponent `p`.
     pub power: f64,
 }
 
@@ -55,6 +57,7 @@ impl MonotoneScore for WeightedPower {
 /// (changing a non-maximal coordinate leaves the score unchanged).
 #[derive(Debug, Clone)]
 pub struct WeightedChebyshev {
+    /// Per-attribute positive weights.
     pub weights: Vec<f64>,
 }
 
@@ -74,6 +77,7 @@ impl MonotoneScore for WeightedChebyshev {
 /// `F(t) = Σ wᵢ · ln(1 + tᵢ)` — a diminishing-returns aggregate.
 #[derive(Debug, Clone)]
 pub struct LogSum {
+    /// Per-attribute positive weights.
     pub weights: Vec<f64>,
 }
 

@@ -33,7 +33,10 @@ pub enum ZeroMode {
     /// "automatic": ⌈√|L¹|⌉. With fine splitting on, the pseudo-tuples are
     /// themselves peeled into convex sublayers with ∃ edges (DL+); with it
     /// off this is DG+'s flat pseudo-tuple layer.
-    Clustered { clusters: usize },
+    Clustered {
+        /// Cluster count; `0` selects ⌈√|L¹|⌉ automatically.
+        clusters: usize,
+    },
     /// Exact weight-range partitioning over the first sublayer's chain —
     /// 2-d only (Section V-A); falls back to `Clustered{0}` for d ≥ 3.
     Exact2d,

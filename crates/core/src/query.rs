@@ -8,6 +8,7 @@
 
 use crate::index::{DualLayerIndex, NodeId};
 use drtopk_common::{Cost, TupleId, Weights};
+use drtopk_obs::{QueryCounters, QuerySpan};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -24,9 +25,11 @@ pub struct TopkResult {
 /// after its edges were relaxed. Used to pin the paper's Table III.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceStep {
+    /// The node removed from the queue this step.
     pub popped: NodeId,
     /// Queue contents after the step, in pop order.
     pub queue_after: Vec<NodeId>,
+    /// Accumulated answer list after the step.
     pub answers_after: Vec<TupleId>,
 }
 
@@ -35,6 +38,7 @@ pub struct TraceStep {
 pub struct QueryTrace {
     /// Nodes seeded into the queue before the first pop.
     pub seeds: Vec<NodeId>,
+    /// One entry per pop, in traversal order.
     pub steps: Vec<TraceStep>,
 }
 
@@ -83,6 +87,10 @@ pub struct QueryScratch {
     freed: Vec<NodeId>,
     /// Kernel output buffer, parallel to `freed` during a flush.
     scores: Vec<f64>,
+    /// Plain-integer observability counters, flushed to the global
+    /// [`drtopk_obs`] registry once per query (zero-sized when the `obs`
+    /// feature is off).
+    counters: QueryCounters,
 }
 
 impl QueryScratch {
@@ -98,6 +106,7 @@ impl QueryScratch {
             heap: BinaryHeap::new(),
             freed: Vec::new(),
             scores: Vec::new(),
+            counters: QueryCounters::new(),
         }
     }
 
@@ -114,6 +123,7 @@ impl QueryScratch {
         self.chain_wait.resize(total, false);
         self.heap.clear();
         self.freed.clear();
+        self.counters.clear();
         if idx.zero2d.is_some() {
             self.chain_pos.clear();
             self.chain_pos.resize(total, u32::MAX);
@@ -132,6 +142,20 @@ enum StopRule {
 impl DualLayerIndex {
     /// Answers a top-k query (Definition 1): the `k` tuples with the
     /// smallest scores under `w`, ties broken by tuple id.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use drtopk_common::{Distribution, Weights, WorkloadSpec};
+    /// use drtopk_core::{DlOptions, DualLayerIndex};
+    ///
+    /// let rel = WorkloadSpec::new(Distribution::Independent, 3, 500, 7).generate();
+    /// let idx = DualLayerIndex::build(&rel, DlOptions::default());
+    /// let res = idx.topk(&Weights::uniform(3), 10);
+    /// assert_eq!(res.ids.len(), 10);
+    /// // Selective access: far fewer tuples scored than the relation holds.
+    /// assert!(res.cost.total() < 500);
+    /// ```
     ///
     /// # Panics
     /// Panics if `w`'s dimensionality differs from the index's.
@@ -217,26 +241,28 @@ impl DualLayerIndex {
             heap,
             freed,
             scores,
+            counters,
             ..
         } = scratch;
         // Chain gating for the exact 2-d zero layer: all chain members
         // except the weight-range seed wait for a chain neighbor to pop.
+        let mut chain_seed = None;
         if let Some(z) = &self.zero2d {
             for (pos, &t) in z.chain.iter().enumerate() {
                 chain_wait[t as usize] = true;
                 chain_pos[t as usize] = pos as u32;
             }
-            let seed_pos = z.select(w);
-            chain_wait[z.chain[seed_pos] as usize] = false;
+            let seed = z.chain[z.select(w)] as NodeId;
+            chain_wait[seed as usize] = false;
+            chain_seed = Some(seed);
         }
         for &s in &self.seeds {
             mark_freed(self, s, freed, enqueued, cost);
         }
-        if let Some(z) = &self.zero2d {
-            let seed = z.chain[z.select(w)];
-            mark_freed(self, seed as NodeId, freed, enqueued, cost);
+        if let Some(seed) = chain_seed {
+            mark_freed(self, seed, freed, enqueued, cost);
         }
-        flush_freed(self, w, heap, freed, scores);
+        flush_freed(self, w, heap, freed, scores, counters);
     }
 
     /// Pops the minimum-key free node and relaxes its out-edges, possibly
@@ -252,6 +278,7 @@ impl DualLayerIndex {
             heap,
             freed,
             scores,
+            counters,
         } = scratch;
         let entry = heap.pop()?;
         let node = entry.node;
@@ -261,6 +288,7 @@ impl DualLayerIndex {
         // to the pop boundary leaves the pop sequence (and therefore ids
         // and cost) identical to immediate insertion.
         // Relax ∀ out-edges: a target needs *all* dominators popped.
+        counters.forall_relaxed(self.forall.out(node).len() as u64);
         for &t in self.forall.out(node) {
             remaining[t as usize] -= 1;
             if remaining[t as usize] == 0 && !eblocked[t as usize] && !chain_wait[t as usize] {
@@ -268,6 +296,7 @@ impl DualLayerIndex {
             }
         }
         // Relax ∃ out-edges: a target needs *any* EDS member popped.
+        counters.exists_relaxed(self.exists.out(node).len() as u64);
         for &t in self.exists.out(node) {
             if eblocked[t as usize] {
                 eblocked[t as usize] = false;
@@ -298,7 +327,7 @@ impl DualLayerIndex {
                 }
             }
         }
-        flush_freed(self, w, heap, freed, scores);
+        flush_freed(self, w, heap, freed, scores, counters);
         Some(entry)
     }
 
@@ -320,6 +349,7 @@ impl DualLayerIndex {
             assert_eq!(w.dims(), self.dims(), "weight dimensionality mismatch");
             return TopkResult { ids, cost };
         }
+        let span = QuerySpan::start();
         self.seed_queue(w, scratch, &mut cost);
         if let Some(t) = trace.as_deref_mut() {
             let mut s: Vec<NodeId> = scratch.heap.iter().map(|e| e.node).collect();
@@ -356,6 +386,8 @@ impl DualLayerIndex {
                 });
             }
         }
+        scratch.counters.flush();
+        span.finish(cost.evaluated, cost.pseudo_evaluated);
         TopkResult { ids, cost }
     }
 }
@@ -391,10 +423,12 @@ fn flush_freed(
     heap: &mut BinaryHeap<Entry>,
     freed: &mut Vec<NodeId>,
     scores: &mut Vec<f64>,
+    counters: &mut QueryCounters,
 ) {
     if freed.is_empty() {
         return;
     }
+    counters.heap_pushed(freed.len() as u64);
     idx.columns.score_block(w, freed, scores);
     for (&node, &score) in freed.iter().zip(scores.iter()) {
         heap.push(Entry {
@@ -424,11 +458,14 @@ pub struct TopkCursor<'a> {
     w: Weights,
     scratch: QueryScratch,
     cost: Cost,
+    /// `Some` until the drop flush; the span covers the cursor's lifetime.
+    span: Option<QuerySpan>,
 }
 
 impl<'a> TopkCursor<'a> {
     /// Starts a progressive traversal (seeds the queue).
     pub fn new(idx: &'a DualLayerIndex, w: &Weights) -> Self {
+        let span = Some(QuerySpan::start());
         let mut scratch = QueryScratch::for_index(idx);
         let mut cost = Cost::new();
         idx.seed_queue(w, &mut scratch, &mut cost);
@@ -437,6 +474,7 @@ impl<'a> TopkCursor<'a> {
             w: w.clone(),
             scratch,
             cost,
+            span,
         }
     }
 
@@ -457,6 +495,15 @@ impl<'a> TopkCursor<'a> {
                 }
                 None => return None,
             }
+        }
+    }
+}
+
+impl Drop for TopkCursor<'_> {
+    fn drop(&mut self) {
+        self.scratch.counters.flush();
+        if let Some(span) = self.span.take() {
+            span.finish(self.cost.evaluated, self.cost.pseudo_evaluated);
         }
     }
 }
@@ -759,6 +806,26 @@ mod tests {
         let (first, score) = cursor.next().unwrap();
         assert_eq!(peeked, score);
         assert_eq!(first, topk_bruteforce(&rel, &w, 1)[0]);
+    }
+
+    /// End-to-end wiring: one topk call must land in the global registry.
+    /// Deltas are `>=` because sibling tests run queries concurrently.
+    #[test]
+    #[cfg(feature = "obs")]
+    fn metrics_registry_observes_queries() {
+        let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 2, 300, 17).generate();
+        let idx = DualLayerIndex::build(&rel, DlOptions::dl_plus());
+        let w = Weights::uniform(2);
+        let before = drtopk_obs::metrics().snapshot();
+        let res = idx.topk(&w, 10);
+        let after = drtopk_obs::metrics().snapshot();
+        assert!(after.queries > before.queries);
+        assert!(after.tuples_evaluated >= before.tuples_evaluated + res.cost.evaluated);
+        // Every answer was once a heap push; the 2-d zero layer probed.
+        assert!(after.heap_pushes >= before.heap_pushes + res.ids.len() as u64);
+        assert!(after.zero_probes > before.zero_probes);
+        assert!(after.query_cost.count() > before.query_cost.count());
+        assert!(after.query_latency_ns.count() > before.query_latency_ns.count());
     }
 
     #[test]

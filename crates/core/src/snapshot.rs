@@ -13,6 +13,7 @@ use drtopk_common::{Columns, Error, Relation, TupleId};
 /// Flat, public representation of a built index.
 #[derive(Debug, Clone, PartialEq)]
 pub struct IndexSnapshot {
+    /// Attribute dimensionality.
     pub dims: usize,
     /// Row-major relation payload.
     pub data: Vec<f64>,
@@ -22,14 +23,17 @@ pub struct IndexSnapshot {
     pub forall_edges: Vec<(NodeId, NodeId)>,
     /// ∃ edges as (source, target) pairs.
     pub exists_edges: Vec<(NodeId, NodeId)>,
-    /// Pseudo-tuple payload (row-major) and fine grouping.
+    /// Pseudo-tuple payload (row-major).
     pub pseudo: Vec<f64>,
+    /// Pseudo-tuple fine grouping: one member list per pseudo sublayer.
     pub pseudo_fine: Vec<Vec<u32>>,
-    /// 2-d zero layer, if present.
+    /// 2-d zero layer chain, if present.
     pub zero2d_chain: Option<Vec<TupleId>>,
+    /// Weight-range breakpoints of the 2-d zero layer (empty without one).
     pub zero2d_breakpoints: Vec<f64>,
-    /// Build options (recorded for provenance; not re-applied on load).
+    /// Build option recorded for provenance: whether fine splitting was on.
     pub split_fine: bool,
+    /// Build option recorded for provenance: the fine sublayer cap.
     pub max_fine_layers: usize,
 }
 

@@ -371,7 +371,7 @@ pub struct ConvexLayer {
 /// Peels `ids` into consecutive convex layers (Onion-style): layer 1 is the
 /// convex skyline of the set, layer j the convex skyline of the remainder.
 ///
-/// In 2-d the whole peel shares one sorted order ([`convex_layers_2d`]);
+/// In 2-d the whole peel shares one sorted order (`convex_layers_2d`);
 /// for d ≥ 3 each layer recomputes its hull but the remainder subtraction
 /// is a merge over the (sorted) member positions instead of a hash set.
 pub fn convex_layers(rel: &Relation, ids: &[TupleId]) -> Vec<ConvexLayer> {

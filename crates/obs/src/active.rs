@@ -1,0 +1,475 @@
+//! The real recording implementation (compiled under the `enabled`
+//! feature; `noop.rs` mirrors the API as zero-sized types otherwise).
+
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot, HIST_BUCKETS};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::time::Instant;
+
+/// Shard count for [`ShardedCounter`]. Threads are striped round-robin,
+/// so up to this many concurrent writers proceed without sharing a cache
+/// line; reads sum all shards.
+const SHARDS: usize = 16;
+
+/// One cache-line-padded atomic cell, so neighboring shards never falsely
+/// share a line.
+#[repr(align(64))]
+#[derive(Debug)]
+struct Shard(AtomicU64);
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's home shard, assigned round-robin on first use.
+    static MY_SHARD: Cell<usize> = Cell::new(NEXT_SHARD.fetch_add(1, Relaxed) % SHARDS);
+}
+
+/// A monotone counter striped across cache-line-padded shards: `add` is
+/// one relaxed `fetch_add` on the calling thread's home shard, `get` sums
+/// every shard. Writers on different threads never contend on a line.
+#[derive(Debug)]
+pub struct ShardedCounter {
+    shards: [Shard; SHARDS],
+}
+
+impl ShardedCounter {
+    /// A zeroed counter (usable in statics).
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: Shard = Shard(AtomicU64::new(0));
+        ShardedCounter {
+            shards: [ZERO; SHARDS],
+        }
+    }
+
+    /// Adds `v` on this thread's shard (relaxed; never blocks).
+    #[inline]
+    pub fn add(&self, v: u64) {
+        let s = MY_SHARD.with(Cell::get);
+        self.shards[s].0.fetch_add(v, Relaxed);
+    }
+
+    /// Current total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards.iter().map(|s| s.0.load(Relaxed)).sum()
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Relaxed);
+        }
+    }
+}
+
+impl Default for ShardedCounter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A lock-free histogram over power-of-two buckets: bucket 0 holds the
+/// value `0`, bucket `b ≥ 1` holds `[2^(b-1), 2^b)`. Recording is one
+/// relaxed `fetch_add` per observation (plus an exact running sum);
+/// quantile readout happens on [`HistogramSnapshot`].
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl LogHistogram {
+    /// An empty histogram (usable in statics).
+    pub const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        LogHistogram {
+            buckets: [ZERO; HIST_BUCKETS],
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let b = (64 - v.leading_zeros()) as usize;
+        self.buckets[b].fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+    }
+
+    /// Copies the current state out.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: self.buckets.iter().map(|b| b.load(Relaxed)).collect(),
+            sum: self.sum.load(Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Relaxed);
+        }
+        self.sum.store(0, Relaxed);
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The process-wide metrics registry. One static instance exists per
+/// process (see [`metrics`]); the query path feeds it through
+/// [`QueryCounters`] / [`QuerySpan`], subsystems add directly.
+///
+/// ```
+/// use drtopk_obs::metrics;
+///
+/// let m = metrics();
+/// let before = m.snapshot().dynamic_inserts;
+/// m.dynamic_insert();
+/// let snap = m.snapshot();
+/// assert_eq!(snap.dynamic_inserts, before + 1);
+/// // Snapshots render themselves for exporters:
+/// assert!(snap.to_prometheus().contains("drtopk_dynamic_inserts_total"));
+/// assert!(snap.to_json().contains("\"dynamic_inserts\""));
+/// ```
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    recording: AtomicBool,
+    queries: ShardedCounter,
+    tuples_evaluated: ShardedCounter,
+    pseudo_evaluated: ShardedCounter,
+    forall_relaxations: ShardedCounter,
+    exists_relaxations: ShardedCounter,
+    heap_pushes: ShardedCounter,
+    zero_probes: ShardedCounter,
+    batch_enqueued: ShardedCounter,
+    batch_drained: ShardedCounter,
+    dynamic_inserts: ShardedCounter,
+    dynamic_deletes: ShardedCounter,
+    dynamic_rebuilds: ShardedCounter,
+    dynamic_buffer_scanned: ShardedCounter,
+    query_latency_ns: LogHistogram,
+    query_cost: LogHistogram,
+}
+
+static REGISTRY: MetricsRegistry = MetricsRegistry::new();
+
+/// The process-wide registry.
+#[inline]
+pub fn metrics() -> &'static MetricsRegistry {
+    &REGISTRY
+}
+
+impl MetricsRegistry {
+    const fn new() -> Self {
+        MetricsRegistry {
+            recording: AtomicBool::new(true),
+            queries: ShardedCounter::new(),
+            tuples_evaluated: ShardedCounter::new(),
+            pseudo_evaluated: ShardedCounter::new(),
+            forall_relaxations: ShardedCounter::new(),
+            exists_relaxations: ShardedCounter::new(),
+            heap_pushes: ShardedCounter::new(),
+            zero_probes: ShardedCounter::new(),
+            batch_enqueued: ShardedCounter::new(),
+            batch_drained: ShardedCounter::new(),
+            dynamic_inserts: ShardedCounter::new(),
+            dynamic_deletes: ShardedCounter::new(),
+            dynamic_rebuilds: ShardedCounter::new(),
+            dynamic_buffer_scanned: ShardedCounter::new(),
+            query_latency_ns: LogHistogram::new(),
+            query_cost: LogHistogram::new(),
+        }
+    }
+
+    /// Whether recording is on (the default). Off, spans and flushes are
+    /// skipped; only the local plain-integer increments remain.
+    #[inline]
+    pub fn recording(&self) -> bool {
+        self.recording.load(Relaxed)
+    }
+
+    /// Turns recording on or off at runtime (process-wide).
+    pub fn set_recording(&self, on: bool) {
+        self.recording.store(on, Relaxed);
+    }
+
+    /// One zero-layer selective-access probe (2-d weight-range search).
+    #[inline]
+    pub fn zero_probe(&self) {
+        if self.recording() {
+            self.zero_probes.add(1);
+        }
+    }
+
+    /// `n` requests handed to a batch-executor run.
+    #[inline]
+    pub fn batch_enqueue(&self, n: u64) {
+        if self.recording() {
+            self.batch_enqueued.add(n);
+        }
+    }
+
+    /// `n` batch requests fully answered.
+    #[inline]
+    pub fn batch_drain(&self, n: u64) {
+        if self.recording() {
+            self.batch_drained.add(n);
+        }
+    }
+
+    /// One dynamic-index insert.
+    #[inline]
+    pub fn dynamic_insert(&self) {
+        if self.recording() {
+            self.dynamic_inserts.add(1);
+        }
+    }
+
+    /// One dynamic-index delete of a live handle.
+    #[inline]
+    pub fn dynamic_delete(&self) {
+        if self.recording() {
+            self.dynamic_deletes.add(1);
+        }
+    }
+
+    /// One dynamic-index compaction (full rebuild).
+    #[inline]
+    pub fn dynamic_rebuild(&self) {
+        if self.recording() {
+            self.dynamic_rebuilds.add(1);
+        }
+    }
+
+    /// `n` buffered tuples scanned while answering a dynamic query.
+    #[inline]
+    pub fn dynamic_buffer_scan(&self, n: u64) {
+        if self.recording() {
+            self.dynamic_buffer_scanned.add(n);
+        }
+    }
+
+    /// Copies every counter and histogram out. Each value is read with a
+    /// relaxed load, so a snapshot taken while queries run is a coherent
+    /// *approximation* — fine for monitoring, exact once writers quiesce.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            queries: self.queries.get(),
+            tuples_evaluated: self.tuples_evaluated.get(),
+            pseudo_evaluated: self.pseudo_evaluated.get(),
+            forall_relaxations: self.forall_relaxations.get(),
+            exists_relaxations: self.exists_relaxations.get(),
+            heap_pushes: self.heap_pushes.get(),
+            zero_probes: self.zero_probes.get(),
+            batch_enqueued: self.batch_enqueued.get(),
+            batch_drained: self.batch_drained.get(),
+            dynamic_inserts: self.dynamic_inserts.get(),
+            dynamic_deletes: self.dynamic_deletes.get(),
+            dynamic_rebuilds: self.dynamic_rebuilds.get(),
+            dynamic_buffer_scanned: self.dynamic_buffer_scanned.get(),
+            query_latency_ns: self.query_latency_ns.snapshot(),
+            query_cost: self.query_cost.snapshot(),
+        }
+    }
+
+    /// Zeroes every counter and histogram. Benchmarks use this between
+    /// cells; racing writers may leak a few increments into the next
+    /// window, which is acceptable for a monitoring registry.
+    pub fn reset(&self) {
+        self.queries.reset();
+        self.tuples_evaluated.reset();
+        self.pseudo_evaluated.reset();
+        self.forall_relaxations.reset();
+        self.exists_relaxations.reset();
+        self.heap_pushes.reset();
+        self.zero_probes.reset();
+        self.batch_enqueued.reset();
+        self.batch_drained.reset();
+        self.dynamic_inserts.reset();
+        self.dynamic_deletes.reset();
+        self.dynamic_rebuilds.reset();
+        self.dynamic_buffer_scanned.reset();
+        self.query_latency_ns.reset();
+        self.query_cost.reset();
+    }
+}
+
+/// Per-query counter block living inside the traversal's scratch memory.
+/// The hot path bumps plain integers (no atomics); [`QueryCounters::flush`]
+/// moves the totals into the registry in one burst — at most once per
+/// query — so per-tuple recording costs a non-atomic add.
+#[derive(Debug, Clone, Default)]
+pub struct QueryCounters {
+    forall: u64,
+    exists: u64,
+    pushes: u64,
+}
+
+impl QueryCounters {
+    /// A zeroed block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `n` ∀-dominance edges relaxed.
+    #[inline]
+    pub fn forall_relaxed(&mut self, n: u64) {
+        self.forall += n;
+    }
+
+    /// `n` ∃-dominance edges relaxed.
+    #[inline]
+    pub fn exists_relaxed(&mut self, n: u64) {
+        self.exists += n;
+    }
+
+    /// `n` entries pushed onto the queue.
+    #[inline]
+    pub fn heap_pushed(&mut self, n: u64) {
+        self.pushes += n;
+    }
+
+    /// Zeroes the block without flushing (query start / scratch reset).
+    #[inline]
+    pub fn clear(&mut self) {
+        *self = QueryCounters::default();
+    }
+
+    /// Moves the accumulated totals into the registry and zeroes the
+    /// block. Skips the atomic traffic entirely when recording is off or
+    /// nothing was counted.
+    pub fn flush(&mut self) {
+        if !metrics().recording() {
+            self.clear();
+            return;
+        }
+        let m = metrics();
+        if self.forall > 0 {
+            m.forall_relaxations.add(self.forall);
+        }
+        if self.exists > 0 {
+            m.exists_relaxations.add(self.exists);
+        }
+        if self.pushes > 0 {
+            m.heap_pushes.add(self.pushes);
+        }
+        self.clear();
+    }
+}
+
+/// A per-query span: started before the traversal, finished with the
+/// query's final cost. Records one latency and one cost observation and
+/// bumps the query counter — three relaxed atomics per query. Inert when
+/// recording is off (no clock read).
+#[derive(Debug)]
+#[must_use = "a span only records when finished"]
+pub struct QuerySpan {
+    started: Option<Instant>,
+}
+
+impl QuerySpan {
+    /// Starts timing (reads the clock only if recording is on).
+    #[inline]
+    pub fn start() -> Self {
+        QuerySpan {
+            started: metrics().recording().then(Instant::now),
+        }
+    }
+
+    /// Ends the span: records latency, the query's Definition 9 cost
+    /// (split into real and pseudo tuple evaluations), and one completed
+    /// query.
+    #[inline]
+    pub fn finish(self, evaluated: u64, pseudo_evaluated: u64) {
+        if let Some(t0) = self.started {
+            let m = metrics();
+            m.queries.add(1);
+            m.tuples_evaluated.add(evaluated);
+            if pseudo_evaluated > 0 {
+                m.pseudo_evaluated.add(pseudo_evaluated);
+            }
+            m.query_latency_ns
+                .record(t0.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            m.query_cost.record(evaluated + pseudo_evaluated);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_counter_sums_across_threads() {
+        let c = ShardedCounter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn histogram_buckets_values_by_log2() {
+        let h = LogHistogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 1, "0 lands in bucket 0");
+        assert_eq!(s.counts[1], 1, "1 lands in [1,2)");
+        assert_eq!(s.counts[2], 2, "2 and 3 land in [2,4)");
+        assert_eq!(s.counts[11], 1, "1024 lands in [1024,2048)");
+        assert_eq!(s.sum, 1030);
+        h.record(u64::MAX);
+        assert_eq!(h.snapshot().counts[64], 1, "max value fits the top bucket");
+    }
+
+    #[test]
+    fn counters_flush_once_and_clear() {
+        let m = metrics();
+        let before = m.snapshot();
+        let mut c = QueryCounters::new();
+        c.forall_relaxed(5);
+        c.exists_relaxed(2);
+        c.heap_pushed(3);
+        c.flush();
+        c.flush(); // second flush is a no-op: the block cleared
+        let after = m.snapshot();
+        assert_eq!(after.forall_relaxations - before.forall_relaxations, 5);
+        assert_eq!(after.exists_relaxations - before.exists_relaxations, 2);
+        assert_eq!(after.heap_pushes - before.heap_pushes, 3);
+    }
+
+    #[test]
+    fn span_records_latency_and_cost() {
+        let m = metrics();
+        let before = m.snapshot();
+        let span = QuerySpan::start();
+        span.finish(120, 3);
+        let after = m.snapshot();
+        assert_eq!(after.queries - before.queries, 1);
+        assert_eq!(after.tuples_evaluated - before.tuples_evaluated, 120);
+        assert_eq!(after.pseudo_evaluated - before.pseudo_evaluated, 3);
+        assert_eq!(
+            after.query_cost.count() - before.query_cost.count(),
+            1,
+            "one cost observation"
+        );
+        assert_eq!(after.query_cost.sum - before.query_cost.sum, 123);
+        assert_eq!(
+            after.query_latency_ns.count() - before.query_latency_ns.count(),
+            1
+        );
+    }
+}

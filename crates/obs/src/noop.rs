@@ -1,0 +1,113 @@
+//! Zero-sized mirror of `active.rs`, compiled when the `enabled` feature
+//! is off. Every method is an empty `#[inline]` body, so instrumented
+//! call sites optimize to nothing; snapshots report zeros.
+
+use crate::snapshot::MetricsSnapshot;
+
+/// No-op stand-in for the registry (feature `enabled` off).
+#[derive(Debug)]
+pub struct MetricsRegistry;
+
+static REGISTRY: MetricsRegistry = MetricsRegistry;
+
+/// The process-wide registry (inert in this build).
+#[inline]
+pub fn metrics() -> &'static MetricsRegistry {
+    &REGISTRY
+}
+
+impl MetricsRegistry {
+    /// Always `false`: nothing can record in this build.
+    #[inline]
+    pub fn recording(&self) -> bool {
+        false
+    }
+
+    /// Ignored (recording support is compiled out).
+    #[inline]
+    pub fn set_recording(&self, _on: bool) {}
+
+    /// No-op.
+    #[inline]
+    pub fn zero_probe(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn batch_enqueue(&self, _n: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn batch_drain(&self, _n: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn dynamic_insert(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn dynamic_delete(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn dynamic_rebuild(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn dynamic_buffer_scan(&self, _n: u64) {}
+
+    /// All zeros.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// No-op.
+    pub fn reset(&self) {}
+}
+
+/// Zero-sized stand-in for the per-query counter block.
+#[derive(Debug, Clone, Default)]
+pub struct QueryCounters;
+
+impl QueryCounters {
+    /// A (zero-sized) block.
+    #[inline]
+    pub fn new() -> Self {
+        QueryCounters
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn forall_relaxed(&mut self, _n: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn exists_relaxed(&mut self, _n: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn heap_pushed(&mut self, _n: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn clear(&mut self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn flush(&mut self) {}
+}
+
+/// Zero-sized stand-in for the per-query span.
+#[derive(Debug)]
+pub struct QuerySpan;
+
+impl QuerySpan {
+    /// An inert span.
+    #[inline]
+    pub fn start() -> Self {
+        QuerySpan
+    }
+
+    /// No-op.
+    #[inline]
+    pub fn finish(self, _evaluated: u64, _pseudo_evaluated: u64) {}
+}

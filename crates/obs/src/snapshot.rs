@@ -1,0 +1,436 @@
+//! Plain-data snapshots of the registry, with JSON and Prometheus
+//! text-format renderers. This module compiles (and renders zeros) even
+//! when the `enabled` feature is off, so exporters never need feature
+//! gates of their own.
+
+use std::fmt::Write as _;
+
+/// Number of log₂ buckets a histogram carries: bucket 0 holds the value
+/// `0`, bucket `b ≥ 1` holds values in `[2^(b-1), 2^b)`.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A point-in-time copy of one log-bucketed histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts (see [`HIST_BUCKETS`]).
+    pub counts: Vec<u64>,
+    /// Exact sum of all recorded values.
+    pub sum: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            counts: vec![0; HIST_BUCKETS],
+            sum: 0,
+        }
+    }
+}
+
+/// Inclusive upper bound of bucket `b` (`2^b − 1`, saturating).
+fn bucket_upper(b: usize) -> u64 {
+    if b >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << b) - 1
+    }
+}
+
+/// Representative value of bucket `b`: the geometric midpoint of its
+/// range, which bounds the quantile estimate's relative error by √2.
+fn bucket_mid(b: usize) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        (2f64).powi(b as i32) / std::f64::consts::SQRT_2
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Nearest-rank quantile estimate (`q` in `0..=1`), returned as the
+    /// geometric midpoint of the bucket holding that rank. `NaN` when the
+    /// histogram is empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_mid(b);
+            }
+        }
+        bucket_mid(HIST_BUCKETS - 1)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Mean of the recorded values (exact — the sum is exact).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            f64::NAN
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    fn to_json(&self, out: &mut String, pad: &str) {
+        let _ = write!(
+            out,
+            "{{\n{pad}  \"count\": {},\n{pad}  \"sum\": {},\n{pad}  \"p50\": {},\n{pad}  \"p95\": {},\n{pad}  \"p99\": {},\n{pad}  \"buckets\": [",
+            self.count(),
+            self.sum,
+            json_f64(self.p50()),
+            json_f64(self.p95()),
+            json_f64(self.p99()),
+        );
+        let mut first = true;
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(out, "\n{pad}    [{}, {}]", bucket_upper(b), c);
+        }
+        if !first {
+            let _ = write!(out, "\n{pad}  ");
+        }
+        let _ = write!(out, "]\n{pad}}}");
+    }
+
+    /// Appends this histogram in Prometheus text format. `scale`
+    /// multiplies bucket bounds and the sum (e.g. `1e-9` to export
+    /// nanosecond recordings in seconds).
+    fn to_prometheus(&self, out: &mut String, name: &str, help: &str, scale: f64) {
+        let _ = writeln!(out, "# HELP {name} {help}");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cumulative += c;
+            let le = (bucket_upper(b) as f64) * scale;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "{name}_sum {}", self.sum as f64 * scale);
+        let _ = writeln!(out, "{name}_count {cumulative}");
+    }
+}
+
+/// Floats in JSON: `NaN`/infinities have no literal, so they render null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A point-in-time copy of every registry metric. Field-for-field, this
+/// is the export schema; the mapping to paper quantities is documented in
+/// `DESIGN.md` § Observability.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Completed top-k / threshold queries.
+    pub queries: u64,
+    /// Real tuples scored by `F` (Definition 9 cost, real part).
+    pub tuples_evaluated: u64,
+    /// Zero-layer pseudo-tuples scored by `F` (Definition 9, pseudo part).
+    pub pseudo_evaluated: u64,
+    /// ∀-dominance out-edges relaxed (∀-freeness bookkeeping steps,
+    /// Definition 7 / Algorithm 2).
+    pub forall_relaxations: u64,
+    /// ∃-dominance out-edges relaxed (∃-freeness bookkeeping steps,
+    /// Definition 8 / Algorithm 2).
+    pub exists_relaxations: u64,
+    /// Entries pushed onto the query priority queue.
+    pub heap_pushes: u64,
+    /// Zero-layer selective-access probes (2-d weight-range binary
+    /// searches, Section V-A).
+    pub zero_probes: u64,
+    /// Requests handed to a batch-executor run.
+    pub batch_enqueued: u64,
+    /// Batch requests fully answered.
+    pub batch_drained: u64,
+    /// Tuples inserted into a dynamic index.
+    pub dynamic_inserts: u64,
+    /// Live tuples tombstoned in a dynamic index.
+    pub dynamic_deletes: u64,
+    /// Full dynamic-index rebuilds (buffer + tombstone compactions).
+    pub dynamic_rebuilds: u64,
+    /// Buffered (unindexed) tuples scanned by dynamic-index queries.
+    pub dynamic_buffer_scanned: u64,
+    /// Per-query wall-clock latency, recorded in nanoseconds.
+    pub query_latency_ns: HistogramSnapshot,
+    /// Per-query paper cost (Definition 9 total, real + pseudo).
+    pub query_cost: HistogramSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// Batch requests currently in flight (enqueued but not yet drained).
+    pub fn batch_queue_depth(&self) -> u64 {
+        self.batch_enqueued.saturating_sub(self.batch_drained)
+    }
+
+    /// The counter fields as `(name, help, value)` rows — one source of
+    /// truth shared by the JSON and Prometheus renderers.
+    pub fn counter_rows(&self) -> Vec<(&'static str, &'static str, u64)> {
+        vec![
+            (
+                "queries",
+                "Completed top-k / threshold queries",
+                self.queries,
+            ),
+            (
+                "tuples_evaluated",
+                "Real tuples scored by F (Definition 9 cost)",
+                self.tuples_evaluated,
+            ),
+            (
+                "pseudo_evaluated",
+                "Zero-layer pseudo-tuples scored by F",
+                self.pseudo_evaluated,
+            ),
+            (
+                "forall_relaxations",
+                "Forall-dominance edges relaxed (forall-freeness checks)",
+                self.forall_relaxations,
+            ),
+            (
+                "exists_relaxations",
+                "Exists-dominance edges relaxed (exists-freeness checks)",
+                self.exists_relaxations,
+            ),
+            (
+                "heap_pushes",
+                "Entries pushed onto the query priority queue",
+                self.heap_pushes,
+            ),
+            (
+                "zero_probes",
+                "Zero-layer weight-range probes (Section V-A)",
+                self.zero_probes,
+            ),
+            (
+                "batch_enqueued",
+                "Requests handed to the batch executor",
+                self.batch_enqueued,
+            ),
+            (
+                "batch_drained",
+                "Batch requests fully answered",
+                self.batch_drained,
+            ),
+            (
+                "dynamic_inserts",
+                "Tuples inserted into dynamic indexes",
+                self.dynamic_inserts,
+            ),
+            (
+                "dynamic_deletes",
+                "Live tuples tombstoned in dynamic indexes",
+                self.dynamic_deletes,
+            ),
+            (
+                "dynamic_rebuilds",
+                "Dynamic-index compactions (full rebuilds)",
+                self.dynamic_rebuilds,
+            ),
+            (
+                "dynamic_buffer_scanned",
+                "Buffered tuples scanned by dynamic-index queries",
+                self.dynamic_buffer_scanned,
+            ),
+        ]
+    }
+
+    /// Renders the snapshot as a pretty-printed JSON object. `indent` is
+    /// the nesting level of the object itself (0 = top level), letting
+    /// callers embed the output inside a larger document.
+    pub fn to_json_indented(&self, indent: usize) -> String {
+        let pad = "  ".repeat(indent);
+        let mut out = String::new();
+        out.push_str("{\n");
+        for (name, _help, value) in self.counter_rows() {
+            let _ = writeln!(out, "{pad}  \"{name}\": {value},");
+        }
+        let _ = writeln!(
+            out,
+            "{pad}  \"batch_queue_depth\": {},",
+            self.batch_queue_depth()
+        );
+        let _ = write!(out, "{pad}  \"query_latency_ns\": ");
+        self.query_latency_ns.to_json(&mut out, &format!("{pad}  "));
+        out.push_str(",\n");
+        let _ = write!(out, "{pad}  \"query_cost\": ");
+        self.query_cost.to_json(&mut out, &format!("{pad}  "));
+        let _ = write!(out, "\n{pad}}}");
+        out
+    }
+
+    /// Renders the snapshot as a top-level JSON document.
+    pub fn to_json(&self) -> String {
+        let mut s = self.to_json_indented(0);
+        s.push('\n');
+        s
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Counters are `drtopk_*_total`; the in-flight batch depth is a
+    /// gauge; latency (converted to seconds) and cost are histograms.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, help, value) in self.counter_rows() {
+            prom_counter(&mut out, &format!("drtopk_{name}_total"), help, value);
+        }
+        prom_gauge(
+            &mut out,
+            "drtopk_batch_queue_depth",
+            "Batch requests currently in flight",
+            self.batch_queue_depth() as f64,
+        );
+        self.query_latency_ns.to_prometheus(
+            &mut out,
+            "drtopk_query_latency_seconds",
+            "Per-query wall-clock latency",
+            1e-9,
+        );
+        self.query_cost.to_prometheus(
+            &mut out,
+            "drtopk_query_cost_tuples",
+            "Per-query tuples evaluated by F (Definition 9)",
+            1.0,
+        );
+        out
+    }
+}
+
+/// Appends one Prometheus counter (HELP + TYPE + sample).
+pub fn prom_counter(out: &mut String, name: &str, help: &str, value: u64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} counter");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+/// Appends one Prometheus gauge (HELP + TYPE + sample).
+pub fn prom_gauge(out: &mut String, name: &str, help: &str, value: f64) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} gauge");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist_with(values: &[u64]) -> HistogramSnapshot {
+        let mut h = HistogramSnapshot::default();
+        for &v in values {
+            let b = (64 - v.leading_zeros()) as usize;
+            h.counts[b] += 1;
+            h.sum += v;
+        }
+        h
+    }
+
+    #[test]
+    fn quantiles_land_in_the_right_bucket() {
+        let h = hist_with(&[1, 1, 1, 1, 1, 1, 1, 1, 1, 1000]);
+        assert_eq!(h.count(), 10);
+        // p50 sits in bucket 1 ([1,2)); p99 in the bucket holding 1000.
+        assert!(h.p50() >= 1.0 && h.p50() < 2.0, "p50 = {}", h.p50());
+        assert!(h.p99() >= 512.0 && h.p99() < 1024.0, "p99 = {}", h.p99());
+        assert_eq!(h.sum, 1009);
+        assert!((h.mean() - 100.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_nan_not_panic() {
+        let h = HistogramSnapshot::default();
+        assert!(h.p50().is_nan());
+        assert!(h.mean().is_nan());
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_null_safe() {
+        let mut s = MetricsSnapshot {
+            queries: 3,
+            tuples_evaluated: 42,
+            ..MetricsSnapshot::default()
+        };
+        s.query_cost = hist_with(&[10, 20, 30]);
+        let j = s.to_json();
+        assert!(j.contains("\"tuples_evaluated\": 42"));
+        // The latency histogram is empty: its quantiles must render null.
+        assert!(j.contains("\"p50\": null"));
+        // Crude balance check on the hand-rolled writer.
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced JSON: {j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn prometheus_format_has_cumulative_buckets() {
+        let s = MetricsSnapshot {
+            query_cost: hist_with(&[1, 3, 3, 100]),
+            ..Default::default()
+        };
+        let p = s.to_prometheus();
+        assert!(p.contains("# TYPE drtopk_query_cost_tuples histogram"));
+        assert!(p.contains("drtopk_query_cost_tuples_bucket{le=\"+Inf\"} 4"));
+        assert!(p.contains("drtopk_query_cost_tuples_sum 107"));
+        assert!(p.contains("# TYPE drtopk_queries_total counter"));
+        assert!(p.contains("# TYPE drtopk_batch_queue_depth gauge"));
+        // Cumulative counts must be non-decreasing in bound order.
+        let mut last = 0u64;
+        for line in p
+            .lines()
+            .filter(|l| l.starts_with("drtopk_query_cost_tuples_bucket") && !l.contains("+Inf"))
+        {
+            let c: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(c >= last, "buckets not cumulative: {p}");
+            last = c;
+        }
+    }
+
+    #[test]
+    fn queue_depth_is_enqueued_minus_drained() {
+        let s = MetricsSnapshot {
+            batch_enqueued: 10,
+            batch_drained: 7,
+            ..MetricsSnapshot::default()
+        };
+        assert_eq!(s.batch_queue_depth(), 3);
+    }
+}

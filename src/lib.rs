@@ -29,5 +29,6 @@ pub use drtopk_common as common;
 pub use drtopk_core as core;
 pub use drtopk_geometry as geometry;
 pub use drtopk_lists as lists;
+pub use drtopk_obs as obs;
 pub use drtopk_skyline as skyline;
 pub use drtopk_storage as storage;

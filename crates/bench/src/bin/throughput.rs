@@ -9,6 +9,11 @@
 //!   thread count (pooled scratch, scoped-thread fan-out);
 //! * mean paper cost (Definition 9) per query, which is identical across
 //!   all execution modes — the executor is bit-deterministic;
+//! * guarded-path overhead: the same sequential loop again through
+//!   [`DualLayerIndex::topk_guarded`] with an unlimited
+//!   [`drtopk_core::QueryBudget`] — the no-op fast path of the budget
+//!   guard, which must stay within 2 % of the plain path's p50 and return
+//!   bit-identical answers;
 //! * observability overhead: the sequential pass runs twice, once with the
 //!   metrics registry's runtime recording gate off and once on, and the
 //!   report carries both p50s plus the relative overhead (budget: ≤ 2 %).
@@ -150,6 +155,55 @@ fn run_cell(n: usize, d: usize, k: usize, cfg: &Config) -> Value {
     );
     eprintln!("  obs overhead: p50 off {p50_off:.2}µs on {p50:.2}µs ({overhead_pct:+.2}%)");
 
+    // Guarded-path overhead: the same queries through topk_guarded with
+    // an unlimited budget (the guard's no-op fast path), measured PAIRED
+    // with a plain call — back-to-back per query, order alternating — so
+    // clock drift and thermal noise hit both sides equally. The p50s of
+    // the paired samples must stay within 2 % and answers bit-identical.
+    let unlimited = drtopk_core::QueryBudget::unlimited();
+    let mut plain_paired_us = Vec::with_capacity(weights.len());
+    let mut guarded_lat_us = Vec::with_capacity(weights.len());
+    let g_t0 = Instant::now();
+    for (i, (w, s)) in weights.iter().zip(&reference).enumerate() {
+        let (plain, guarded) = if i % 2 == 0 {
+            let q0 = Instant::now();
+            let p = idx.topk(w, k);
+            let plain = q0.elapsed().as_secs_f64() * 1e6;
+            let q1 = Instant::now();
+            let g = idx.topk_guarded(w, k, &unlimited);
+            ((p, plain), (g, q1.elapsed().as_secs_f64() * 1e6))
+        } else {
+            let q1 = Instant::now();
+            let g = idx.topk_guarded(w, k, &unlimited);
+            let guarded = q1.elapsed().as_secs_f64() * 1e6;
+            let q0 = Instant::now();
+            let p = idx.topk(w, k);
+            ((p, q0.elapsed().as_secs_f64() * 1e6), (g, guarded))
+        };
+        let (p, plain_us) = plain;
+        let (g, guarded_us) = guarded;
+        plain_paired_us.push(plain_us);
+        guarded_lat_us.push(guarded_us);
+        assert_eq!(g.ids, s.ids, "guarded path changed answers");
+        assert_eq!(g.cost, s.cost, "guarded path changed costs");
+        assert_eq!(p.ids, s.ids, "plain paired pass changed answers");
+        assert!(g.truncated.is_none(), "unlimited budget tripped");
+    }
+    let guarded_qps = 2.0 * weights.len() as f64 / g_t0.elapsed().as_secs_f64();
+    plain_paired_us.sort_by(|a, b| a.total_cmp(b));
+    guarded_lat_us.sort_by(|a, b| a.total_cmp(b));
+    let p50_plain_paired = percentile(&plain_paired_us, 0.50);
+    let p50_guarded = percentile(&guarded_lat_us, 0.50);
+    let guarded_overhead_pct = if p50_plain_paired > 0.0 {
+        (p50_guarded - p50_plain_paired) / p50_plain_paired * 100.0
+    } else {
+        f64::NAN
+    };
+    eprintln!(
+        "  guarded (unlimited budget): p50 {p50_guarded:.2}µs vs paired plain \
+         {p50_plain_paired:.2}µs ({guarded_overhead_pct:+.2}%)"
+    );
+
     // Executor passes at each thread count; every result is checked
     // against the sequential reference (the determinism contract).
     let mut executor_rows = Vec::new();
@@ -198,6 +252,15 @@ fn run_cell(n: usize, d: usize, k: usize, cfg: &Config) -> Value {
         ),
         ("executor", Value::Array(executor_rows)),
         ("single_thread_qps", Value::float(single_qps)),
+        (
+            "guarded",
+            Value::object([
+                ("paired_qps", Value::float(guarded_qps)),
+                ("p50_us", Value::float(p50_guarded)),
+                ("p50_us_paired_plain", Value::float(p50_plain_paired)),
+                ("overhead_pct_vs_plain", Value::float(guarded_overhead_pct)),
+            ]),
+        ),
         (
             "obs",
             Value::object([

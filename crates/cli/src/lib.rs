@@ -11,18 +11,32 @@
 //! drtopk stats    --index index.drt
 //! drtopk query    --index index.drt --weights 0.3,0.3,0.4 --k 10
 //! drtopk batch    --index index.drt --weights-file queries.txt --k 10 [--threads T]
+//! drtopk recover  --dir store/ [--variant dl+|dl|dg|dg+] [--checkpoint]
+//! drtopk wal      --dir store/
 //! ```
+//!
+//! Query and batch accept `--deadline-ms` / `--max-cost` budgets; a
+//! tripped budget exits with code 4 unless `--partial` accepts the
+//! truncated answer prefix. Corrupt persisted data exits with code 3.
 
 use drtopk_common::{
     relation_from_csv, ColumnSpec, Direction, Distribution, Weights, WorkloadSpec,
 };
 use drtopk_core::{BatchExecutor, DlOptions, DualLayerIndex, ZeroMode};
-use drtopk_storage::{load_index, load_relation, save_index, save_relation};
+use drtopk_storage::{
+    load_index, load_relation, read_wal, save_index, save_relation, DurableDynamicIndex,
+    DurableOptions, WalRecord,
+};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 /// A CLI failure: message for stderr plus the process exit code.
+///
+/// Exit codes are part of the tool's contract (scripts branch on them):
+/// `1` generic runtime failure, `2` usage error, `3` corrupt or
+/// unreadable persisted data, `4` a query budget tripped and `--partial`
+/// was not given.
 #[derive(Debug)]
 pub struct CliError {
     pub message: String,
@@ -42,6 +56,35 @@ impl CliError {
             message: msg.into(),
             code: 1,
         }
+    }
+
+    fn corrupt(msg: impl Into<String>) -> Self {
+        CliError {
+            message: msg.into(),
+            code: 3,
+        }
+    }
+
+    fn budget(msg: impl Into<String>) -> Self {
+        CliError {
+            message: msg.into(),
+            code: 4,
+        }
+    }
+}
+
+impl From<drtopk_common::Error> for CliError {
+    fn from(e: drtopk_common::Error) -> Self {
+        match e {
+            drtopk_common::Error::Corrupt(_) => CliError::corrupt(e.to_string()),
+            _ => CliError::runtime(e.to_string()),
+        }
+    }
+}
+
+impl From<drtopk_storage::FormatError> for CliError {
+    fn from(e: drtopk_storage::FormatError) -> Self {
+        CliError::from(drtopk_common::Error::from(e))
     }
 }
 
@@ -64,7 +107,7 @@ impl Flags {
                 )));
             };
             // Boolean switches take no value.
-            if name == "parallel" || name == "stats" {
+            if name == "parallel" || name == "stats" || name == "partial" || name == "checkpoint" {
                 switches.push(name.to_string());
                 i += 1;
                 continue;
@@ -87,6 +130,9 @@ impl Flags {
                 "threads",
                 "format",
                 "probe",
+                "dir",
+                "deadline-ms",
+                "max-cost",
             ];
             if !KNOWN.contains(&name) {
                 return Err(CliError::usage(format!("unknown flag --{name}")));
@@ -137,6 +183,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "stats" => cmd_stats(&flags),
         "query" => cmd_query(&flags),
         "batch" => cmd_batch(&flags),
+        "recover" => cmd_recover(&flags),
+        "wal" => cmd_wal(&flags),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::usage(format!(
             "unknown command {other:?}\n{}",
@@ -156,10 +204,41 @@ commands:
             [--threads T] [--stats]
   stats     --index FILE [--format text|json|prom] [--probe N] [--seed S]
   query     --index FILE --weights W1,W2,... [--k K]
+            [--deadline-ms MS] [--max-cost C] [--partial]
   batch     --index FILE --weights-file FILE [--k K] [--threads T]
+            [--deadline-ms MS] [--max-cost C] [--partial]
+  recover   --dir DIR [--variant dl+|dl|dg|dg+] [--checkpoint]
+  wal       --dir DIR
   help
+
+exit codes: 0 ok, 1 runtime error, 2 usage, 3 corrupt data,
+            4 budget tripped without --partial
 "
     .to_string()
+}
+
+/// Builds the optional query budget from `--deadline-ms` / `--max-cost`.
+/// `None` when neither flag was given (use the unguarded fast path).
+fn parse_budget(f: &Flags) -> Result<Option<drtopk_core::QueryBudget>, CliError> {
+    let deadline_ms: u64 = f.parse_num("deadline-ms", 0)?;
+    let max_cost: u64 = f.parse_num("max-cost", 0)?;
+    if f.get("deadline-ms").is_none() && f.get("max-cost").is_none() {
+        return Ok(None);
+    }
+    if f.get("deadline-ms").is_some() && deadline_ms == 0 {
+        return Err(CliError::usage("--deadline-ms must be > 0".to_string()));
+    }
+    if f.get("max-cost").is_some() && max_cost == 0 {
+        return Err(CliError::usage("--max-cost must be > 0".to_string()));
+    }
+    let mut budget = drtopk_core::QueryBudget::unlimited();
+    if deadline_ms > 0 {
+        budget = budget.with_timeout(std::time::Duration::from_millis(deadline_ms));
+    }
+    if max_cost > 0 {
+        budget = budget.with_max_cost(max_cost);
+    }
+    Ok(Some(budget))
 }
 
 fn cmd_generate(f: &Flags) -> Result<String, CliError> {
@@ -265,7 +344,7 @@ fn cmd_build(f: &Flags) -> Result<String, CliError> {
             .map_err(|_| CliError::usage(format!("--clusters: bad value {c:?}")))?;
         opts.zero = ZeroMode::Clustered { clusters };
     }
-    let rel = load_relation(&data).map_err(|e| CliError::runtime(e.to_string()))?;
+    let rel = load_relation(&data).map_err(CliError::from)?;
     let (idx, profile) = DualLayerIndex::build_with_profile(&rel, opts);
     save_index(&idx, &out).map_err(|e| CliError::runtime(e.to_string()))?;
     let s = idx.stats();
@@ -381,7 +460,7 @@ fn stats_prometheus(idx: &DualLayerIndex, snap: &drtopk_obs::MetricsSnapshot) ->
 
 fn cmd_stats(f: &Flags) -> Result<String, CliError> {
     let path = PathBuf::from(f.require("index")?);
-    let idx = load_index(&path).map_err(|e| CliError::runtime(e.to_string()))?;
+    let idx = load_index(&path).map_err(CliError::from)?;
     let probes: usize = f.parse_num("probe", 0)?;
     if probes > 0 {
         run_probes(&idx, probes, f.parse_num("seed", 42)?);
@@ -428,7 +507,7 @@ fn cmd_query(f: &Flags) -> Result<String, CliError> {
         .collect::<Result<_, _>>()
         .map_err(|_| CliError::usage("--weights must be comma-separated numbers".to_string()))?;
     let k: usize = f.parse_num("k", 10)?;
-    let idx = load_index(&path).map_err(|e| CliError::runtime(e.to_string()))?;
+    let idx = load_index(&path).map_err(CliError::from)?;
     let w = Weights::new(raw).map_err(|e| CliError::usage(e.to_string()))?;
     if w.dims() != idx.dims() {
         return Err(CliError::usage(format!(
@@ -437,12 +516,31 @@ fn cmd_query(f: &Flags) -> Result<String, CliError> {
             w.dims()
         )));
     }
+    let budget = parse_budget(f)?;
     let t0 = std::time::Instant::now();
-    let res = idx.topk(&w, k);
+    let (ids, cost, truncated) = match &budget {
+        None => {
+            let res = idx.topk(&w, k);
+            (res.ids, res.cost, None)
+        }
+        Some(b) => {
+            let res = idx.topk_guarded(&w, k, b);
+            (res.ids, res.cost, res.truncated)
+        }
+    };
     let micros = t0.elapsed().as_micros();
+    if let Some(reason) = truncated {
+        if !f.has("partial") {
+            return Err(CliError::budget(format!(
+                "query stopped after {} of {k} answers: {reason} \
+                 (pass --partial to accept the prefix)",
+                ids.len()
+            )));
+        }
+    }
     let mut out = String::new();
     let _ = writeln!(out, "rank  tuple        score  attributes");
-    for (rank, &t) in res.ids.iter().enumerate() {
+    for (rank, &t) in ids.iter().enumerate() {
         let tv = idx.relation().tuple(t);
         let attrs: Vec<String> = tv.iter().map(|x| format!("{x:.4}")).collect();
         let _ = writeln!(
@@ -454,12 +552,19 @@ fn cmd_query(f: &Flags) -> Result<String, CliError> {
             attrs.join(", ")
         );
     }
+    if let Some(reason) = truncated {
+        let _ = writeln!(
+            out,
+            "TRUNCATED after {} of {k} answers: {reason}",
+            ids.len()
+        );
+    }
     let _ = writeln!(
         out,
         "evaluated {} of {} tuples ({} pseudo) in {micros} µs",
-        res.cost.total(),
+        cost.total(),
         idx.len(),
-        res.cost.pseudo_evaluated
+        cost.pseudo_evaluated
     );
     Ok(out)
 }
@@ -507,26 +612,71 @@ fn cmd_batch(f: &Flags) -> Result<String, CliError> {
     let weights_path = PathBuf::from(f.require("weights-file")?);
     let k: usize = f.parse_num("k", 10)?;
     let threads: usize = f.parse_num("threads", 0)?;
-    let idx = load_index(&path).map_err(|e| CliError::runtime(e.to_string()))?;
+    let idx = load_index(&path).map_err(CliError::from)?;
     let text = std::fs::read_to_string(&weights_path)
         .map_err(|e| CliError::runtime(format!("{}: {e}", weights_path.display())))?;
     let queries = parse_weights_file(&text, idx.dims())?;
+    let budget = parse_budget(f)?;
     let exec = BatchExecutor::with_threads(&idx, threads);
     let t0 = std::time::Instant::now();
-    let results = exec.run_uniform(&queries, k);
+    // The guarded path carries per-request outcomes; the plain path is
+    // mapped into the same shape so one report loop serves both.
+    let results: Vec<Result<drtopk_core::GuardedTopk, drtopk_core::RequestError>> = match &budget {
+        None => exec
+            .run_uniform(&queries, k)
+            .into_iter()
+            .map(|r| {
+                Ok(drtopk_core::GuardedTopk {
+                    ids: r.ids,
+                    cost: r.cost,
+                    truncated: None,
+                })
+            })
+            .collect(),
+        Some(b) => {
+            let requests: Vec<(Weights, usize)> = queries.iter().map(|w| (w.clone(), k)).collect();
+            exec.run_guarded(&requests, b)
+        }
+    };
     let secs = t0.elapsed().as_secs_f64();
     let mut out = String::new();
     let mut total_cost = 0u64;
+    let mut answered = 0usize;
+    let mut truncated = 0usize;
+    let mut failed = 0usize;
     for (qi, r) in results.iter().enumerate() {
-        let ids: Vec<String> = r.ids.iter().map(|t| t.to_string()).collect();
-        let _ = writeln!(
-            out,
-            "query {qi}: cost {} top-{} [{}]",
-            r.cost.total(),
-            r.ids.len(),
-            ids.join(", ")
-        );
-        total_cost += r.cost.total();
+        match r {
+            Ok(g) => {
+                let ids: Vec<String> = g.ids.iter().map(|t| t.to_string()).collect();
+                let marker = match g.truncated {
+                    None => String::new(),
+                    Some(reason) => {
+                        truncated += 1;
+                        format!(" TRUNCATED ({reason})")
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "query {qi}: cost {} top-{} [{}]{marker}",
+                    g.cost.total(),
+                    g.ids.len(),
+                    ids.join(", ")
+                );
+                total_cost += g.cost.total();
+                answered += 1;
+            }
+            Err(e) => {
+                failed += 1;
+                let _ = writeln!(out, "query {qi}: FAILED ({e})");
+            }
+        }
+    }
+    if truncated > 0 && !f.has("partial") {
+        return Err(CliError::budget(format!(
+            "{truncated} of {} queries stopped early on the batch budget \
+             (pass --partial to accept prefixes)",
+            results.len()
+        )));
     }
     let qps = if secs > 0.0 {
         results.len() as f64 / secs
@@ -540,8 +690,88 @@ fn cmd_batch(f: &Flags) -> Result<String, CliError> {
         exec.effective_threads(queries.len()),
         secs,
         qps,
-        total_cost as f64 / results.len() as f64
+        total_cost as f64 / answered.max(1) as f64
     );
+    if failed > 0 {
+        let _ = writeln!(out, "{failed} queries failed; the rest are unaffected");
+    }
+    Ok(out)
+}
+
+/// `recover --dir DIR`: opens a durable dynamic store, replaying its WAL
+/// over the newest loadable snapshot, and reports what recovery did.
+fn cmd_recover(f: &Flags) -> Result<String, CliError> {
+    let dir = PathBuf::from(f.require("dir")?);
+    let opts = DurableOptions {
+        opts: variant_options(f.get("variant").unwrap_or("dl+"))?,
+        ..DurableOptions::default()
+    };
+    let (mut store, report) = DurableDynamicIndex::open(&dir, opts).map_err(CliError::from)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "store {}", dir.display());
+    let _ = writeln!(out, "  base generation    {}", report.generation);
+    let _ = writeln!(out, "  current generation {}", store.generation());
+    let _ = writeln!(out, "  records replayed   {}", report.replayed);
+    let _ = writeln!(out, "  torn tail          {}", report.torn_tail);
+    let _ = writeln!(out, "  snapshots skipped  {}", report.snapshots_skipped);
+    let _ = writeln!(out, "  live tuples        {}", store.len());
+    if f.has("checkpoint") {
+        let generation = store.checkpoint().map_err(CliError::from)?;
+        let _ = writeln!(out, "checkpointed to generation {generation}");
+    }
+    Ok(out)
+}
+
+/// `wal --dir DIR`: read-only inspection of every WAL file in a durable
+/// store directory — record counts, torn tails, and valid prefix sizes.
+fn cmd_wal(f: &Flags) -> Result<String, CliError> {
+    let dir = PathBuf::from(f.require("dir")?);
+    let mut files: Vec<(u64, PathBuf)> = Vec::new();
+    let entries = std::fs::read_dir(&dir)
+        .map_err(|e| CliError::runtime(format!("{}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| CliError::runtime(e.to_string()))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(gen) = name
+            .strip_prefix("wal.")
+            .and_then(|rest| rest.strip_suffix(".log"))
+            .and_then(|g| g.parse::<u64>().ok())
+        {
+            files.push((gen, entry.path()));
+        }
+    }
+    if files.is_empty() {
+        return Err(CliError::runtime(format!(
+            "no WAL files found in {}",
+            dir.display()
+        )));
+    }
+    files.sort();
+    let mut out = String::new();
+    for (gen, path) in files {
+        match read_wal(&path, gen) {
+            Ok(replay) => {
+                let inserts = replay
+                    .records
+                    .iter()
+                    .filter(|r| matches!(r, WalRecord::Insert { .. }))
+                    .count();
+                let tail = if replay.torn { ", TORN TAIL" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "wal generation {gen}: {} records ({inserts} inserts, {} deletes), \
+                     {} valid bytes{tail}",
+                    replay.records.len(),
+                    replay.records.len() - inserts,
+                    replay.valid_bytes,
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "wal generation {gen}: UNREADABLE ({e})");
+            }
+        }
+    }
     Ok(out)
 }
 
@@ -900,5 +1130,245 @@ mod tests {
     fn help_prints_usage() {
         assert!(run(&argv(&["help"])).unwrap().contains("commands:"));
         assert!(run(&[]).unwrap().contains("commands:"));
+    }
+
+    /// Builds a small index file and returns its path.
+    fn build_index(stem: &str, dims: usize, n: usize) -> PathBuf {
+        let data = tmp(&format!("{stem}.data.drt"));
+        let index = tmp(&format!("{stem}.index.drt"));
+        run(&argv(&[
+            "generate",
+            "--dist",
+            "ant",
+            "--dims",
+            &dims.to_string(),
+            "--n",
+            &n.to_string(),
+            "--seed",
+            "3",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            index.to_str().unwrap(),
+        ]))
+        .unwrap();
+        index
+    }
+
+    #[test]
+    fn corrupt_index_exits_3() {
+        let path = tmp("exit3.index.drt");
+        std::fs::write(&path, b"not an index file at all").unwrap();
+        let err = run(&argv(&[
+            "query",
+            "--index",
+            path.to_str().unwrap(),
+            "--weights",
+            "0.5,0.5",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 3, "{}", err.message);
+
+        // A bit-flipped but otherwise well-formed file is also code 3.
+        let good = build_index("exit3b", 2, 80);
+        let mut bytes = std::fs::read(&good).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&good, &bytes).unwrap();
+        let err = run(&argv(&[
+            "query",
+            "--index",
+            good.to_str().unwrap(),
+            "--weights",
+            "0.5,0.5",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 3, "{}", err.message);
+    }
+
+    #[test]
+    fn tripped_budget_exits_4_unless_partial() {
+        let index = build_index("budget", 3, 400);
+        // A cost cap of 1 cannot answer k=20.
+        let base = [
+            "query",
+            "--index",
+            index.to_str().unwrap(),
+            "--weights",
+            "0.3,0.3,0.4",
+            "--k",
+            "20",
+            "--max-cost",
+            "1",
+        ];
+        let err = run(&argv(&base)).unwrap_err();
+        assert_eq!(err.code, 4, "{}", err.message);
+        assert!(err.message.contains("--partial"), "{}", err.message);
+
+        let mut with_partial = base.to_vec();
+        with_partial.push("--partial");
+        let out = run(&argv(&with_partial)).unwrap();
+        assert!(out.contains("TRUNCATED"), "{out}");
+        assert!(out.contains("cost cap"), "{out}");
+
+        // An ample budget answers fully through the guarded path.
+        let out = run(&argv(&[
+            "query",
+            "--index",
+            index.to_str().unwrap(),
+            "--weights",
+            "0.3,0.3,0.4",
+            "--k",
+            "5",
+            "--max-cost",
+            "100000",
+            "--deadline-ms",
+            "60000",
+        ]))
+        .unwrap();
+        assert!(!out.contains("TRUNCATED"), "{out}");
+        assert_eq!(
+            out.lines()
+                .filter(|l| l.trim_start().starts_with(char::is_numeric))
+                .count(),
+            5
+        );
+    }
+
+    #[test]
+    fn batch_budget_marks_truncated_queries() {
+        let index = build_index("batchbudget", 2, 300);
+        let wf = tmp("batchbudget.weights.txt");
+        std::fs::write(&wf, "0.5,0.5\n0.9,0.1\n").unwrap();
+        let base = [
+            "batch",
+            "--index",
+            index.to_str().unwrap(),
+            "--weights-file",
+            wf.to_str().unwrap(),
+            "--k",
+            "30",
+            "--max-cost",
+            "1",
+        ];
+        let err = run(&argv(&base)).unwrap_err();
+        assert_eq!(err.code, 4, "{}", err.message);
+
+        let mut with_partial = base.to_vec();
+        with_partial.push("--partial");
+        let out = run(&argv(&with_partial)).unwrap();
+        assert!(out.contains("TRUNCATED"), "{out}");
+        assert!(out.contains("2 queries on"), "{out}");
+    }
+
+    #[test]
+    fn budget_flags_are_validated() {
+        let index = build_index("budgetval", 2, 50);
+        for bad in [["--deadline-ms", "0"], ["--max-cost", "0"]] {
+            let err = run(&argv(&[
+                "query",
+                "--index",
+                index.to_str().unwrap(),
+                "--weights",
+                "0.5,0.5",
+                bad[0],
+                bad[1],
+            ]))
+            .unwrap_err();
+            assert_eq!(err.code, 2, "{}", err.message);
+        }
+    }
+
+    /// Creates a durable dynamic store with a few logged mutations.
+    fn make_store(stem: &str) -> PathBuf {
+        let dir = tmp(&format!("{stem}.store"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rel = WorkloadSpec::new(Distribution::Independent, 2, 40, 7).generate();
+        let mut store = DurableDynamicIndex::create(
+            &dir,
+            &rel,
+            DurableOptions {
+                opts: DlOptions::dl_plus(),
+                ..DurableOptions::default()
+            },
+        )
+        .unwrap();
+        store.insert(&[0.3, 0.6]).unwrap();
+        store.insert(&[0.7, 0.2]).unwrap();
+        store.delete(5).unwrap();
+        dir
+    }
+
+    #[test]
+    fn recover_reports_replay_and_checkpoints() {
+        let dir = make_store("recover");
+        let out = run(&argv(&["recover", "--dir", dir.to_str().unwrap()])).unwrap();
+        assert!(out.contains("records replayed   3"), "{out}");
+        assert!(out.contains("live tuples        41"), "{out}");
+        assert!(out.contains("torn tail          false"), "{out}");
+
+        let out = run(&argv(&[
+            "recover",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--checkpoint",
+        ]))
+        .unwrap();
+        assert!(out.contains("checkpointed to generation 1"), "{out}");
+        // After the checkpoint the WAL backlog is folded into the snapshot.
+        let out = run(&argv(&["recover", "--dir", dir.to_str().unwrap()])).unwrap();
+        assert!(out.contains("records replayed   0"), "{out}");
+
+        // A store with a torn interior WAL under a committed snapshot is
+        // acked-data loss: recover must exit 3.
+        let wal0 = dir.join(format!("wal.{:016}.log", 0));
+        if wal0.exists() {
+            std::fs::remove_file(&wal0).unwrap();
+        }
+        let snap1 = dir.join(format!("snapshot.{:016}.drt", 1));
+        let mut bytes = std::fs::read(&snap1).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&snap1, &bytes).unwrap();
+        // snapshot.1 corrupt -> fall back to snapshot.0; wal.1 intact so
+        // recovery succeeds, but tearing wal.1's tail below snapshot.1's
+        // commit marker... wal.1 IS >= the newest snapshot generation, so
+        // a torn tail there is tolerated. Corrupting snapshot.0 as well
+        // leaves nothing loadable: exit 3.
+        let snap0 = dir.join(format!("snapshot.{:016}.drt", 0));
+        let mut bytes = std::fs::read(&snap0).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&snap0, &bytes).unwrap();
+        let err = run(&argv(&["recover", "--dir", dir.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err.code, 3, "{}", err.message);
+    }
+
+    #[test]
+    fn wal_inspector_reports_records_and_tears() {
+        let dir = make_store("walcmd");
+        let out = run(&argv(&["wal", "--dir", dir.to_str().unwrap()])).unwrap();
+        assert!(
+            out.contains("wal generation 0: 3 records (2 inserts, 1 deletes)"),
+            "{out}"
+        );
+        assert!(!out.contains("TORN"), "{out}");
+
+        // Chop bytes off the tail: the inspector flags the tear.
+        let wal0 = dir.join(format!("wal.{:016}.log", 0));
+        let full = std::fs::read(&wal0).unwrap();
+        std::fs::write(&wal0, &full[..full.len() - 3]).unwrap();
+        let out = run(&argv(&["wal", "--dir", dir.to_str().unwrap()])).unwrap();
+        assert!(out.contains("TORN TAIL"), "{out}");
+        assert!(out.contains("2 records"), "{out}");
+
+        let err = run(&argv(&["wal", "--dir", "/nonexistent-dir"])).unwrap_err();
+        assert_eq!(err.code, 1);
     }
 }

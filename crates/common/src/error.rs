@@ -29,6 +29,15 @@ pub enum Error {
     },
     /// A query was issued against an empty relation or with k = 0.
     EmptyQuery(String),
+    /// An underlying I/O operation failed (message carries the OS error).
+    Io(String),
+    /// Persisted bytes failed integrity checks: bad magic, truncation, or
+    /// a checksum mismatch. The data cannot be trusted.
+    Corrupt(String),
+    /// Structurally or semantically invalid input: a snapshot that decodes
+    /// but violates index invariants, or one built with options
+    /// incompatible with the ones requested at load time.
+    Invalid(String),
 }
 
 impl fmt::Display for Error {
@@ -43,6 +52,9 @@ impl fmt::Display for Error {
                 write!(f, "invalid value {value} at tuple {tuple}, dim {dim}")
             }
             Error::EmptyQuery(msg) => write!(f, "invalid query: {msg}"),
+            Error::Io(msg) => write!(f, "io error: {msg}"),
+            Error::Corrupt(msg) => write!(f, "corrupt data: {msg}"),
+            Error::Invalid(msg) => write!(f, "invalid content: {msg}"),
         }
     }
 }

@@ -15,8 +15,41 @@
 
 use crate::index::DualLayerIndex;
 use crate::par::{parallel_map_chunked, resolve_workers_chunked};
-use crate::query::{QueryScratch, TopkResult};
+use crate::query::{GuardedTopk, QueryBudget, QueryScratch, TopkResult};
 use drtopk_common::Weights;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Failpoint visited once per request on the guarded path, before the
+/// query runs. The chaos suite arms it with a panic to prove one poisoned
+/// request cannot take down its batch.
+pub const WORKER_FAILPOINT: &str = "batch::worker";
+
+/// A per-request failure inside [`BatchExecutor::run_guarded`]: the
+/// request's query panicked (or an injected worker fault fired). Other
+/// requests of the batch are unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestError {
+    /// Panic payload or injected-fault description.
+    pub message: String,
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "request failed: {}", self.message)
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "query worker panicked".to_string()
+    }
+}
 
 /// Smallest number of requests worth handing one worker thread. A top-k
 /// query on a built index runs in tens of microseconds, so dispatching
@@ -78,6 +111,63 @@ impl<'a> BatchExecutor<'a> {
             MIN_REQUESTS_PER_WORKER,
             &|| QueryScratch::for_index(idx),
             &|scratch, (w, k)| idx.topk_with_scratch(w, *k, scratch),
+        );
+        drtopk_obs::metrics().batch_drain(out.len() as u64);
+        out
+    }
+
+    /// Fault-isolated batch execution: every `(weights, k)` request is
+    /// answered under `budget`, panics are confined to the request that
+    /// raised them, and results come back in request order.
+    ///
+    /// Guarantees:
+    ///
+    /// * a request whose query panics (malformed weights, an injected
+    ///   worker fault) yields `Err(RequestError)` for that slot only —
+    ///   the rest of the batch completes normally;
+    /// * every successful, untruncated result is bit-identical to a
+    ///   sequential [`DualLayerIndex::topk`] call;
+    /// * `budget` applies per request (same deadline/cost cap for each);
+    ///   its cancellation flag is shared, so tripping it drains the whole
+    ///   batch cooperatively — each remaining request returns its
+    ///   truncated prefix instead of running to completion.
+    ///
+    /// A worker whose request panicked rebuilds its pooled scratch before
+    /// the next request: the panic may have unwound mid-update, and a
+    /// fresh scratch is the only state guaranteed clean.
+    pub fn run_guarded(
+        &self,
+        requests: &[(Weights, usize)],
+        budget: &QueryBudget,
+    ) -> Vec<Result<GuardedTopk, RequestError>> {
+        let idx = self.idx;
+        drtopk_obs::metrics().batch_enqueue(requests.len() as u64);
+        let out = parallel_map_chunked(
+            requests,
+            self.threads,
+            MIN_REQUESTS_PER_WORKER,
+            &|| Some(QueryScratch::for_index(idx)),
+            &|slot: &mut Option<QueryScratch>, (w, k)| {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    drtopk_failpoints::hit(WORKER_FAILPOINT)
+                        .map_err(|e| RequestError {
+                            message: e.to_string(),
+                        })
+                        .map(|()| {
+                            let scratch = slot.get_or_insert_with(|| QueryScratch::for_index(idx));
+                            idx.topk_guarded_with_scratch(w, *k, budget, scratch)
+                        })
+                }));
+                match outcome {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        *slot = None;
+                        Err(RequestError {
+                            message: panic_message(payload),
+                        })
+                    }
+                }
+            },
         );
         drtopk_obs::metrics().batch_drain(out.len() as u64);
         out
@@ -169,6 +259,73 @@ mod tests {
             let want = idx.topk(w, *k);
             assert_eq!(r.ids, want.ids);
             assert_eq!(r.cost, want.cost);
+        }
+    }
+
+    #[test]
+    fn guarded_matches_plain_run_without_faults() {
+        let (idx, requests) = batch_fixture(3, 400);
+        let plain = BatchExecutor::with_threads(&idx, 2).run(&requests);
+        for threads in [1usize, 4] {
+            let guarded = BatchExecutor::with_threads(&idx, threads)
+                .run_guarded(&requests, &crate::query::QueryBudget::unlimited());
+            assert_eq!(guarded.len(), plain.len());
+            for (i, (g, p)) in guarded.iter().zip(&plain).enumerate() {
+                let g = g.as_ref().expect("no faults injected");
+                assert!(g.is_complete());
+                assert_eq!(g.ids, p.ids, "threads={threads} request {i}");
+                assert_eq!(g.cost, p.cost, "threads={threads} request {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_panicking_request_fails_alone() {
+        // A weight vector of the wrong arity makes the traversal panic.
+        // run_guarded must confine the panic to that request and keep the
+        // other answers bit-identical to sequential topk.
+        let (idx, mut requests) = batch_fixture(3, 300);
+        let poison = 17;
+        requests[poison] = (Weights::uniform(2), 5);
+        let sequential: Vec<Option<TopkResult>> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, (w, k))| (i != poison).then(|| idx.topk(w, *k)))
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let out = BatchExecutor::with_threads(&idx, threads)
+                .run_guarded(&requests, &crate::query::QueryBudget::unlimited());
+            assert_eq!(out.len(), requests.len());
+            for (i, r) in out.iter().enumerate() {
+                if i == poison {
+                    let err = r.as_ref().unwrap_err();
+                    assert!(
+                        err.message.contains("dimensionality"),
+                        "threads={threads}: {}",
+                        err.message
+                    );
+                } else {
+                    let g = r.as_ref().expect("healthy request must succeed");
+                    let s = sequential[i].as_ref().unwrap();
+                    assert_eq!(g.ids, s.ids, "threads={threads} request {i}");
+                    assert_eq!(g.cost, s.cost, "threads={threads} request {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_cancel_flag_drains_the_batch() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let (idx, requests) = batch_fixture(3, 300);
+        let flag = Arc::new(AtomicBool::new(true));
+        let budget = crate::query::QueryBudget::unlimited().with_cancel_flag(flag);
+        let out = BatchExecutor::with_threads(&idx, 2).run_guarded(&requests, &budget);
+        for r in &out {
+            let g = r.as_ref().expect("cancellation is not an error");
+            assert!(!g.is_complete(), "pre-tripped flag truncates every request");
+            assert!(g.ids.is_empty());
         }
     }
 

@@ -19,6 +19,7 @@
 use crate::index::DualLayerIndex;
 use crate::options::DlOptions;
 use crate::query::TopkResult;
+use crate::snapshot::IndexSnapshot;
 use drtopk_common::{Cost, Error, Relation, Weights};
 use std::collections::HashSet;
 
@@ -45,6 +46,26 @@ pub struct DynamicIndex {
 }
 
 const MIN_REBUILD: usize = 64;
+
+/// Flat, public capture of a [`DynamicIndex`]'s full state, for
+/// persistence. A state plus a replayed operation log reconstructs an
+/// index whose answers are bit-identical to the original's: the static
+/// part round-trips through [`IndexSnapshot`], and the dynamic part
+/// (buffer, tombstones, handle map) is carried verbatim.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicState {
+    /// Snapshot of the static index over the indexed tuples.
+    pub index: IndexSnapshot,
+    /// Handle of each tuple position in the indexed relation (strictly
+    /// ascending).
+    pub indexed_handles: Vec<Handle>,
+    /// Buffered `(handle, row)` inserts not yet indexed.
+    pub buffer: Vec<(Handle, Vec<f64>)>,
+    /// Deleted handles, sorted ascending.
+    pub tombstones: Vec<Handle>,
+    /// The next handle to assign.
+    pub next_handle: Handle,
+}
 
 impl DynamicIndex {
     /// Builds over an initial relation. `rebuild_fraction` is the pending-
@@ -97,8 +118,10 @@ impl DynamicIndex {
             .map(|(_, row)| row.as_slice())
     }
 
-    /// Inserts a tuple, returning its stable handle.
-    pub fn insert(&mut self, row: &[f64]) -> Result<Handle, Error> {
+    /// Validates a candidate row without mutating anything — the check
+    /// [`DynamicIndex::insert`] applies, exposed so write-ahead-logging
+    /// callers can validate *before* logging and never log a rejected row.
+    pub fn check_row(&self, row: &[f64]) -> Result<(), Error> {
         if row.len() != self.index.dims() {
             return Err(Error::DimensionMismatch {
                 expected: self.index.dims(),
@@ -114,12 +137,46 @@ impl DynamicIndex {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// The handle the next successful [`DynamicIndex::insert`] will
+    /// return. Write-ahead-logging callers log this handle before
+    /// applying the insert.
+    pub fn next_handle(&self) -> Handle {
+        self.next_handle
+    }
+
+    /// Inserts a tuple, returning its stable handle.
+    pub fn insert(&mut self, row: &[f64]) -> Result<Handle, Error> {
+        self.check_row(row)?;
         let h = self.next_handle;
         self.next_handle += 1;
         self.buffer.push((h, row.to_vec()));
         drtopk_obs::metrics().dynamic_insert();
         self.maybe_rebuild();
         Ok(h)
+    }
+
+    /// Replays a logged insert with its original handle (recovery path).
+    ///
+    /// Handles must arrive in the order they were assigned: `h` may not be
+    /// below `next_handle` (that would collide with a live or tombstoned
+    /// handle). Gaps are allowed — a log may skip handles whose insert was
+    /// never acknowledged.
+    pub fn replay_insert(&mut self, h: Handle, row: &[f64]) -> Result<(), Error> {
+        if h < self.next_handle {
+            return Err(Error::Invalid(format!(
+                "replayed insert handle {h} below next handle {}",
+                self.next_handle
+            )));
+        }
+        self.check_row(row)?;
+        self.next_handle = h + 1;
+        self.buffer.push((h, row.to_vec()));
+        drtopk_obs::metrics().dynamic_insert();
+        self.maybe_rebuild();
+        Ok(())
     }
 
     /// Deletes a handle; returns whether it was live.
@@ -200,6 +257,101 @@ impl DynamicIndex {
         self.tombstones.clear();
         self.rebuilds += 1;
         drtopk_obs::metrics().dynamic_rebuild();
+    }
+
+    /// Captures the full state for persistence. Reconstructing via
+    /// [`DynamicIndex::from_state`] yields an index whose answers are
+    /// bit-identical to this one's.
+    pub fn to_state(&self) -> DynamicState {
+        let mut tombstones: Vec<Handle> = self.tombstones.iter().copied().collect();
+        tombstones.sort_unstable();
+        DynamicState {
+            index: self.index.to_snapshot(),
+            indexed_handles: self.indexed_handles.clone(),
+            buffer: self.buffer.clone(),
+            tombstones,
+            next_handle: self.next_handle,
+        }
+    }
+
+    /// Reconstructs an index from a persisted state.
+    ///
+    /// Beyond the structural checks [`DualLayerIndex::from_snapshot`]
+    /// performs, this validates the dynamic bookkeeping: the handle map
+    /// covers the indexed relation, handles are unique, buffered rows are
+    /// well-formed, and `next_handle` is above every recorded handle. The
+    /// snapshot must also be compatible with `opts` (see
+    /// [`IndexSnapshot::check_compatible`]).
+    pub fn from_state(
+        state: &DynamicState,
+        opts: DlOptions,
+        rebuild_fraction: f64,
+    ) -> Result<Self, Error> {
+        state.index.check_compatible(&opts, None)?;
+        let index = DualLayerIndex::from_snapshot(&state.index)?;
+        if state.indexed_handles.len() != index.len() {
+            return Err(Error::Invalid(format!(
+                "handle map covers {} tuples but the index holds {}",
+                state.indexed_handles.len(),
+                index.len()
+            )));
+        }
+        if state.indexed_handles.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::Invalid(
+                "indexed handles must be strictly ascending".into(),
+            ));
+        }
+        let mut seen: HashSet<Handle> = state.indexed_handles.iter().copied().collect();
+        let dims = index.dims();
+        for (i, (h, row)) in state.buffer.iter().enumerate() {
+            if !seen.insert(*h) {
+                return Err(Error::Invalid(format!(
+                    "buffered handle {h} duplicates an earlier handle"
+                )));
+            }
+            if row.len() != dims {
+                return Err(Error::DimensionMismatch {
+                    expected: dims,
+                    got: row.len(),
+                });
+            }
+            for (d, &v) in row.iter().enumerate() {
+                if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                    return Err(Error::InvalidValue {
+                        tuple: i,
+                        dim: d,
+                        value: v,
+                    });
+                }
+            }
+        }
+        let max_handle = seen.iter().copied().max();
+        if let Some(m) = max_handle {
+            if state.next_handle <= m {
+                return Err(Error::Invalid(format!(
+                    "next handle {} not above max recorded handle {m}",
+                    state.next_handle
+                )));
+            }
+        }
+        for &t in &state.tombstones {
+            if t >= state.next_handle {
+                return Err(Error::Invalid(format!(
+                    "tombstone {t} at or above next handle {}",
+                    state.next_handle
+                )));
+            }
+        }
+        Ok(DynamicIndex {
+            opts,
+            index,
+            indexed_handles: state.indexed_handles.clone(),
+            buffer: state.buffer.clone(),
+            tombstones: state.tombstones.iter().copied().collect(),
+            next_handle: state.next_handle,
+            rebuild_fraction: rebuild_fraction.clamp(0.01, 10.0),
+            rebuilds: 0,
+        })
     }
 
     fn maybe_rebuild(&mut self) {
@@ -298,6 +450,103 @@ mod tests {
         assert!(dynamic.insert(&[0.5]).is_err());
         assert!(dynamic.insert(&[0.5, 1.5]).is_err());
         assert!(dynamic.insert(&[0.5, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_identical() {
+        let d = 3;
+        let rel = WorkloadSpec::new(Distribution::AntiCorrelated, d, 150, 9).generate();
+        let mut dynamic = DynamicIndex::new(&rel, DlOptions::dl_plus(), 0.5);
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..40 {
+            let row: Vec<f64> = (0..d).map(|_| rng.gen_range(0.001..0.999)).collect();
+            dynamic.insert(&row).unwrap();
+        }
+        for h in [3u64, 17, 42, 151, 160] {
+            dynamic.delete(h);
+        }
+        let state = dynamic.to_state();
+        let back = DynamicIndex::from_state(&state, DlOptions::dl_plus(), 0.5).unwrap();
+        assert_eq!(back.len(), dynamic.len());
+        assert_eq!(back.next_handle(), dynamic.next_handle());
+        for _ in 0..20 {
+            let w = Weights::random(d, &mut rng);
+            let k = rng.gen_range(1..=25);
+            let (a, ca) = dynamic.topk(&w, k);
+            let (b, cb) = back.topk(&w, k);
+            assert_eq!(a, b, "answers must survive the state roundtrip");
+            assert_eq!(ca, cb, "costs must survive the state roundtrip");
+        }
+        // And the state itself round-trips through the restored index.
+        assert_eq!(back.to_state(), state);
+    }
+
+    #[test]
+    fn replay_insert_enforces_handle_discipline() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 2, 20, 3).generate();
+        let mut dynamic = DynamicIndex::new(&rel, DlOptions::dl(), 5.0);
+        assert_eq!(dynamic.next_handle(), 20);
+        // Replay with a gap (handle 25 skips 20..25).
+        dynamic.replay_insert(25, &[0.1, 0.9]).unwrap();
+        assert_eq!(dynamic.next_handle(), 26);
+        assert_eq!(dynamic.get(25), Some([0.1, 0.9].as_slice()));
+        // A stale handle collides with already-assigned space.
+        assert!(matches!(
+            dynamic.replay_insert(10, &[0.2, 0.2]),
+            Err(Error::Invalid(_))
+        ));
+        // Invalid rows are rejected before any mutation.
+        assert!(dynamic.replay_insert(30, &[2.0, 0.5]).is_err());
+        assert_eq!(dynamic.next_handle(), 26);
+    }
+
+    #[test]
+    fn from_state_rejects_inconsistent_states() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 2, 30, 5).generate();
+        let mut dynamic = DynamicIndex::new(&rel, DlOptions::dl(), 5.0);
+        dynamic.insert(&[0.5, 0.5]).unwrap();
+        dynamic.delete(3);
+        let state = dynamic.to_state();
+
+        let mut short = state.clone();
+        short.indexed_handles.pop();
+        assert!(matches!(
+            DynamicIndex::from_state(&short, DlOptions::dl(), 0.2),
+            Err(Error::Invalid(_))
+        ));
+
+        let mut dup = state.clone();
+        dup.buffer.push((7, vec![0.1, 0.1]));
+        assert!(
+            DynamicIndex::from_state(&dup, DlOptions::dl(), 0.2).is_err(),
+            "buffered handle shadowing an indexed handle"
+        );
+
+        let mut low_next = state.clone();
+        low_next.next_handle = 5;
+        assert!(matches!(
+            DynamicIndex::from_state(&low_next, DlOptions::dl(), 0.2),
+            Err(Error::Invalid(_))
+        ));
+
+        let mut bad_tomb = state.clone();
+        bad_tomb.tombstones.push(state.next_handle + 10);
+        assert!(DynamicIndex::from_state(&bad_tomb, DlOptions::dl(), 0.2).is_err());
+
+        let mut bad_row = state.clone();
+        bad_row
+            .buffer
+            .push((state.next_handle - 1 + 1000, vec![0.5]));
+        assert!(matches!(
+            DynamicIndex::from_state(&bad_row, DlOptions::dl(), 0.2),
+            Err(Error::DimensionMismatch { .. }) | Err(Error::Invalid(_))
+        ));
+
+        // Options mismatch: the snapshot was built with fine splitting on.
+        assert!(matches!(
+            DynamicIndex::from_state(&state, DlOptions::dg(), 0.2),
+            Err(Error::Invalid(_))
+        ));
     }
 
     #[test]

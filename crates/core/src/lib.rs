@@ -43,12 +43,15 @@ pub mod snapshot;
 pub mod verify;
 pub mod zero;
 
-pub use batch::BatchExecutor;
-pub use dynamic::{DynamicIndex, Handle};
+pub use batch::{BatchExecutor, RequestError};
+pub use dynamic::{DynamicIndex, DynamicState, Handle};
 pub use explain::QueryExplain;
 pub use index::{DualLayerIndex, IndexStats, NodeId};
 pub use monotone::{LogSum, MonotoneScore, WeightedChebyshev, WeightedPower};
 pub use options::{DlOptions, EdsPolicy, ZeroMode};
 pub use profile::{BuildProfile, PhaseProfile};
-pub use query::{QueryScratch, QueryTrace, TopkCursor, TopkResult, TraceStep};
+pub use query::{
+    GuardedTopk, QueryBudget, QueryScratch, QueryTrace, TopkCursor, TopkResult, TraceStep,
+    TruncateReason,
+};
 pub use snapshot::IndexSnapshot;

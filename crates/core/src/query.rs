@@ -11,6 +11,139 @@ use drtopk_common::{Cost, TupleId, Weights};
 use drtopk_obs::{QueryCounters, QuerySpan};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering as AtomicOrdering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Per-query execution limits, checked cooperatively at pop granularity.
+///
+/// A budget bounds what one query may consume on a serving path: a
+/// wall-clock **deadline**, a **cost cap** on tuples evaluated (the
+/// paper's Definition 9 metric, so the cap is workload-meaningful), and a
+/// shared **cancellation flag** an operator or batch coordinator can trip
+/// from another thread. All three are optional; [`QueryBudget::unlimited`]
+/// never trips.
+///
+/// Enforcement is cooperative: the traversal checks the budget once per
+/// queue pop, so a tripped budget stops within one edge-relaxation of the
+/// violation (the cost cap can overshoot by at most one pop's fan-out).
+/// When a budget trips, the query returns its best-so-far answer prefix —
+/// pops happen in ascending score order, so the prefix is exactly the true
+/// top-m for some m ≤ k — with a [`GuardedTopk::truncated`] marker naming
+/// the tripped limit.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBudget {
+    deadline: Option<Instant>,
+    max_cost: Option<u64>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+/// The traversal checks the wall clock only every this many pops: a pop
+/// costs tens of nanoseconds and `Instant::now` is comparable, so a
+/// per-pop clock read would dominate the loop it guards.
+const DEADLINE_CHECK_PERIOD: u64 = 16;
+
+impl QueryBudget {
+    /// A budget that never trips (equivalent to `Default`).
+    pub fn unlimited() -> Self {
+        QueryBudget::default()
+    }
+
+    /// Trips once the wall clock reaches `deadline`.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Trips `timeout` from now.
+    pub fn with_timeout(self, timeout: Duration) -> Self {
+        self.with_deadline(Instant::now() + timeout)
+    }
+
+    /// Trips once more than `max_cost` tuples (real + pseudo, Definition
+    /// 9) have been evaluated.
+    pub fn with_max_cost(mut self, max_cost: u64) -> Self {
+        self.max_cost = Some(max_cost);
+        self
+    }
+
+    /// Trips as soon as `flag` reads `true`. The flag is shared: one flag
+    /// can cancel a whole batch cooperatively.
+    pub fn with_cancel_flag(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(flag);
+        self
+    }
+
+    /// Whether no limit is configured (the no-op fast path).
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_cost.is_none() && self.cancel.is_none()
+    }
+
+    /// Checks every configured limit; `pops` is the number of pops
+    /// completed so far (used to pace the clock reads).
+    fn tripped(&self, cost: &Cost, pops: u64) -> Option<TruncateReason> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(AtomicOrdering::Relaxed) {
+                return Some(TruncateReason::Cancelled);
+            }
+        }
+        if let Some(cap) = self.max_cost {
+            if cost.total() > cap {
+                return Some(TruncateReason::CostExceeded);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if pops.is_multiple_of(DEADLINE_CHECK_PERIOD) && Instant::now() >= deadline {
+                return Some(TruncateReason::Deadline);
+            }
+        }
+        None
+    }
+}
+
+/// Why a guarded query stopped before producing `k` answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TruncateReason {
+    /// The wall-clock deadline passed.
+    Deadline,
+    /// The Definition-9 cost cap was exceeded.
+    CostExceeded,
+    /// The shared cancellation flag was tripped.
+    Cancelled,
+}
+
+impl std::fmt::Display for TruncateReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TruncateReason::Deadline => write!(f, "deadline exceeded"),
+            TruncateReason::CostExceeded => write!(f, "cost cap exceeded"),
+            TruncateReason::Cancelled => write!(f, "cancelled"),
+        }
+    }
+}
+
+/// Result of one budget-guarded top-k query (the partial-result contract).
+///
+/// `ids` is always a correct prefix of the exact answer: when `truncated`
+/// is `None` it is the full top-k; when a budget tripped it is the true
+/// top-m for the m answers found before the trip, in the same order a
+/// completed query would return them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuardedTopk {
+    /// Answer prefix, ascending by `(score, id)`.
+    pub ids: Vec<TupleId>,
+    /// Tuples scored before the query stopped (Definition 9).
+    pub cost: Cost,
+    /// `None` when the query completed; otherwise the tripped limit.
+    pub truncated: Option<TruncateReason>,
+}
+
+impl GuardedTopk {
+    /// Whether the full top-k was produced.
+    pub fn is_complete(&self) -> bool {
+        self.truncated.is_none()
+    }
+}
 
 /// Result of one top-k query.
 #[derive(Debug, Clone, PartialEq)]
@@ -331,13 +464,55 @@ impl DualLayerIndex {
         Some(entry)
     }
 
+    /// Answers a budget-guarded top-k query: the full answer when no limit
+    /// trips, otherwise the best-so-far prefix with a truncation marker
+    /// (see [`GuardedTopk`] for the partial-result contract).
+    pub fn topk_guarded(&self, w: &Weights, k: usize, budget: &QueryBudget) -> GuardedTopk {
+        let mut scratch = QueryScratch::for_index(self);
+        self.topk_guarded_with_scratch(w, k, budget, &mut scratch)
+    }
+
+    /// Like [`DualLayerIndex::topk_guarded`], reusing caller-provided
+    /// scratch (the batch executor's per-worker pool).
+    pub fn topk_guarded_with_scratch(
+        &self,
+        w: &Weights,
+        k: usize,
+        budget: &QueryBudget,
+        scratch: &mut QueryScratch,
+    ) -> GuardedTopk {
+        let budget = if budget.is_unlimited() {
+            None
+        } else {
+            Some(budget)
+        };
+        let (TopkResult { ids, cost }, truncated) =
+            self.run_impl(w, StopRule::Count(k), scratch, None, budget);
+        GuardedTopk {
+            ids,
+            cost,
+            truncated,
+        }
+    }
+
     fn run(
         &self,
         w: &Weights,
         stop: StopRule,
         scratch: &mut QueryScratch,
-        mut trace: Option<&mut QueryTrace>,
+        trace: Option<&mut QueryTrace>,
     ) -> TopkResult {
+        self.run_impl(w, stop, scratch, trace, None).0
+    }
+
+    fn run_impl(
+        &self,
+        w: &Weights,
+        stop: StopRule,
+        scratch: &mut QueryScratch,
+        mut trace: Option<&mut QueryTrace>,
+        budget: Option<&QueryBudget>,
+    ) -> (TopkResult, Option<TruncateReason>) {
         let n = self.len();
         let k_eff = match stop {
             StopRule::Count(k) => k.min(n),
@@ -345,9 +520,10 @@ impl DualLayerIndex {
         };
         let mut cost = Cost::new();
         let mut ids = Vec::new();
+        let mut truncated = None;
         if k_eff == 0 {
             assert_eq!(w.dims(), self.dims(), "weight dimensionality mismatch");
-            return TopkResult { ids, cost };
+            return (TopkResult { ids, cost }, truncated);
         }
         let span = QuerySpan::start();
         self.seed_queue(w, scratch, &mut cost);
@@ -357,7 +533,15 @@ impl DualLayerIndex {
             t.seeds = s;
         }
 
+        let mut pops: u64 = 0;
         while ids.len() < k_eff {
+            if let Some(b) = budget {
+                if let Some(reason) = b.tripped(&cost, pops) {
+                    truncated = Some(reason);
+                    break;
+                }
+            }
+            pops += 1;
             if let (StopRule::Bound(b), Some(top)) = (&stop, scratch.heap.peek()) {
                 if top.score > *b {
                     break;
@@ -388,7 +572,7 @@ impl DualLayerIndex {
         }
         scratch.counters.flush();
         span.finish(cost.evaluated, cost.pseudo_evaluated);
-        TopkResult { ids, cost }
+        (TopkResult { ids, cost }, truncated)
     }
 }
 
@@ -884,5 +1068,104 @@ mod where_tests {
             idx.topk_where(&w, 15, |_, _| true).ids,
             idx.topk(&w, 15).ids
         );
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use crate::options::DlOptions;
+    use drtopk_common::{Distribution, WorkloadSpec};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    fn fixture() -> (drtopk_common::Relation, DualLayerIndex) {
+        let rel = WorkloadSpec::new(Distribution::AntiCorrelated, 3, 500, 19).generate();
+        let idx = DualLayerIndex::build(&rel, DlOptions::dl_plus());
+        (rel, idx)
+    }
+
+    #[test]
+    fn unlimited_budget_matches_plain_topk() {
+        let (_, idx) = fixture();
+        let w = Weights::uniform(3);
+        let plain = idx.topk(&w, 25);
+        let guarded = idx.topk_guarded(&w, 25, &QueryBudget::unlimited());
+        assert!(guarded.is_complete());
+        assert_eq!(guarded.ids, plain.ids);
+        assert_eq!(guarded.cost, plain.cost);
+    }
+
+    #[test]
+    fn cost_cap_returns_exact_prefix() {
+        let (_, idx) = fixture();
+        let w = Weights::new(vec![0.6, 0.2, 0.2]).unwrap();
+        let full = idx.topk(&w, 50);
+        assert!(full.cost.total() > 10, "fixture must be non-trivial");
+        let budget = QueryBudget::unlimited().with_max_cost(full.cost.total() / 2);
+        let guarded = idx.topk_guarded(&w, 50, &budget);
+        assert_eq!(guarded.truncated, Some(TruncateReason::CostExceeded));
+        assert!(guarded.ids.len() < full.ids.len());
+        // The partial-result contract: a true prefix of the exact answer.
+        assert_eq!(guarded.ids, full.ids[..guarded.ids.len()]);
+        // Pop-granularity enforcement can overshoot by at most one pop's
+        // relaxation fan-out, never by a full traversal.
+        assert!(guarded.cost.total() < full.cost.total());
+    }
+
+    #[test]
+    fn expired_deadline_truncates_immediately() {
+        let (_, idx) = fixture();
+        let w = Weights::uniform(3);
+        let budget =
+            QueryBudget::unlimited().with_deadline(Instant::now() - Duration::from_secs(1));
+        let guarded = idx.topk_guarded(&w, 20, &budget);
+        assert_eq!(guarded.truncated, Some(TruncateReason::Deadline));
+        assert!(
+            guarded.ids.is_empty(),
+            "deadline already passed before the first pop"
+        );
+        let generous = QueryBudget::unlimited().with_timeout(Duration::from_secs(60));
+        let ok = idx.topk_guarded(&w, 20, &generous);
+        assert!(ok.is_complete());
+        assert_eq!(ok.ids, idx.topk(&w, 20).ids);
+    }
+
+    #[test]
+    fn pre_tripped_cancel_flag_stops_the_query() {
+        let (_, idx) = fixture();
+        let w = Weights::uniform(3);
+        let flag = Arc::new(AtomicBool::new(true));
+        let budget = QueryBudget::unlimited().with_cancel_flag(flag.clone());
+        let guarded = idx.topk_guarded(&w, 20, &budget);
+        assert_eq!(guarded.truncated, Some(TruncateReason::Cancelled));
+        assert!(guarded.ids.is_empty());
+        // Untripped flag: the same budget completes normally.
+        flag.store(false, AtomicOrdering::SeqCst);
+        assert!(idx.topk_guarded(&w, 20, &budget).is_complete());
+    }
+
+    #[test]
+    fn guarded_scratch_reuse_is_clean_after_truncation() {
+        // A truncated query abandons mid-traversal state in the scratch;
+        // the next query must reset it completely.
+        let (rel, idx) = fixture();
+        let mut scratch = QueryScratch::for_index(&idx);
+        let w = Weights::uniform(3);
+        let tight = QueryBudget::unlimited().with_max_cost(3);
+        let t = idx.topk_guarded_with_scratch(&w, 40, &tight, &mut scratch);
+        assert!(!t.is_complete());
+        let full = idx.topk_guarded_with_scratch(&w, 40, &QueryBudget::unlimited(), &mut scratch);
+        assert!(full.is_complete());
+        assert_eq!(full.ids, drtopk_common::topk_bruteforce(&rel, &w, 40));
+    }
+
+    #[test]
+    fn zero_k_is_always_complete() {
+        let (_, idx) = fixture();
+        let w = Weights::uniform(3);
+        let g = idx.topk_guarded(&w, 0, &QueryBudget::unlimited().with_max_cost(0));
+        assert!(g.is_complete());
+        assert!(g.ids.is_empty());
     }
 }

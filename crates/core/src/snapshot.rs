@@ -37,6 +37,56 @@ pub struct IndexSnapshot {
     pub max_fine_layers: usize,
 }
 
+impl IndexSnapshot {
+    /// Number of real (non-pseudo) tuples captured in the snapshot.
+    pub fn len(&self) -> usize {
+        self.data.len().checked_div(self.dims).unwrap_or(0)
+    }
+
+    /// Whether the snapshot holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checks that this snapshot can serve queries under `opts` (and, when
+    /// given, over `expected_dims`-dimensional weight vectors).
+    ///
+    /// Snapshots record the build options that shape the stored structure
+    /// (`split_fine`, `max_fine_layers`); loading one under different
+    /// options would silently answer queries with the *persisted* layout
+    /// while the caller believes the *requested* one is in effect. This
+    /// turns that mismatch into a clear [`Error::Invalid`] at load time.
+    pub fn check_compatible(
+        &self,
+        opts: &DlOptions,
+        expected_dims: Option<usize>,
+    ) -> Result<(), Error> {
+        if let Some(d) = expected_dims {
+            if self.dims != d {
+                return Err(Error::Invalid(format!(
+                    "snapshot is {}-dimensional but {d} dimensions were requested",
+                    self.dims
+                )));
+            }
+        }
+        if self.split_fine != opts.split_fine {
+            return Err(Error::Invalid(format!(
+                "snapshot was built with split_fine={} but split_fine={} was requested; \
+                 rebuild the index or load with matching options",
+                self.split_fine, opts.split_fine
+            )));
+        }
+        if self.split_fine && self.max_fine_layers != opts.max_fine_layers {
+            return Err(Error::Invalid(format!(
+                "snapshot was built with max_fine_layers={} but {} was requested; \
+                 rebuild the index or load with matching options",
+                self.max_fine_layers, opts.max_fine_layers
+            )));
+        }
+        Ok(())
+    }
+}
+
 impl DualLayerIndex {
     /// Extracts a snapshot of this index.
     pub fn to_snapshot(&self) -> IndexSnapshot {
@@ -263,6 +313,45 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn compatibility_check_catches_option_mismatches() {
+        let rel = WorkloadSpec::new(Distribution::Independent, 3, 60, 11).generate();
+        let idx = DualLayerIndex::build(&rel, DlOptions::dl_plus());
+        let snap = idx.to_snapshot();
+
+        assert!(snap.check_compatible(&DlOptions::dl_plus(), None).is_ok());
+        assert!(snap
+            .check_compatible(&DlOptions::dl_plus(), Some(3))
+            .is_ok());
+        assert!(matches!(
+            snap.check_compatible(&DlOptions::dl_plus(), Some(4)),
+            Err(Error::Invalid(_))
+        ));
+        assert!(matches!(
+            snap.check_compatible(&DlOptions::dg_plus(), None),
+            Err(Error::Invalid(_))
+        ));
+        let capped = DlOptions {
+            max_fine_layers: 2,
+            ..DlOptions::dl_plus()
+        };
+        assert!(matches!(
+            snap.check_compatible(&capped, None),
+            Err(Error::Invalid(_))
+        ));
+
+        // DG snapshots ignore the fine-layer cap: it only shapes structure
+        // when splitting is on.
+        let dg = DualLayerIndex::build(&rel, DlOptions::dg()).to_snapshot();
+        let dg_capped = DlOptions {
+            max_fine_layers: 7,
+            ..DlOptions::dg()
+        };
+        assert!(dg.check_compatible(&dg_capped, None).is_ok());
+        assert_eq!(snap.len(), 60);
+        assert!(!snap.is_empty());
     }
 
     #[test]

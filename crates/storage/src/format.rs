@@ -16,7 +16,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use drtopk_common::Relation;
-use drtopk_core::{DualLayerIndex, IndexSnapshot};
+use drtopk_core::{DualLayerIndex, DynamicState, IndexSnapshot};
 use std::fmt;
 use std::fs;
 use std::io::Write;
@@ -24,6 +24,19 @@ use std::path::Path;
 
 const MAGIC_RELATION: &[u8; 8] = b"DRTOPK\x01\x01";
 const MAGIC_INDEX: &[u8; 8] = b"DRTOPK\x02\x01";
+const MAGIC_DYNAMIC: &[u8; 8] = b"DRTOPK\x03\x01";
+
+/// Failpoint: the data an atomic write is about to place in its temp file.
+/// Mangling models a crash mid-write — the temp file holds torn bytes and
+/// the rename never happens, so the destination is untouched.
+pub const FP_WRITE_DATA: &str = "storage::write_atomic::data";
+/// Failpoint: the rename step of an atomic write.
+pub const FP_WRITE_RENAME: &str = "storage::write_atomic::rename";
+/// Failpoint: the read syscall of any storage load. Firing models EIO.
+pub const FP_READ_IO: &str = "storage::read::io";
+/// Failpoint: bytes just read from disk. Mangling models at-rest
+/// corruption — the damaged bytes flow on to the checksumming decoder.
+pub const FP_READ_DATA: &str = "storage::read::data";
 
 /// Errors raised while reading or writing index files.
 #[derive(Debug)]
@@ -59,11 +72,37 @@ impl fmt::Display for FormatError {
     }
 }
 
-impl std::error::Error for FormatError {}
+impl std::error::Error for FormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormatError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<std::io::Error> for FormatError {
     fn from(e: std::io::Error) -> Self {
         FormatError::Io(e)
+    }
+}
+
+impl From<drtopk_failpoints::Injected> for FormatError {
+    fn from(e: drtopk_failpoints::Injected) -> Self {
+        FormatError::Io(std::io::Error::other(e))
+    }
+}
+
+impl From<FormatError> for drtopk_common::Error {
+    fn from(e: FormatError) -> Self {
+        use drtopk_common::Error;
+        match e {
+            FormatError::Io(io) => Error::Io(io.to_string()),
+            FormatError::Invalid(msg) => Error::Invalid(msg),
+            // BadMagic / Truncated / Checksum all mean the bytes on disk
+            // cannot be trusted; their Display carries the specifics.
+            other => Error::Corrupt(other.to_string()),
+        }
     }
 }
 
@@ -103,6 +142,13 @@ fn put_u32s(buf: &mut BytesMut, v: &[u32]) {
     }
 }
 
+fn put_u64s(buf: &mut BytesMut, v: &[u64]) {
+    buf.put_u64_le(v.len() as u64);
+    for &x in v {
+        buf.put_u64_le(x);
+    }
+}
+
 fn get_len(buf: &mut Bytes, elem: usize) -> Result<usize, FormatError> {
     if buf.remaining() < 8 {
         return Err(FormatError::Truncated);
@@ -132,6 +178,15 @@ fn get_u32s(buf: &mut Bytes) -> Result<Vec<u32>, FormatError> {
     let mut v = Vec::with_capacity(len);
     for _ in 0..len {
         v.push(buf.get_u32_le());
+    }
+    Ok(v)
+}
+
+fn get_u64s(buf: &mut Bytes) -> Result<Vec<u64>, FormatError> {
+    let len = get_len(buf, 8)?;
+    let mut v = Vec::with_capacity(len);
+    for _ in 0..len {
+        v.push(buf.get_u64_le());
     }
     Ok(v)
 }
@@ -202,16 +257,21 @@ pub fn relation_from_bytes(data: &[u8]) -> Result<Relation, FormatError> {
 /// Serializes an index snapshot to bytes.
 pub fn index_to_bytes(snap: &IndexSnapshot) -> Vec<u8> {
     let mut p = BytesMut::new();
+    encode_index_payload(snap, &mut p);
+    frame(MAGIC_INDEX, p).to_vec()
+}
+
+fn encode_index_payload(snap: &IndexSnapshot, p: &mut BytesMut) {
     p.put_u64_le(snap.dims as u64);
     p.put_u8(u8::from(snap.split_fine));
     p.put_u64_le(snap.max_fine_layers as u64);
-    put_f64s(&mut p, &snap.data);
+    put_f64s(p, &snap.data);
     // Fine layers.
     p.put_u64_le(snap.fine_layers.len() as u64);
     for (ci, fi, members) in &snap.fine_layers {
         p.put_u32_le(*ci);
         p.put_u32_le(*fi);
-        put_u32s(&mut p, members);
+        put_u32s(p, members);
     }
     // Edges.
     for edges in [&snap.forall_edges, &snap.exists_edges] {
@@ -221,33 +281,40 @@ pub fn index_to_bytes(snap: &IndexSnapshot) -> Vec<u8> {
             p.put_u32_le(t);
         }
     }
-    put_f64s(&mut p, &snap.pseudo);
+    put_f64s(p, &snap.pseudo);
     p.put_u64_le(snap.pseudo_fine.len() as u64);
     for group in &snap.pseudo_fine {
-        put_u32s(&mut p, group);
+        put_u32s(p, group);
     }
     match &snap.zero2d_chain {
         Some(chain) => {
             p.put_u8(1);
-            put_u32s(&mut p, chain);
-            put_f64s(&mut p, &snap.zero2d_breakpoints);
+            put_u32s(p, chain);
+            put_f64s(p, &snap.zero2d_breakpoints);
         }
         None => p.put_u8(0),
     }
-    frame(MAGIC_INDEX, p).to_vec()
 }
 
 /// Deserializes an index snapshot from bytes.
 pub fn index_from_bytes(data: &[u8]) -> Result<IndexSnapshot, FormatError> {
     let mut b = unframe(MAGIC_INDEX, data)?;
+    let snap = decode_index_payload(&mut b)?;
+    if b.has_remaining() {
+        return Err(FormatError::Invalid("trailing bytes".into()));
+    }
+    Ok(snap)
+}
+
+fn decode_index_payload(b: &mut Bytes) -> Result<IndexSnapshot, FormatError> {
     if b.remaining() < 17 {
         return Err(FormatError::Truncated);
     }
     let dims = b.get_u64_le() as usize;
     let split_fine = b.get_u8() != 0;
     let max_fine_layers = b.get_u64_le() as usize;
-    let payload = get_f64s(&mut b)?;
-    let n_fine = get_len(&mut b, 8)?;
+    let payload = get_f64s(b)?;
+    let n_fine = get_len(b, 8)?;
     let mut fine_layers = Vec::with_capacity(n_fine);
     for _ in 0..n_fine {
         if b.remaining() < 8 {
@@ -255,7 +322,7 @@ pub fn index_from_bytes(data: &[u8]) -> Result<IndexSnapshot, FormatError> {
         }
         let ci = b.get_u32_le();
         let fi = b.get_u32_le();
-        let members = get_u32s(&mut b)?;
+        let members = get_u32s(b)?;
         fine_layers.push((ci, fi, members));
     }
     let read_edges = |b: &mut Bytes| -> Result<Vec<(u32, u32)>, FormatError> {
@@ -266,25 +333,22 @@ pub fn index_from_bytes(data: &[u8]) -> Result<IndexSnapshot, FormatError> {
         }
         Ok(v)
     };
-    let forall_edges = read_edges(&mut b)?;
-    let exists_edges = read_edges(&mut b)?;
-    let pseudo = get_f64s(&mut b)?;
-    let n_groups = get_len(&mut b, 8)?;
+    let forall_edges = read_edges(b)?;
+    let exists_edges = read_edges(b)?;
+    let pseudo = get_f64s(b)?;
+    let n_groups = get_len(b, 8)?;
     let mut pseudo_fine = Vec::with_capacity(n_groups);
     for _ in 0..n_groups {
-        pseudo_fine.push(get_u32s(&mut b)?);
+        pseudo_fine.push(get_u32s(b)?);
     }
     if b.remaining() < 1 {
         return Err(FormatError::Truncated);
     }
     let (zero2d_chain, zero2d_breakpoints) = if b.get_u8() != 0 {
-        (Some(get_u32s(&mut b)?), get_f64s(&mut b)?)
+        (Some(get_u32s(b)?), get_f64s(b)?)
     } else {
         (None, Vec::new())
     };
-    if b.has_remaining() {
-        return Err(FormatError::Invalid("trailing bytes".into()));
-    }
     Ok(IndexSnapshot {
         dims,
         data: payload,
@@ -300,40 +364,133 @@ pub fn index_from_bytes(data: &[u8]) -> Result<IndexSnapshot, FormatError> {
     })
 }
 
+/// Serializes a dynamic-index state (plus its WAL generation) to bytes.
+pub fn dynamic_state_to_bytes(state: &DynamicState, generation: u64) -> Vec<u8> {
+    let mut p = BytesMut::new();
+    p.put_u64_le(generation);
+    encode_index_payload(&state.index, &mut p);
+    put_u64s(&mut p, &state.indexed_handles);
+    p.put_u64_le(state.buffer.len() as u64);
+    for (h, row) in &state.buffer {
+        p.put_u64_le(*h);
+        put_f64s(&mut p, row);
+    }
+    put_u64s(&mut p, &state.tombstones);
+    p.put_u64_le(state.next_handle);
+    frame(MAGIC_DYNAMIC, p).to_vec()
+}
+
+/// Deserializes a dynamic-index state and its WAL generation from bytes.
+///
+/// Byte-level checks only (framing, CRC, section lengths); the semantic
+/// invariants are enforced by `DynamicIndex::from_state` on load.
+pub fn dynamic_state_from_bytes(data: &[u8]) -> Result<(DynamicState, u64), FormatError> {
+    let mut b = unframe(MAGIC_DYNAMIC, data)?;
+    if b.remaining() < 8 {
+        return Err(FormatError::Truncated);
+    }
+    let generation = b.get_u64_le();
+    let index = decode_index_payload(&mut b)?;
+    let indexed_handles = get_u64s(&mut b)?;
+    let n_buf = get_len(&mut b, 8)?;
+    let mut buffer = Vec::with_capacity(n_buf);
+    for _ in 0..n_buf {
+        if b.remaining() < 8 {
+            return Err(FormatError::Truncated);
+        }
+        let h = b.get_u64_le();
+        buffer.push((h, get_f64s(&mut b)?));
+    }
+    let tombstones = get_u64s(&mut b)?;
+    if b.remaining() != 8 {
+        return Err(FormatError::Truncated);
+    }
+    let next_handle = b.get_u64_le();
+    Ok((
+        DynamicState {
+            index,
+            indexed_handles,
+            buffer,
+            tombstones,
+            next_handle,
+        },
+        generation,
+    ))
+}
+
 /// Writes a relation to `path` atomically (temp file + rename).
 pub fn save_relation(rel: &Relation, path: &Path) -> Result<(), FormatError> {
-    write_atomic(path, &relation_to_bytes(rel))
+    write_atomic(path, relation_to_bytes(rel))
 }
 
 /// Reads a relation from `path`.
 pub fn load_relation(path: &Path) -> Result<Relation, FormatError> {
-    relation_from_bytes(&fs::read(path)?)
+    relation_from_bytes(&read_file(path)?)
 }
 
 /// Writes a built index to `path` atomically.
 pub fn save_index(idx: &DualLayerIndex, path: &Path) -> Result<(), FormatError> {
-    write_atomic(path, &index_to_bytes(&idx.to_snapshot()))
+    write_atomic(path, index_to_bytes(&idx.to_snapshot()))
 }
 
 /// Reads and reconstructs an index from `path`, validating structure.
 pub fn load_index(path: &Path) -> Result<DualLayerIndex, FormatError> {
-    let snap = index_from_bytes(&fs::read(path)?)?;
+    let snap = index_from_bytes(&read_file(path)?)?;
     DualLayerIndex::from_snapshot(&snap).map_err(|e| FormatError::Invalid(e.to_string()))
 }
 
-fn write_atomic(path: &Path, data: &[u8]) -> Result<(), FormatError> {
+/// Writes a dynamic-index state to `path` atomically.
+pub fn save_dynamic_state(
+    state: &DynamicState,
+    generation: u64,
+    path: &Path,
+) -> Result<(), FormatError> {
+    write_atomic(path, dynamic_state_to_bytes(state, generation))
+}
+
+/// Reads a dynamic-index state (and its WAL generation) from `path`.
+pub fn load_dynamic_state(path: &Path) -> Result<(DynamicState, u64), FormatError> {
+    dynamic_state_from_bytes(&read_file(path)?)
+}
+
+/// Reads a whole file, passing through the read-side failpoints so chaos
+/// tests can model I/O errors and at-rest corruption.
+pub(crate) fn read_file(path: &Path) -> Result<Vec<u8>, FormatError> {
+    drtopk_failpoints::hit(FP_READ_IO)?;
+    let mut data = fs::read(path)?;
+    // A fired read-side mangle models at-rest corruption: the damaged
+    // bytes flow on to the checksumming decoder rather than erroring here.
+    let _ = drtopk_failpoints::mangle(FP_READ_DATA, &mut data);
+    Ok(data)
+}
+
+/// Writes `data` to `path` atomically: temp file, fsync, rename. Readers
+/// either see the old content or the complete new content, never a mix.
+pub(crate) fn write_atomic(path: &Path, mut data: Vec<u8>) -> Result<(), FormatError> {
     let mut tmp_name = path
         .file_name()
         .map(|n| n.to_os_string())
         .unwrap_or_default();
     tmp_name.push(".tmp");
     let tmp = path.with_file_name(tmp_name);
+    // A fired mangle models a crash mid-write: the torn bytes land in the
+    // temp file and the rename below never runs, leaving `path` untouched.
+    let fault = drtopk_failpoints::mangle(FP_WRITE_DATA, &mut data);
     {
         let mut f = fs::File::create(&tmp)?;
-        f.write_all(data)?;
+        f.write_all(&data)?;
         f.sync_all()?;
     }
+    fault?;
+    drtopk_failpoints::hit(FP_WRITE_RENAME)?;
     fs::rename(&tmp, path)?;
+    // Make the rename itself durable; best-effort on filesystems that
+    // refuse to fsync directories.
+    if let Some(parent) = path.parent() {
+        if let Ok(d) = fs::File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
     Ok(())
 }
 

@@ -7,12 +7,31 @@
 //!   the same layer are stored in the same disk block to reduce I/O cost"
 //!   (Section VI-A). A [`blocks::BlockLayout`] maps tuples to fixed-size
 //!   blocks either layer-clustered or in insertion order, and counts the
-//!   distinct blocks a query's access set touches.
+//!   distinct blocks a query's access set touches;
+//! * [`wal`] — a checksummed write-ahead log for dynamic-index mutations,
+//!   whose reader recovers the longest valid prefix of a torn file;
+//! * [`durable`] — [`durable::DurableDynamicIndex`], a crash-safe
+//!   [`drtopk_core::DynamicIndex`]: append-before-apply WAL discipline,
+//!   generation-numbered atomic snapshots, and recovery that replays the
+//!   log over the newest loadable snapshot.
+//!
+//! Fault injection: with the `failpoints` feature on, every I/O boundary
+//! in this crate visits a named failpoint (see
+//! [`durable::failpoint_sites`]) so chaos tests can deterministically
+//! tear writes, flip bits, and fail syscalls. With the feature off (the
+//! default) the sites compile to no-ops.
 
 pub mod blocks;
 pub mod bufferpool;
+pub mod durable;
 pub mod format;
+pub mod wal;
 
 pub use blocks::{BlockLayout, Placement};
 pub use bufferpool::{BufferPool, IoStats};
-pub use format::{load_index, load_relation, save_index, save_relation, FormatError};
+pub use durable::{DurableDynamicIndex, DurableOptions, RecoveryReport};
+pub use format::{
+    load_dynamic_state, load_index, load_relation, save_dynamic_state, save_index, save_relation,
+    FormatError,
+};
+pub use wal::{read_wal, WalRecord, WalReplay, WalWriter, MAX_WAL_RECORD};

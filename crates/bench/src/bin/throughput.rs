@@ -21,13 +21,20 @@
 //!   produced. Building with `--no-default-features` compiles recording
 //!   out entirely (`obs.compiled = false` in the report).
 //!
+//! * scratch split: a reused-[`drtopk_core::QueryScratch`] pass timing the
+//!   O(1) epoch reset separately from the traversal, so the report shows
+//!   reset cost independent of `n` and traversal cost tracking the touched
+//!   prefix, not the relation.
+//!
 //! Results land in a JSON file (default `BENCH_throughput.json`), one
-//! object per cell, plus host metadata so numbers from different machines
-//! are never compared blindly.
+//! object per cell, plus host metadata (`available_parallelism`) so
+//! numbers from different machines are never compared blindly.
+//! `--min-qps F` turns the harness into a regression gate: it exits
+//! nonzero if any cell's single-thread QPS lands below the floor.
 //!
 //! ```text
 //! throughput [--n 100000[,N...]] [--d 3[,...]] [--k 10[,...]]
-//!            [--threads 1,2,4] [--queries 1000] [--out FILE]
+//!            [--threads 1,2,4] [--queries 1000] [--out FILE] [--min-qps F]
 //! ```
 
 use drtopk_bench::json::Value;
@@ -43,6 +50,9 @@ struct Config {
     threads: Vec<usize>,
     queries: usize,
     out: String,
+    /// Fail (exit 1) if any cell's single-thread QPS lands below this
+    /// floor — the CI perf-smoke regression gate.
+    min_qps: Option<f64>,
 }
 
 impl Config {
@@ -54,6 +64,7 @@ impl Config {
             threads: vec![1, 2, 4],
             queries: 1000,
             out: "BENCH_throughput.json".to_string(),
+            min_qps: None,
         };
         let mut i = 0;
         while i < args.len() {
@@ -68,6 +79,12 @@ impl Config {
                 "--threads" => cfg.threads = parse_list(val)?,
                 "--queries" => cfg.queries = parse_list(val)?[0],
                 "--out" => cfg.out = val.clone(),
+                "--min-qps" => {
+                    cfg.min_qps = Some(
+                        val.parse()
+                            .map_err(|_| format!("cannot parse --min-qps {val:?}"))?,
+                    )
+                }
                 other => return Err(format!("unknown flag {other}")),
             }
             i += 2;
@@ -96,7 +113,9 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     sorted[rank - 1]
 }
 
-fn run_cell(n: usize, d: usize, k: usize, cfg: &Config) -> Value {
+/// Runs one `(n, d, k)` cell; returns its report object plus the
+/// single-thread QPS the `--min-qps` gate checks.
+fn run_cell(n: usize, d: usize, k: usize, cfg: &Config) -> (Value, f64) {
     eprintln!("cell n={n} d={d} k={k}: building DL+ index...");
     let rel = dataset(Distribution::Independent, d, n);
     let t0 = Instant::now();
@@ -204,6 +223,37 @@ fn run_cell(n: usize, d: usize, k: usize, cfg: &Config) -> Value {
          {p50_plain_paired:.2}µs ({guarded_overhead_pct:+.2}%)"
     );
 
+    // Scratch split: the epoch-versioned reset must be O(1) — independent
+    // of n — and the traversal O(nodes touched). Both are timed separately
+    // with one reused scratch; answers stay bit-identical to the fresh-
+    // scratch reference. (topk_with_scratch resets internally, so each
+    // query pays the reset twice here; at single-digit nanoseconds that is
+    // measurement noise.)
+    let mut scratch = drtopk_core::QueryScratch::for_index(&idx);
+    let mut reset_ns = Vec::with_capacity(weights.len());
+    let mut with_scratch_us = Vec::with_capacity(weights.len());
+    for (w, s) in weights.iter().zip(&reference) {
+        let r0 = Instant::now();
+        scratch.reset(&idx);
+        reset_ns.push(r0.elapsed().as_secs_f64() * 1e9);
+        let q0 = Instant::now();
+        let r = idx.topk_with_scratch(w, k, &mut scratch);
+        with_scratch_us.push(q0.elapsed().as_secs_f64() * 1e6);
+        assert_eq!(r.ids, s.ids, "scratch reuse changed answers");
+        assert_eq!(r.cost, s.cost, "scratch reuse changed costs");
+    }
+    let with_scratch_secs: f64 = with_scratch_us.iter().sum::<f64>() / 1e6;
+    let scratch_qps = weights.len() as f64 / with_scratch_secs;
+    reset_ns.sort_by(|a, b| a.total_cmp(b));
+    with_scratch_us.sort_by(|a, b| a.total_cmp(b));
+    let reset_p50_ns = percentile(&reset_ns, 0.50);
+    let reset_p99_ns = percentile(&reset_ns, 0.99);
+    let scratch_p50 = percentile(&with_scratch_us, 0.50);
+    eprintln!(
+        "  scratch split: reset p50 {reset_p50_ns:.0}ns (p99 {reset_p99_ns:.0}ns), \
+         traversal p50 {scratch_p50:.2}µs, {scratch_qps:.0} q/s reused-scratch"
+    );
+
     // Executor passes at each thread count; every result is checked
     // against the sequential reference (the determinism contract).
     let mut executor_rows = Vec::new();
@@ -235,7 +285,7 @@ fn run_cell(n: usize, d: usize, k: usize, cfg: &Config) -> Value {
     // Registry snapshot for this cell: the instrumented sequential pass
     // plus every executor pass.
     let snap = m.snapshot();
-    Value::object([
+    let cell = Value::object([
         ("n", Value::uint(n)),
         ("d", Value::uint(d)),
         ("k", Value::uint(k)),
@@ -252,6 +302,15 @@ fn run_cell(n: usize, d: usize, k: usize, cfg: &Config) -> Value {
         ),
         ("executor", Value::Array(executor_rows)),
         ("single_thread_qps", Value::float(single_qps)),
+        (
+            "scratch",
+            Value::object([
+                ("reset_p50_ns", Value::float(reset_p50_ns)),
+                ("reset_p99_ns", Value::float(reset_p99_ns)),
+                ("p50_us", Value::float(scratch_p50)),
+                ("qps", Value::float(scratch_qps)),
+            ]),
+        ),
         (
             "guarded",
             Value::object([
@@ -270,7 +329,8 @@ fn run_cell(n: usize, d: usize, k: usize, cfg: &Config) -> Value {
                 ("metrics", metrics_json(&snap)),
             ]),
         ),
-    ])
+    ]);
+    (cell, single_qps)
 }
 
 /// The cell's registry snapshot as report JSON: every counter plus the
@@ -307,7 +367,7 @@ fn main() {
             eprintln!("throughput: {e}");
             eprintln!(
                 "usage: throughput [--n N[,..]] [--d D[,..]] [--k K[,..]] \
-                 [--threads T[,..]] [--queries Q] [--out FILE]"
+                 [--threads T[,..]] [--queries Q] [--out FILE] [--min-qps F]"
             );
             std::process::exit(2);
         }
@@ -317,10 +377,20 @@ fn main() {
         .map(|p| p.get())
         .unwrap_or(1);
     let mut cells = Vec::new();
+    let mut floor_violations = Vec::new();
     for &n in &cfg.ns {
         for &d in &cfg.ds {
             for &k in &cfg.ks {
-                cells.push(run_cell(n, d, k, &cfg));
+                let (cell, single_qps) = run_cell(n, d, k, &cfg);
+                cells.push(cell);
+                if let Some(floor) = cfg.min_qps {
+                    if single_qps < floor {
+                        floor_violations.push(format!(
+                            "cell n={n} d={d} k={k}: single-thread {single_qps:.0} q/s \
+                             below the floor {floor:.0}"
+                        ));
+                    }
+                }
             }
         }
     }
@@ -353,4 +423,10 @@ fn main() {
     ]);
     std::fs::write(&cfg.out, doc.pretty()).expect("write results file");
     eprintln!("wrote {}", cfg.out);
+    if !floor_violations.is_empty() {
+        for v in &floor_violations {
+            eprintln!("PERF REGRESSION: {v}");
+        }
+        std::process::exit(1);
+    }
 }

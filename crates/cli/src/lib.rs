@@ -487,6 +487,22 @@ fn cmd_stats(f: &Flags) -> Result<String, CliError> {
                     snap.query_latency_ns.p50() / 1e3,
                     snap.query_latency_ns.p99() / 1e3
                 );
+                if snap.scratch_touched.count() > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  scratch touched   p50 {:.0} / p99 {:.0} nodes per query",
+                        snap.scratch_touched.p50(),
+                        snap.scratch_touched.p99()
+                    );
+                }
+                if snap.kernel_block_tuples.count() > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  kernel blocks     {} scored, mean {:.1} tuples each",
+                        snap.kernel_block_tuples.count(),
+                        snap.kernel_block_tuples.mean()
+                    );
+                }
             }
             Ok(out)
         }
@@ -921,6 +937,19 @@ mod tests {
                 .parse()
                 .unwrap();
             assert!(queries >= 5, "{prom}");
+        }
+
+        let text = run(&argv(&[
+            "stats",
+            "--index",
+            index.to_str().unwrap(),
+            "--probe",
+            "5",
+        ]))
+        .unwrap();
+        if drtopk_obs::COMPILED {
+            assert!(text.contains("scratch touched"), "{text}");
+            assert!(text.contains("kernel blocks"), "{text}");
         }
 
         let err = run(&argv(&[

@@ -115,9 +115,12 @@ impl Columns {
     /// Scores rows `ids` under `w` into `out` (resized to `ids.len()`):
     /// `out[p] = F(row ids[p])`, bit-identical to [`Weights::score`] per row.
     ///
-    /// Sweeps one column per dimension: the first dimension initializes the
-    /// accumulators, each further dimension does a fused gather-multiply-add
-    /// over a contiguous column, which the compiler can vectorize.
+    /// Dispatches once per block on `dims`: for d ≤ 8 an unrolled fixed-d
+    /// kernel processes ids in 4-wide blocks with an array-of-lanes
+    /// accumulator (a shape the compiler reliably vectorizes); higher
+    /// dimensionalities fall back to the generic column sweep. Every path
+    /// accumulates per row in the same dimension order (`0.0 + w₀x₀ + w₁x₁
+    /// + …`), so the result is bitwise independent of the kernel chosen.
     ///
     /// # Panics
     /// Panics if `w`'s dimensionality differs or any id is out of range.
@@ -125,6 +128,67 @@ impl Columns {
         assert_eq!(w.dims(), self.dims, "weight dimensionality mismatch");
         out.clear();
         out.resize(ids.len(), 0.0);
+        match self.dims {
+            1 => self.score_block_fixed::<1>(w, ids, out),
+            2 => self.score_block_fixed::<2>(w, ids, out),
+            3 => self.score_block_fixed::<3>(w, ids, out),
+            4 => self.score_block_fixed::<4>(w, ids, out),
+            5 => self.score_block_fixed::<5>(w, ids, out),
+            6 => self.score_block_fixed::<6>(w, ids, out),
+            7 => self.score_block_fixed::<7>(w, ids, out),
+            8 => self.score_block_fixed::<8>(w, ids, out),
+            _ => self.score_block_generic(w, ids, out),
+        }
+    }
+
+    /// Fixed-dimensionality kernel: ids are consumed in 4-wide blocks, each
+    /// block held in an array-of-lanes accumulator whose per-lane update is
+    /// fully unrolled over `D`. Each lane's sum is built in dimension order
+    /// starting from `0.0`, matching the scalar fold bit-for-bit (products
+    /// are non-negative, so `0.0 + p` is bitwise `p`).
+    fn score_block_fixed<const D: usize>(&self, w: &Weights, ids: &[u32], out: &mut [f64]) {
+        debug_assert_eq!(self.dims, D);
+        let mut ws = [0.0f64; D];
+        ws.copy_from_slice(w.as_slice());
+        let len = self.len;
+        let data = &self.data[..];
+        let mut id_blocks = ids.chunks_exact(4);
+        let mut out_blocks = out.chunks_exact_mut(4);
+        for (idb, ob) in (&mut id_blocks).zip(&mut out_blocks) {
+            let rows = [
+                idb[0] as usize,
+                idb[1] as usize,
+                idb[2] as usize,
+                idb[3] as usize,
+            ];
+            let mut acc = [0.0f64; 4];
+            for j in 0..D {
+                let col = &data[j * len..(j + 1) * len];
+                for l in 0..4 {
+                    acc[l] += ws[j] * col[rows[l]];
+                }
+            }
+            ob.copy_from_slice(&acc);
+        }
+        for (&id, o) in id_blocks
+            .remainder()
+            .iter()
+            .zip(out_blocks.into_remainder())
+        {
+            let row = id as usize;
+            let mut acc = 0.0f64;
+            for (j, &wj) in ws.iter().enumerate() {
+                acc += wj * data[j * len + row];
+            }
+            *o = acc;
+        }
+    }
+
+    /// Generic column sweep for dimensionalities above the unrolled range:
+    /// the first dimension initializes the accumulators, each further
+    /// dimension does a fused gather-multiply-add over one contiguous
+    /// column.
+    fn score_block_generic(&self, w: &Weights, ids: &[u32], out: &mut [f64]) {
         for (j, &wj) in w.as_slice().iter().enumerate() {
             let col = self.col(j);
             if j == 0 {
@@ -180,23 +244,57 @@ mod tests {
     #[test]
     fn kernel_matches_scalar_bit_for_bit() {
         // The satellite contract: score_block == Weights::score to the last
-        // bit, across dims (including d = 1) and random data.
+        // bit, across every unrolled dispatch arm (d = 1..=8) plus the
+        // generic fallback (d = 9, 10), and across block lengths that do
+        // and do not divide the 4-wide lane width.
         let mut rng = StdRng::seed_from_u64(0xC0);
-        for d in 1..=6 {
-            let rel = random_relation(&mut rng, d, 64);
+        for d in 1..=10 {
+            for n in [61usize, 64] {
+                let rel = random_relation(&mut rng, d, n);
+                let cols = Columns::from_relation(&rel);
+                let w = Weights::random(d, &mut rng);
+                let ids: Vec<u32> = (0..rel.len() as u32).collect();
+                let mut out = Vec::new();
+                cols.score_block(&w, &ids, &mut out);
+                for (&id, &got) in ids.iter().zip(&out) {
+                    let want = w.score(rel.tuple(id));
+                    assert_eq!(
+                        got.to_bits(),
+                        want.to_bits(),
+                        "d={d} n={n} id={id}: {got} vs {want}"
+                    );
+                    assert_eq!(cols.score_one(&w, id).to_bits(), want.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_and_generic_kernels_agree_bitwise() {
+        // The unrolled kernels must be a pure reordering of *loads*, never
+        // of per-row accumulation: force both paths over the same data.
+        let mut rng = StdRng::seed_from_u64(0xC3);
+        for d in 1..=8 {
+            let rel = random_relation(&mut rng, d, 37);
             let cols = Columns::from_relation(&rel);
             let w = Weights::random(d, &mut rng);
-            let ids: Vec<u32> = (0..rel.len() as u32).collect();
-            let mut out = Vec::new();
-            cols.score_block(&w, &ids, &mut out);
-            for (&id, &got) in ids.iter().zip(&out) {
-                let want = w.score(rel.tuple(id));
-                assert_eq!(
-                    got.to_bits(),
-                    want.to_bits(),
-                    "d={d} id={id}: {got} vs {want}"
-                );
-                assert_eq!(cols.score_one(&w, id).to_bits(), want.to_bits());
+            let ids: Vec<u32> = (0..rel.len() as u32).rev().collect();
+            let mut fixed = vec![0.0; ids.len()];
+            let mut generic = vec![0.0; ids.len()];
+            match d {
+                1 => cols.score_block_fixed::<1>(&w, &ids, &mut fixed),
+                2 => cols.score_block_fixed::<2>(&w, &ids, &mut fixed),
+                3 => cols.score_block_fixed::<3>(&w, &ids, &mut fixed),
+                4 => cols.score_block_fixed::<4>(&w, &ids, &mut fixed),
+                5 => cols.score_block_fixed::<5>(&w, &ids, &mut fixed),
+                6 => cols.score_block_fixed::<6>(&w, &ids, &mut fixed),
+                7 => cols.score_block_fixed::<7>(&w, &ids, &mut fixed),
+                8 => cols.score_block_fixed::<8>(&w, &ids, &mut fixed),
+                _ => unreachable!(),
+            }
+            cols.score_block_generic(&w, &ids, &mut generic);
+            for (a, b) in fixed.iter().zip(&generic) {
+                assert_eq!(a.to_bits(), b.to_bits(), "d={d}");
             }
         }
     }

@@ -10,13 +10,13 @@
 //! the differential suite in `tests/build_differential.rs` holds the two paths
 //! to byte-equal snapshots.
 
-use crate::index::{CoarseLayer, Csr, DualLayerIndex, IndexStats, NodeId};
+use crate::index::{CoarseLayer, DualLayerIndex, NodeId};
 use crate::options::{DlOptions, EdsPolicy, ZeroMode};
 use crate::par::parallel_map;
 use crate::profile::BuildProfile;
 use crate::zero::Zero2d;
 use drtopk_cluster::{cluster_min_corners, kmeans};
-use drtopk_common::{dominates, Columns, Relation, TupleId};
+use drtopk_common::{dominates, Relation, TupleId};
 use drtopk_geometry::csky::{convex_layers, ConvexLayer};
 use drtopk_geometry::facet_is_eds;
 use drtopk_skyline::{skyline_layers, skyline_layers_incremental, SkylineAlgo};
@@ -283,68 +283,23 @@ impl DualLayerIndex {
         }
         profile.zero_layer.seconds = t0.elapsed().as_secs_f64();
 
-        // Assemble CSRs over the unified node space.
+        // Final assembly (shared with the reference build and snapshot
+        // loading): traversal-order renumbering, edge arena, reverse CSRs,
+        // seeds, stats, internal-order scoring columns.
         let t0 = Instant::now();
-        let total = n + pseudo_count;
-        let (forall, forall_indeg) = Csr::from_edges(total, &mut forall_edges);
-        let (exists, exists_indeg) = Csr::from_edges(total, &mut exists_edges);
-
-        // Seeds: nodes free at query start. Chain members are excluded in
-        // 2-d exact mode (seeded per query by weight-range lookup).
-        let chain_member: Vec<bool> = {
-            let mut v = vec![false; total];
-            if let Some(z) = &zero2d {
-                for &c in &z.chain {
-                    v[c as usize] = true;
-                }
-            }
-            v
-        };
-        let mut seeds: Vec<NodeId> = Vec::new();
-        for node in 0..total as NodeId {
-            if forall_indeg[node as usize] == 0
-                && exists_indeg[node as usize] == 0
-                && !chain_member[node as usize]
-            {
-                seeds.push(node);
-            }
-        }
-
-        let stats = IndexStats {
-            n,
-            dims: d,
-            coarse_layers: layers.len(),
-            fine_layers: layers.iter().map(|l| l.fine.len()).sum(),
-            forall_edges: forall.edge_count(),
-            exists_edges: exists.edge_count(),
-            pseudo_tuples: pseudo_count,
-            seeds: seeds.len(),
-            first_layer_size: layers.first().map_or(0, |l| l.len()),
-            first_fine_size: layers
-                .first()
-                .and_then(|l| l.fine.first())
-                .map_or(0, |f| f.len()),
-        };
-
-        let columns = Columns::from_relation_with_extra(rel, &pseudo);
-        profile.assemble_seconds = t0.elapsed().as_secs_f64();
-        profile.total_seconds = build_start.elapsed().as_secs_f64();
-        let idx = DualLayerIndex {
-            rel: rel.clone(),
+        let idx = crate::assemble::assemble(
+            rel,
             opts,
             layers,
-            forall,
-            forall_indeg,
-            exists,
-            exists_indeg,
+            &forall_edges,
+            &exists_edges,
             pseudo,
             pseudo_count,
             pseudo_fine,
             zero2d,
-            seeds,
-            columns,
-            stats,
-        };
+        );
+        profile.assemble_seconds = t0.elapsed().as_secs_f64();
+        profile.total_seconds = build_start.elapsed().as_secs_f64();
         (idx, profile)
     }
 }

@@ -11,11 +11,11 @@
 //!
 //! [`build`]: DualLayerIndex::build
 
-use crate::index::{CoarseLayer, Csr, DualLayerIndex, IndexStats, NodeId};
+use crate::index::{CoarseLayer, DualLayerIndex, NodeId};
 use crate::options::{DlOptions, EdsPolicy, ZeroMode};
 use crate::zero::Zero2d;
 use drtopk_cluster::{cluster_min_corners, kmeans};
-use drtopk_common::{dominates, Columns, Relation, TupleId};
+use drtopk_common::{dominates, Relation, TupleId};
 use drtopk_geometry::csky::{convex_skyline, ConvexLayer};
 use drtopk_geometry::facet_is_eds;
 use drtopk_skyline::skyline_layers;
@@ -187,63 +187,20 @@ impl DualLayerIndex {
             ZeroMode::Auto => unreachable!("resolved above"),
         }
 
-        // Assembly, identical to the optimized path.
-        let total = n + pseudo_count;
-        let (forall, forall_indeg) = Csr::from_edges(total, &mut forall_edges);
-        let (exists, exists_indeg) = Csr::from_edges(total, &mut exists_edges);
-
-        let chain_member: Vec<bool> = {
-            let mut v = vec![false; total];
-            if let Some(z) = &zero2d {
-                for &c in &z.chain {
-                    v[c as usize] = true;
-                }
-            }
-            v
-        };
-        let mut seeds: Vec<NodeId> = Vec::new();
-        for node in 0..total as NodeId {
-            if forall_indeg[node as usize] == 0
-                && exists_indeg[node as usize] == 0
-                && !chain_member[node as usize]
-            {
-                seeds.push(node);
-            }
-        }
-
-        let stats = IndexStats {
-            n,
-            dims: d,
-            coarse_layers: layers.len(),
-            fine_layers: layers.iter().map(|l| l.fine.len()).sum(),
-            forall_edges: forall.edge_count(),
-            exists_edges: exists.edge_count(),
-            pseudo_tuples: pseudo_count,
-            seeds: seeds.len(),
-            first_layer_size: layers.first().map_or(0, |l| l.len()),
-            first_fine_size: layers
-                .first()
-                .and_then(|l| l.fine.first())
-                .map_or(0, |f| f.len()),
-        };
-
-        let columns = Columns::from_relation_with_extra(rel, &pseudo);
-        DualLayerIndex {
-            rel: rel.clone(),
+        // Assembly: the same shared path as the optimized build, so the
+        // renumbering, arena, seeds, and columns are identical by
+        // construction.
+        crate::assemble::assemble(
+            rel,
             opts,
             layers,
-            forall,
-            forall_indeg,
-            exists,
-            exists_indeg,
+            &forall_edges,
+            &exists_edges,
             pseudo,
             pseudo_count,
             pseudo_fine,
             zero2d,
-            seeds,
-            columns,
-            stats,
-        }
+        )
     }
 }
 

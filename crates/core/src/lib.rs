@@ -28,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod analytics;
+mod assemble;
 pub mod batch;
 pub mod build;
 pub mod build_reference;

@@ -117,9 +117,9 @@ impl DualLayerIndex {
         if k_eff == 0 {
             return TopkResult { ids, cost };
         }
-        let mut remaining: Vec<u32> = (0..total as NodeId)
-            .map(|v| self.forall_in_degree(v))
-            .collect();
+        // Traverses in internal (traversal-ordered) node space, like the
+        // linear path; `Entry::orig` keeps the id tie-break public.
+        let mut remaining: Vec<u32> = self.forall_indeg.clone();
         let mut enqueued = vec![false; total];
         let mut heap: BinaryHeap<Entry> = BinaryHeap::new();
 
@@ -135,10 +135,12 @@ impl DualLayerIndex {
                 } else {
                     cost.tick_pseudo();
                 }
+                let orig = self.node_orig[node as usize];
                 heap.push(Entry {
-                    score: f.score(self.node_coords(node)),
+                    score: f.score(self.node_coords(orig)),
                     real,
                     node,
+                    orig,
                 });
             };
 
@@ -155,9 +157,9 @@ impl DualLayerIndex {
                 break;
             };
             if entry.real {
-                ids.push(entry.node as TupleId);
+                ids.push(entry.orig as TupleId);
             }
-            for &t in self.forall_out(entry.node) {
+            for &t in self.arena.forall_out(entry.node) {
                 remaining[t as usize] -= 1;
                 if remaining[t as usize] == 0 {
                     enqueue(t, &mut heap, &mut enqueued, &mut cost);

@@ -177,12 +177,18 @@ pub struct QueryTrace {
 
 /// Min-first heap entry: score ascending, pseudo-tuples before real tuples
 /// on ties (a pseudo min-corner can tie its sole cluster member and must
-/// pop first), then node id ascending — matching the paper's id tie-break.
+/// pop first), then *original* node id ascending — matching the paper's id
+/// tie-break. The traversal runs over internal (traversal-ordered) ids, but
+/// the tie-break uses `orig` so the pop sequence is independent of the
+/// internal renumbering.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct Entry {
     pub(crate) score: f64,
     pub(crate) real: bool,
+    /// Internal (traversal-ordered) node id — indexes scratch and adjacency.
     pub(crate) node: NodeId,
+    /// Original public node id — answer value and deterministic tie-break.
+    pub(crate) orig: NodeId,
 }
 
 impl Eq for Entry {}
@@ -201,25 +207,36 @@ impl Ord for Entry {
             .partial_cmp(&self.score)
             .expect("scores are finite")
             .then_with(|| other.real.cmp(&self.real))
-            .then_with(|| other.node.cmp(&self.node))
+            .then_with(|| other.orig.cmp(&self.orig))
     }
 }
 
 /// Reusable per-query working memory. One scratch serves any number of
 /// sequential queries against the index it was created for; reusing it
 /// avoids the O(n) allocations a fresh [`DualLayerIndex::topk`] call makes.
+///
+/// Per-node state (`remaining`, `eblocked`, `enqueued`, `chain_wait`) is
+/// *epoch-versioned*: each node carries a stamp, and state is lazily
+/// re-initialized from the index the first time a query touches the node.
+/// [`QueryScratch::reset`] therefore costs O(1) — it bumps the epoch — and
+/// a query's setup cost is O(nodes touched), not O(n).
 #[derive(Debug, Clone)]
 pub struct QueryScratch {
+    /// Current query epoch; `stamp[i] == epoch` means node `i`'s per-node
+    /// state is valid for this query.
+    epoch: u32,
+    stamp: Vec<u32>,
     remaining: Vec<u32>,
     eblocked: Vec<bool>,
     enqueued: Vec<bool>,
     chain_wait: Vec<bool>,
-    chain_pos: Vec<u32>,
     heap: BinaryHeap<Entry>,
     /// Nodes freed since the last flush, awaiting batch scoring.
     freed: Vec<NodeId>,
     /// Kernel output buffer, parallel to `freed` during a flush.
     scores: Vec<f64>,
+    /// Distinct nodes touched (lazily initialized) this query.
+    touched: u64,
     /// Plain-integer observability counters, flushed to the global
     /// [`drtopk_obs`] registry once per query (zero-sized when the `obs`
     /// feature is off).
@@ -227,40 +244,105 @@ pub struct QueryScratch {
 }
 
 impl QueryScratch {
-    /// Allocates scratch sized for `idx`.
+    /// Allocates scratch sized for `idx`: every per-node vector is sized
+    /// to the full node count up front, so no query ever reallocates.
     pub fn for_index(idx: &DualLayerIndex) -> Self {
-        let total = idx.len() + idx.stats().pseudo_tuples;
+        let total = idx.total_nodes();
         QueryScratch {
-            remaining: Vec::with_capacity(total),
-            eblocked: Vec::with_capacity(total),
-            enqueued: Vec::with_capacity(total),
-            chain_wait: Vec::with_capacity(total),
-            chain_pos: Vec::new(),
-            heap: BinaryHeap::new(),
-            freed: Vec::new(),
-            scores: Vec::new(),
+            epoch: 0,
+            stamp: vec![0; total],
+            remaining: vec![0; total],
+            eblocked: vec![false; total],
+            enqueued: vec![false; total],
+            chain_wait: vec![false; total],
+            heap: BinaryHeap::with_capacity(total),
+            freed: Vec::with_capacity(total),
+            scores: Vec::with_capacity(total),
+            touched: 0,
             counters: QueryCounters::new(),
         }
     }
 
-    fn reset(&mut self, idx: &DualLayerIndex) {
-        let total = idx.len() + idx.stats().pseudo_tuples;
-        self.remaining.clear();
-        self.remaining.extend_from_slice(&idx.forall_indeg);
-        self.eblocked.clear();
-        self.eblocked
-            .extend(idx.exists_indeg.iter().map(|&c| c > 0));
-        self.enqueued.clear();
-        self.enqueued.resize(total, false);
-        self.chain_wait.clear();
-        self.chain_wait.resize(total, false);
+    /// Prepares the scratch for a fresh query against `idx` in O(1):
+    /// clears the (already-drained) heap and buffers and advances the
+    /// epoch, invalidating every node's stamped state at once. Public so
+    /// benchmarks can time the reset separately from the traversal; every
+    /// query entry point calls it implicitly.
+    pub fn reset(&mut self, idx: &DualLayerIndex) {
+        let total = idx.total_nodes();
+        if self.stamp.len() != total {
+            // Scratch built for a different index size: rebind.
+            *self = QueryScratch::for_index(idx);
+        }
         self.heap.clear();
         self.freed.clear();
         self.counters.clear();
-        if idx.zero2d.is_some() {
-            self.chain_pos.clear();
-            self.chain_pos.resize(total, u32::MAX);
+        self.touched = 0;
+        if self.epoch == u32::MAX {
+            // Epoch wraparound (once per 2^32 queries): hard-clear stamps.
+            self.stamp.fill(0);
+            self.epoch = 0;
         }
+        self.epoch += 1;
+    }
+
+    /// Lazily initializes node `i`'s per-query state on first touch.
+    #[inline]
+    fn touch(&mut self, idx: &DualLayerIndex, i: usize) {
+        if self.stamp[i] != self.epoch {
+            self.stamp[i] = self.epoch;
+            self.remaining[i] = idx.forall_indeg[i];
+            self.eblocked[i] = idx.exists_indeg[i] > 0;
+            self.enqueued[i] = false;
+            self.chain_wait[i] = idx.chain_pos_of.get(i).is_some_and(|&p| p != u32::MAX);
+            self.touched += 1;
+        }
+    }
+
+    /// Marks a node as freed (deduplicated, cost-ticked); it is scored and
+    /// pushed by the next [`QueryScratch::flush_freed`].
+    fn mark_freed(&mut self, idx: &DualLayerIndex, node: NodeId, cost: &mut Cost) {
+        self.touch(idx, node as usize);
+        if self.enqueued[node as usize] {
+            return;
+        }
+        self.enqueued[node as usize] = true;
+        if idx.is_real(node) {
+            cost.tick();
+        } else {
+            cost.tick_pseudo();
+        }
+        self.freed.push(node);
+    }
+
+    /// Scores all marked nodes in one columnar kernel call and pushes them
+    /// onto the queue. The kernel's scores are bit-identical to
+    /// [`Weights::score`], so heap ordering is unchanged versus per-node
+    /// scoring.
+    fn flush_freed(&mut self, idx: &DualLayerIndex, w: &Weights) {
+        if self.freed.is_empty() {
+            return;
+        }
+        self.counters.heap_pushed(self.freed.len() as u64);
+        self.counters.kernel_block(self.freed.len() as u64);
+        idx.columns.score_block(w, &self.freed, &mut self.scores);
+        for i in 0..self.freed.len() {
+            let node = self.freed[i];
+            self.heap.push(Entry {
+                score: self.scores[i],
+                real: idx.is_real(node),
+                node,
+                orig: idx.node_orig[node as usize],
+            });
+        }
+        self.freed.clear();
+    }
+
+    /// Records the touched-node count and flushes the per-query counter
+    /// block to the global registry.
+    fn flush_counters(&mut self) {
+        self.counters.scratch_touched(self.touched);
+        self.counters.flush();
     }
 }
 
@@ -364,103 +446,90 @@ impl DualLayerIndex {
 
     /// Resets scratch, applies the 2-d chain gating for `w`, and seeds the
     /// queue with every initially-free node.
+    ///
+    /// Chain members *wait* by default (their lazy-initialized state says
+    /// so), so seeding only has to touch the one weight-range seed — the
+    /// per-query chain setup is O(1), not O(|chain|).
     fn seed_queue(&self, w: &Weights, scratch: &mut QueryScratch, cost: &mut Cost) {
         assert_eq!(w.dims(), self.dims(), "weight dimensionality mismatch");
         scratch.reset(self);
-        let QueryScratch {
-            enqueued,
-            chain_wait,
-            chain_pos,
-            heap,
-            freed,
-            scores,
-            counters,
-            ..
-        } = scratch;
-        // Chain gating for the exact 2-d zero layer: all chain members
-        // except the weight-range seed wait for a chain neighbor to pop.
         let mut chain_seed = None;
         if let Some(z) = &self.zero2d {
-            for (pos, &t) in z.chain.iter().enumerate() {
-                chain_wait[t as usize] = true;
-                chain_pos[t as usize] = pos as u32;
-            }
-            let seed = z.chain[z.select(w)] as NodeId;
-            chain_wait[seed as usize] = false;
+            let seed = self.chain_internal[z.select(w)];
+            scratch.touch(self, seed as usize);
+            scratch.chain_wait[seed as usize] = false;
             chain_seed = Some(seed);
         }
         for &s in &self.seeds {
-            mark_freed(self, s, freed, enqueued, cost);
+            scratch.mark_freed(self, s, cost);
         }
         if let Some(seed) = chain_seed {
-            mark_freed(self, seed, freed, enqueued, cost);
+            scratch.mark_freed(self, seed, cost);
         }
-        flush_freed(self, w, heap, freed, scores, counters);
+        scratch.flush_freed(self, w);
+    }
+
+    /// Frees the chain member at `pos` if it was only chain-gated.
+    fn free_chain_neighbor(&self, scratch: &mut QueryScratch, pos: usize, cost: &mut Cost) {
+        let nb = self.chain_internal[pos];
+        scratch.touch(self, nb as usize);
+        if scratch.chain_wait[nb as usize] {
+            scratch.chain_wait[nb as usize] = false;
+            if scratch.remaining[nb as usize] == 0 && !scratch.eblocked[nb as usize] {
+                scratch.mark_freed(self, nb, cost);
+            }
+        }
     }
 
     /// Pops the minimum-key free node and relaxes its out-edges, possibly
     /// scoring and enqueueing newly free nodes. `None` when the queue is
     /// exhausted.
     fn pop_relax(&self, w: &Weights, scratch: &mut QueryScratch, cost: &mut Cost) -> Option<Entry> {
-        let QueryScratch {
-            remaining,
-            eblocked,
-            enqueued,
-            chain_wait,
-            chain_pos,
-            heap,
-            freed,
-            scores,
-            counters,
-        } = scratch;
-        let entry = heap.pop()?;
+        let entry = scratch.heap.pop()?;
         let node = entry.node;
         // Relaxation only *marks* newly free nodes; they are scored in one
         // kernel call and pushed at the end of the pop. The heap order is
         // total and `enqueued` dedups at mark time, so deferring the pushes
         // to the pop boundary leaves the pop sequence (and therefore ids
         // and cost) identical to immediate insertion.
+        let (fo, eo) = self.arena.both(node);
         // Relax ∀ out-edges: a target needs *all* dominators popped.
-        counters.forall_relaxed(self.forall.out(node).len() as u64);
-        for &t in self.forall.out(node) {
-            remaining[t as usize] -= 1;
-            if remaining[t as usize] == 0 && !eblocked[t as usize] && !chain_wait[t as usize] {
-                mark_freed(self, t, freed, enqueued, cost);
+        scratch.counters.forall_relaxed(fo.len() as u64);
+        for &t in fo {
+            scratch.touch(self, t as usize);
+            scratch.remaining[t as usize] -= 1;
+            if scratch.remaining[t as usize] == 0
+                && !scratch.eblocked[t as usize]
+                && !scratch.chain_wait[t as usize]
+            {
+                scratch.mark_freed(self, t, cost);
             }
         }
         // Relax ∃ out-edges: a target needs *any* EDS member popped.
-        counters.exists_relaxed(self.exists.out(node).len() as u64);
-        for &t in self.exists.out(node) {
-            if eblocked[t as usize] {
-                eblocked[t as usize] = false;
-                if remaining[t as usize] == 0 && !chain_wait[t as usize] {
-                    mark_freed(self, t, freed, enqueued, cost);
+        scratch.counters.exists_relaxed(eo.len() as u64);
+        for &t in eo {
+            scratch.touch(self, t as usize);
+            if scratch.eblocked[t as usize] {
+                scratch.eblocked[t as usize] = false;
+                if scratch.remaining[t as usize] == 0 && !scratch.chain_wait[t as usize] {
+                    scratch.mark_freed(self, t, cost);
                 }
             }
         }
         // Chain expansion (2-d zero layer): free adjacent chain nodes.
-        if let Some(z) = &self.zero2d {
-            let pos = chain_pos[node as usize];
+        if !self.chain_pos_of.is_empty() {
+            let pos = self.chain_pos_of[node as usize];
             if pos != u32::MAX {
                 let pos = pos as usize;
-                let mut free_neighbor = |p: usize, freed: &mut Vec<NodeId>| {
-                    let nb = z.chain[p] as usize;
-                    if chain_wait[nb] {
-                        chain_wait[nb] = false;
-                        if remaining[nb] == 0 && !eblocked[nb] {
-                            mark_freed(self, nb as NodeId, freed, enqueued, cost);
-                        }
-                    }
-                };
                 if pos > 0 {
-                    free_neighbor(pos - 1, freed);
+                    self.free_chain_neighbor(scratch, pos - 1, cost);
                 }
-                if pos + 1 < z.chain.len() {
-                    free_neighbor(pos + 1, freed);
+                if pos + 1 < self.chain_internal.len() {
+                    self.free_chain_neighbor(scratch, pos + 1, cost);
                 }
             }
         }
-        flush_freed(self, w, heap, freed, scores, counters);
+        scratch.flush_freed(self, w);
         Some(entry)
     }
 
@@ -528,7 +597,7 @@ impl DualLayerIndex {
         let span = QuerySpan::start();
         self.seed_queue(w, scratch, &mut cost);
         if let Some(t) = trace.as_deref_mut() {
-            let mut s: Vec<NodeId> = scratch.heap.iter().map(|e| e.node).collect();
+            let mut s: Vec<NodeId> = scratch.heap.iter().map(|e| e.orig).collect();
             s.sort_unstable();
             t.seeds = s;
         }
@@ -558,70 +627,22 @@ impl DualLayerIndex {
                 break;
             };
             if entry.real {
-                ids.push(entry.node as TupleId);
+                ids.push(entry.orig as TupleId);
             }
             if let Some(t) = trace.as_deref_mut() {
                 let mut q: Vec<Entry> = scratch.heap.iter().copied().collect();
                 q.sort_by(|a, b| b.cmp(a)); // Entry::cmp is reversed; re-reverse for pop order
                 t.steps.push(TraceStep {
-                    popped: entry.node,
-                    queue_after: q.into_iter().map(|e| e.node).collect(),
+                    popped: entry.orig,
+                    queue_after: q.into_iter().map(|e| e.orig).collect(),
                     answers_after: ids.clone(),
                 });
             }
         }
-        scratch.counters.flush();
+        scratch.flush_counters();
         span.finish(cost.evaluated, cost.pseudo_evaluated);
         (TopkResult { ids, cost }, truncated)
     }
-}
-
-/// Marks a node as freed (deduplicated, cost-ticked); it is scored and
-/// pushed by the next [`flush_freed`].
-fn mark_freed(
-    idx: &DualLayerIndex,
-    node: NodeId,
-    freed: &mut Vec<NodeId>,
-    enqueued: &mut [bool],
-    cost: &mut Cost,
-) {
-    if enqueued[node as usize] {
-        return;
-    }
-    enqueued[node as usize] = true;
-    if idx.is_real(node) {
-        cost.tick();
-    } else {
-        cost.tick_pseudo();
-    }
-    freed.push(node);
-}
-
-/// Scores all marked nodes in one columnar kernel call and pushes them
-/// onto the queue. The kernel's scores are bit-identical to
-/// [`Weights::score`], so heap ordering is unchanged versus per-node
-/// scoring.
-fn flush_freed(
-    idx: &DualLayerIndex,
-    w: &Weights,
-    heap: &mut BinaryHeap<Entry>,
-    freed: &mut Vec<NodeId>,
-    scores: &mut Vec<f64>,
-    counters: &mut QueryCounters,
-) {
-    if freed.is_empty() {
-        return;
-    }
-    counters.heap_pushed(freed.len() as u64);
-    idx.columns.score_block(w, freed, scores);
-    for (&node, &score) in freed.iter().zip(scores.iter()) {
-        heap.push(Entry {
-            score,
-            real: idx.is_real(node),
-            node,
-        });
-    }
-    freed.clear();
 }
 
 /// A lazily-evaluated top-k traversal: yields `(tuple id, score)` pairs in
@@ -685,7 +706,7 @@ impl<'a> TopkCursor<'a> {
 
 impl Drop for TopkCursor<'_> {
     fn drop(&mut self) {
-        self.scratch.counters.flush();
+        self.scratch.flush_counters();
         if let Some(span) = self.span.take() {
             span.finish(self.cost.evaluated, self.cost.pseudo_evaluated);
         }
@@ -701,7 +722,7 @@ impl Iterator for TopkCursor<'_> {
                 .idx
                 .pop_relax(&self.w, &mut self.scratch, &mut self.cost)?;
             if entry.real {
-                return Some((entry.node as TupleId, entry.score));
+                return Some((entry.orig as TupleId, entry.score));
             }
         }
     }
@@ -718,32 +739,38 @@ mod tests {
 
     #[test]
     fn entry_ordering() {
+        // `orig` is the tie-break key; `node` is deliberately scrambled to
+        // check the internal id plays no part in the ordering.
         let a = Entry {
             score: 0.5,
             real: true,
-            node: 1,
+            node: 30,
+            orig: 1,
         };
         let b = Entry {
             score: 0.4,
             real: true,
-            node: 9,
+            node: 0,
+            orig: 9,
         };
         let c = Entry {
             score: 0.5,
             real: false,
-            node: 7,
+            node: 99,
+            orig: 7,
         };
         let d = Entry {
             score: 0.5,
             real: true,
-            node: 0,
+            node: 50,
+            orig: 0,
         };
         let mut h = BinaryHeap::from(vec![a, b, c, d]);
-        // Min score first; tie: pseudo before real; tie: lower id first.
-        assert_eq!(h.pop().unwrap().node, 9);
-        assert_eq!(h.pop().unwrap().node, 7);
-        assert_eq!(h.pop().unwrap().node, 0);
-        assert_eq!(h.pop().unwrap().node, 1);
+        // Min score first; tie: pseudo before real; tie: lower orig first.
+        assert_eq!(h.pop().unwrap().orig, 9);
+        assert_eq!(h.pop().unwrap().orig, 7);
+        assert_eq!(h.pop().unwrap().orig, 0);
+        assert_eq!(h.pop().unwrap().orig, 1);
     }
 
     #[test]
@@ -1010,6 +1037,14 @@ mod tests {
         assert!(after.zero_probes > before.zero_probes);
         assert!(after.query_cost.count() > before.query_cost.count());
         assert!(after.query_latency_ns.count() > before.query_latency_ns.count());
+        // The epoch scratch reports how many nodes the query lazily
+        // initialized, and the scoring kernel its block sizes.
+        assert!(after.scratch_touched.count() > before.scratch_touched.count());
+        assert!(after.kernel_block_tuples.count() > before.kernel_block_tuples.count());
+        assert!(
+            after.kernel_block_tuples.mean() >= 1.0,
+            "blocks hold at least one tuple"
+        );
     }
 
     #[test]

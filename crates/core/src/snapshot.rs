@@ -5,10 +5,10 @@
 //! (index construction is the expensive part — Table IV). Round-tripping
 //! through a snapshot reproduces the index exactly, including query costs.
 
-use crate::index::{CoarseLayer, Csr, DualLayerIndex, IndexStats, NodeId};
+use crate::index::{CoarseLayer, DualLayerIndex, NodeId};
 use crate::options::DlOptions;
 use crate::zero::Zero2d;
-use drtopk_common::{Columns, Error, Relation, TupleId};
+use drtopk_common::{Error, Relation, TupleId};
 
 /// Flat, public representation of a built index.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,6 +35,11 @@ pub struct IndexSnapshot {
     pub split_fine: bool,
     /// Build option recorded for provenance: the fine sublayer cap.
     pub max_fine_layers: usize,
+    /// Traversal-order node permutation (`perm[original] = internal`).
+    /// Purely derived from the layer structure; persisted so loaders can
+    /// cross-check the layout and older snapshots (empty vector) still
+    /// load — the permutation is then recomputed.
+    pub node_perm: Vec<NodeId>,
 }
 
 impl IndexSnapshot {
@@ -98,16 +103,21 @@ impl DualLayerIndex {
                 fine_layers.push((ci as u32, fi as u32, f.clone()));
             }
         }
+        // Edges are stored in public (original-id) space, canonically
+        // sorted by (source, target) — a representation independent of the
+        // in-memory traversal ordering.
         let mut forall_edges = Vec::new();
         let mut exists_edges = Vec::new();
         for s in 0..total as NodeId {
-            for &t in self.forall_out(s) {
+            for t in self.forall_out(s) {
                 forall_edges.push((s, t));
             }
-            for &t in self.exists_out(s) {
+            for t in self.exists_out(s) {
                 exists_edges.push((s, t));
             }
         }
+        forall_edges.sort_unstable();
+        exists_edges.sort_unstable();
         IndexSnapshot {
             dims: self.dims(),
             data: self.relation().flat().to_vec(),
@@ -123,6 +133,7 @@ impl DualLayerIndex {
                 .unwrap_or_default(),
             split_fine: self.options().split_fine,
             max_fine_layers: self.options().max_fine_layers,
+            node_perm: self.node_permutation().to_vec(),
         }
     }
 
@@ -196,11 +207,6 @@ impl DualLayerIndex {
                 return Err(Error::EmptyQuery("pseudo_fine index out of range".into()));
             }
         }
-        let mut fe = snap.forall_edges.clone();
-        let mut ee = snap.exists_edges.clone();
-        let (forall, forall_indeg) = Csr::from_edges(total, &mut fe);
-        let (exists, exists_indeg) = Csr::from_edges(total, &mut ee);
-
         let zero2d = match &snap.zero2d_chain {
             Some(chain) => {
                 if chain.iter().any(|&t| t as usize >= n) {
@@ -226,63 +232,33 @@ impl DualLayerIndex {
             None => None,
         };
 
-        // Recompute seeds exactly as the builder does.
-        let chain_member: Vec<bool> = {
-            let mut v = vec![false; total];
-            if let Some(z) = &zero2d {
-                for &c in &z.chain {
-                    v[c as usize] = true;
-                }
-            }
-            v
-        };
-        let mut seeds: Vec<NodeId> = Vec::new();
-        for node in 0..total as NodeId {
-            if forall_indeg[node as usize] == 0
-                && exists_indeg[node as usize] == 0
-                && !chain_member[node as usize]
-            {
-                seeds.push(node);
-            }
-        }
-
         let opts = DlOptions {
             split_fine: snap.split_fine,
             max_fine_layers: snap.max_fine_layers,
             ..DlOptions::default()
         };
-        let stats = IndexStats {
-            n,
-            dims: snap.dims,
-            coarse_layers: layers.len(),
-            fine_layers: layers.iter().map(|l| l.fine.len()).sum(),
-            forall_edges: forall.edge_count(),
-            exists_edges: exists.edge_count(),
-            pseudo_tuples: pseudo_count,
-            seeds: seeds.len(),
-            first_layer_size: layers.first().map_or(0, |l| l.len()),
-            first_fine_size: layers
-                .first()
-                .and_then(|l| l.fine.first())
-                .map_or(0, |f| f.len()),
-        };
-        let columns = Columns::from_relation_with_extra(&rel, &snap.pseudo);
-        Ok(DualLayerIndex {
-            rel,
+        // The shared assembly path recomputes the traversal ordering, the
+        // edge arena, seeds, and stats exactly as a fresh build would.
+        let idx = crate::assemble::assemble(
+            &rel,
             opts,
             layers,
-            forall,
-            forall_indeg,
-            exists,
-            exists_indeg,
-            pseudo: snap.pseudo.clone(),
+            &snap.forall_edges,
+            &snap.exists_edges,
+            snap.pseudo.clone(),
             pseudo_count,
-            pseudo_fine: snap.pseudo_fine.clone(),
+            snap.pseudo_fine.clone(),
             zero2d,
-            seeds,
-            columns,
-            stats,
-        })
+        );
+        // Cross-check a stored permutation (empty = pre-layout snapshot,
+        // nothing to check): a mismatch means the snapshot's structure and
+        // its recorded layout disagree, i.e. corruption.
+        if !snap.node_perm.is_empty() && snap.node_perm != *idx.node_permutation() {
+            return Err(Error::Invalid(
+                "stored node permutation does not match the snapshot's layer structure".into(),
+            ));
+        }
+        Ok(idx)
     }
 }
 

@@ -63,7 +63,7 @@ pub fn verify_edges(idx: &DualLayerIndex) {
     let mut forall_in = vec![0u32; total];
     let mut exists_in = vec![0u32; total];
     for s in 0..total as NodeId {
-        for &t in idx.forall_out(s) {
+        for t in idx.forall_out(s) {
             let sc = idx.node_coords(s);
             let tc = idx.node_coords(t);
             if idx.is_real(s) {
@@ -76,7 +76,7 @@ pub fn verify_edges(idx: &DualLayerIndex) {
             }
             forall_in[t as usize] += 1;
         }
-        for &t in idx.exists_out(s) {
+        for t in idx.exists_out(s) {
             exists_in[t as usize] += 1;
         }
     }

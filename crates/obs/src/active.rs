@@ -104,6 +104,17 @@ impl LogHistogram {
         }
     }
 
+    /// Merges a locally-bucketed batch of observations in one pass (used
+    /// by [`QueryCounters::flush`] so the hot path never touches atomics).
+    fn merge_counts(&self, counts: &[u64; HIST_BUCKETS], sum: u64) {
+        for (b, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                self.buckets[b].fetch_add(c, Relaxed);
+            }
+        }
+        self.sum.fetch_add(sum, Relaxed);
+    }
+
     fn reset(&self) {
         for b in &self.buckets {
             b.store(0, Relaxed);
@@ -152,6 +163,8 @@ pub struct MetricsRegistry {
     dynamic_buffer_scanned: ShardedCounter,
     query_latency_ns: LogHistogram,
     query_cost: LogHistogram,
+    scratch_touched: LogHistogram,
+    kernel_block_tuples: LogHistogram,
 }
 
 static REGISTRY: MetricsRegistry = MetricsRegistry::new();
@@ -181,6 +194,8 @@ impl MetricsRegistry {
             dynamic_buffer_scanned: ShardedCounter::new(),
             query_latency_ns: LogHistogram::new(),
             query_cost: LogHistogram::new(),
+            scratch_touched: LogHistogram::new(),
+            kernel_block_tuples: LogHistogram::new(),
         }
     }
 
@@ -272,6 +287,8 @@ impl MetricsRegistry {
             dynamic_buffer_scanned: self.dynamic_buffer_scanned.get(),
             query_latency_ns: self.query_latency_ns.snapshot(),
             query_cost: self.query_cost.snapshot(),
+            scratch_touched: self.scratch_touched.snapshot(),
+            kernel_block_tuples: self.kernel_block_tuples.snapshot(),
         }
     }
 
@@ -294,18 +311,38 @@ impl MetricsRegistry {
         self.dynamic_buffer_scanned.reset();
         self.query_latency_ns.reset();
         self.query_cost.reset();
+        self.scratch_touched.reset();
+        self.kernel_block_tuples.reset();
     }
 }
 
 /// Per-query counter block living inside the traversal's scratch memory.
 /// The hot path bumps plain integers (no atomics); [`QueryCounters::flush`]
 /// moves the totals into the registry in one burst — at most once per
-/// query — so per-tuple recording costs a non-atomic add.
-#[derive(Debug, Clone, Default)]
+/// query — so per-tuple recording costs a non-atomic add. Kernel block
+/// sizes are bucketed locally for the same reason and merged into the
+/// registry histogram at flush time.
+#[derive(Debug, Clone)]
 pub struct QueryCounters {
     forall: u64,
     exists: u64,
     pushes: u64,
+    touched: u64,
+    kernel_buckets: [u64; HIST_BUCKETS],
+    kernel_sum: u64,
+}
+
+impl Default for QueryCounters {
+    fn default() -> Self {
+        QueryCounters {
+            forall: 0,
+            exists: 0,
+            pushes: 0,
+            touched: 0,
+            kernel_buckets: [0; HIST_BUCKETS],
+            kernel_sum: 0,
+        }
+    }
 }
 
 impl QueryCounters {
@@ -332,6 +369,21 @@ impl QueryCounters {
         self.pushes += n;
     }
 
+    /// One scoring-kernel invocation over a block of `n` tuples.
+    #[inline]
+    pub fn kernel_block(&mut self, n: u64) {
+        let b = (64 - n.leading_zeros()) as usize;
+        self.kernel_buckets[b] += 1;
+        self.kernel_sum += n;
+    }
+
+    /// Final count of scratch nodes lazily initialized by this query
+    /// (recorded as one histogram observation at flush).
+    #[inline]
+    pub fn scratch_touched(&mut self, n: u64) {
+        self.touched = n;
+    }
+
     /// Zeroes the block without flushing (query start / scratch reset).
     #[inline]
     pub fn clear(&mut self) {
@@ -355,6 +407,13 @@ impl QueryCounters {
         }
         if self.pushes > 0 {
             m.heap_pushes.add(self.pushes);
+        }
+        if self.kernel_sum > 0 {
+            m.kernel_block_tuples
+                .merge_counts(&self.kernel_buckets, self.kernel_sum);
+        }
+        if self.touched > 0 {
+            m.scratch_touched.record(self.touched);
         }
         self.clear();
     }

@@ -89,6 +89,14 @@ impl QueryCounters {
 
     /// No-op.
     #[inline]
+    pub fn kernel_block(&mut self, _n: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn scratch_touched(&mut self, _n: u64) {}
+
+    /// No-op.
+    #[inline]
     pub fn clear(&mut self) {}
 
     /// No-op.

@@ -191,6 +191,12 @@ pub struct MetricsSnapshot {
     pub query_latency_ns: HistogramSnapshot,
     /// Per-query paper cost (Definition 9 total, real + pseudo).
     pub query_cost: HistogramSnapshot,
+    /// Per-query count of scratch nodes lazily initialized (the
+    /// epoch-versioned scratch's O(touched) setup work).
+    pub scratch_touched: HistogramSnapshot,
+    /// Tuples per scoring-kernel invocation (columnar block sizes on the
+    /// query hot path).
+    pub kernel_block_tuples: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -291,6 +297,13 @@ impl MetricsSnapshot {
         out.push_str(",\n");
         let _ = write!(out, "{pad}  \"query_cost\": ");
         self.query_cost.to_json(&mut out, &format!("{pad}  "));
+        out.push_str(",\n");
+        let _ = write!(out, "{pad}  \"scratch_touched\": ");
+        self.scratch_touched.to_json(&mut out, &format!("{pad}  "));
+        out.push_str(",\n");
+        let _ = write!(out, "{pad}  \"kernel_block_tuples\": ");
+        self.kernel_block_tuples
+            .to_json(&mut out, &format!("{pad}  "));
         let _ = write!(out, "\n{pad}}}");
         out
     }
@@ -326,6 +339,18 @@ impl MetricsSnapshot {
             &mut out,
             "drtopk_query_cost_tuples",
             "Per-query tuples evaluated by F (Definition 9)",
+            1.0,
+        );
+        self.scratch_touched.to_prometheus(
+            &mut out,
+            "drtopk_scratch_touched_nodes",
+            "Per-query scratch nodes lazily initialized",
+            1.0,
+        );
+        self.kernel_block_tuples.to_prometheus(
+            &mut out,
+            "drtopk_kernel_block_tuples",
+            "Tuples per scoring-kernel block",
             1.0,
         );
         out

@@ -23,8 +23,10 @@ use std::io::Write;
 use std::path::Path;
 
 const MAGIC_RELATION: &[u8; 8] = b"DRTOPK\x01\x01";
-const MAGIC_INDEX: &[u8; 8] = b"DRTOPK\x02\x01";
-const MAGIC_DYNAMIC: &[u8; 8] = b"DRTOPK\x03\x01";
+// Index/dynamic payload version 2: appends the traversal-order node
+// permutation after the zero-layer section.
+const MAGIC_INDEX: &[u8; 8] = b"DRTOPK\x02\x02";
+const MAGIC_DYNAMIC: &[u8; 8] = b"DRTOPK\x03\x02";
 
 /// Failpoint: the data an atomic write is about to place in its temp file.
 /// Mangling models a crash mid-write — the temp file holds torn bytes and
@@ -294,6 +296,7 @@ fn encode_index_payload(snap: &IndexSnapshot, p: &mut BytesMut) {
         }
         None => p.put_u8(0),
     }
+    put_u32s(p, &snap.node_perm);
 }
 
 /// Deserializes an index snapshot from bytes.
@@ -349,6 +352,7 @@ fn decode_index_payload(b: &mut Bytes) -> Result<IndexSnapshot, FormatError> {
     } else {
         (None, Vec::new())
     };
+    let node_perm = get_u32s(b)?;
     Ok(IndexSnapshot {
         dims,
         data: payload,
@@ -361,6 +365,7 @@ fn decode_index_payload(b: &mut Bytes) -> Result<IndexSnapshot, FormatError> {
         zero2d_breakpoints,
         split_fine,
         max_fine_layers,
+        node_perm,
     })
 }
 

@@ -139,7 +139,18 @@ impl WalWriter {
         valid_bytes: u64,
     ) -> Result<WalWriter, FormatError> {
         let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-        file.set_len(valid_bytes.max(HEADER_LEN))?;
+        if file.metadata()?.len() < HEADER_LEN {
+            // Torn header (crash during create): set_len would zero-pad the
+            // partial bytes into a bogus header, so rewrite it whole.
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            let mut header = Vec::with_capacity(HEADER_LEN as usize);
+            header.extend_from_slice(WAL_MAGIC);
+            header.extend_from_slice(&generation.to_le_bytes());
+            file.write_all(&header)?;
+        } else {
+            file.set_len(valid_bytes.max(HEADER_LEN))?;
+        }
         file.sync_all()?;
         file.seek(SeekFrom::End(0))?;
         Ok(WalWriter { file, generation })

@@ -13,6 +13,7 @@ fn short_header_wal_recovery() {
     // the file exists but only part of the header was written.
     let wal1 = dir.join(format!("wal.{:016}.log", 1));
     std::fs::write(&wal1, &b"DRTOPKW\x01"[..4]).unwrap(); // 4 of 16 header bytes
+
     // First recovery: should succeed (torn header on the newest WAL is
     // documented as recoverable).
     let (mut store, report) =

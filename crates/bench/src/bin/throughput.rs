@@ -26,6 +26,13 @@
 //!   reset cost independent of `n` and traversal cost tracking the touched
 //!   prefix, not the relation.
 //!
+//! * result cache under repetition: a Zipf-distributed workload drawn
+//!   from a small weight pool (`--zipf-pool`) replays at each requested
+//!   skew (`--zipf-skews`), once uncached and once through a
+//!   [`drtopk_core::ResultCache`]; answers must stay bit-identical, and
+//!   the report records hit rate, cached/uncached p50, hit-path p50 and
+//!   QPS per skew under `zipf_cache`.
+//!
 //! Results land in a JSON file (default `BENCH_throughput.json`), one
 //! object per cell, plus host metadata (`available_parallelism`) so
 //! numbers from different machines are never compared blindly.
@@ -35,12 +42,13 @@
 //! ```text
 //! throughput [--n 100000[,N...]] [--d 3[,...]] [--k 10[,...]]
 //!            [--threads 1,2,4] [--queries 1000] [--out FILE] [--min-qps F]
+//!            [--zipf-pool P] [--zipf-skews 0.5,1.0,1.5]
 //! ```
 
 use drtopk_bench::json::Value;
 use drtopk_bench::{dataset, query_weights};
-use drtopk_common::Distribution;
-use drtopk_core::{BatchExecutor, DlOptions, DualLayerIndex};
+use drtopk_common::{Distribution, ZipfWeightWorkload};
+use drtopk_core::{BatchExecutor, DlOptions, DualLayerIndex, ResultCache};
 use std::time::Instant;
 
 struct Config {
@@ -53,6 +61,10 @@ struct Config {
     /// Fail (exit 1) if any cell's single-thread QPS lands below this
     /// floor — the CI perf-smoke regression gate.
     min_qps: Option<f64>,
+    /// Distinct weight vectors the Zipf workload draws from.
+    zipf_pool: usize,
+    /// Zipf skew levels for the result-cache pass (0 = uniform).
+    zipf_skews: Vec<f64>,
 }
 
 impl Config {
@@ -65,6 +77,8 @@ impl Config {
             queries: 1000,
             out: "BENCH_throughput.json".to_string(),
             min_qps: None,
+            zipf_pool: 128,
+            zipf_skews: vec![0.5, 1.0, 1.5],
         };
         let mut i = 0;
         while i < args.len() {
@@ -85,12 +99,20 @@ impl Config {
                             .map_err(|_| format!("cannot parse --min-qps {val:?}"))?,
                     )
                 }
+                "--zipf-pool" => cfg.zipf_pool = parse_list(val)?[0],
+                "--zipf-skews" => cfg.zipf_skews = parse_float_list(val)?,
                 other => return Err(format!("unknown flag {other}")),
             }
             i += 2;
         }
         if cfg.queries == 0 {
             return Err("--queries must be positive".to_string());
+        }
+        if cfg.zipf_pool == 0 {
+            return Err("--zipf-pool must be positive".to_string());
+        }
+        if cfg.zipf_skews.iter().any(|s| !s.is_finite() || *s < 0.0) {
+            return Err("--zipf-skews must be finite and non-negative".to_string());
         }
         Ok(cfg)
     }
@@ -101,6 +123,14 @@ fn parse_list(s: &str) -> Result<Vec<usize>, String> {
     match v {
         Ok(list) if !list.is_empty() => Ok(list),
         _ => Err(format!("cannot parse list {s:?}")),
+    }
+}
+
+fn parse_float_list(s: &str) -> Result<Vec<f64>, String> {
+    let v: Result<Vec<f64>, _> = s.split(',').map(|p| p.trim().parse::<f64>()).collect();
+    match v {
+        Ok(list) if !list.is_empty() => Ok(list),
+        _ => Err(format!("cannot parse float list {s:?}")),
     }
 }
 
@@ -282,8 +312,93 @@ fn run_cell(n: usize, d: usize, k: usize, cfg: &Config) -> (Value, f64) {
         ]));
     }
 
+    // Result-cache pass: a Zipf workload over a small weight pool so
+    // queries repeat, replayed uncached (the oracle) and then through a
+    // fresh ResultCache. Ids must stay bit-identical; the report carries
+    // hit rate, cached vs uncached p50, and the hit-path p50 per skew.
+    let mut zipf_rows = Vec::new();
+    for &skew in &cfg.zipf_skews {
+        let pool = cfg.zipf_pool;
+        let zipf =
+            ZipfWeightWorkload::new(d, pool, cfg.queries, skew, 0x21BF ^ n as u64).generate();
+        // Two uncached baselines: the plain convenience API (fresh
+        // scratch per query, what a cache hit actually replaces) and the
+        // reused-scratch loop (the tightest uncached configuration).
+        let mut uncached_us = Vec::with_capacity(zipf.len());
+        let mut uncached_scratch_us = Vec::with_capacity(zipf.len());
+        let mut oracle = Vec::with_capacity(zipf.len());
+        for w in &zipf {
+            let q0 = Instant::now();
+            let r = idx.topk(w, k);
+            uncached_us.push(q0.elapsed().as_secs_f64() * 1e6);
+            oracle.push(r);
+        }
+        for (w, o) in zipf.iter().zip(&oracle) {
+            let q0 = Instant::now();
+            let r = idx.topk_with_scratch(w, k, &mut scratch);
+            uncached_scratch_us.push(q0.elapsed().as_secs_f64() * 1e6);
+            assert_eq!(r.ids, o.ids, "scratch reuse diverged at skew {skew}");
+        }
+        let cache = ResultCache::default();
+        let mut cached_us = Vec::with_capacity(zipf.len());
+        let mut hit_us = Vec::new();
+        let c_t0 = Instant::now();
+        for (w, o) in zipf.iter().zip(&oracle) {
+            let q0 = Instant::now();
+            let r = cache.topk_with_scratch(&idx, w, k, &mut scratch);
+            let us = q0.elapsed().as_secs_f64() * 1e6;
+            cached_us.push(us);
+            assert_eq!(r.ids, o.ids, "cached answers diverged at skew {skew}");
+            if r.is_hit() {
+                hit_us.push(us);
+            }
+        }
+        let cached_qps = zipf.len() as f64 / c_t0.elapsed().as_secs_f64();
+        let s = cache.stats();
+        let looked = s.hits + s.misses;
+        let hit_rate = if looked > 0 {
+            s.hits as f64 / looked as f64
+        } else {
+            0.0
+        };
+        uncached_us.sort_by(|a, b| a.total_cmp(b));
+        uncached_scratch_us.sort_by(|a, b| a.total_cmp(b));
+        cached_us.sort_by(|a, b| a.total_cmp(b));
+        hit_us.sort_by(|a, b| a.total_cmp(b));
+        let p50_uncached = percentile(&uncached_us, 0.50);
+        let p50_uncached_scratch = percentile(&uncached_scratch_us, 0.50);
+        let p50_cached = percentile(&cached_us, 0.50);
+        let hit_p50 = percentile(&hit_us, 0.50);
+        eprintln!(
+            "  zipf cache skew={skew}: {:.1}% hit rate ({} hits / {} misses, \
+             {} cert rejects), hit p50 {hit_p50:.2}µs vs uncached \
+             {p50_uncached:.2}µs plain / {p50_uncached_scratch:.2}µs \
+             reused-scratch, {cached_qps:.0} q/s cached",
+            hit_rate * 100.0,
+            s.hits,
+            s.misses,
+            s.cert_rejects
+        );
+        zipf_rows.push(Value::object([
+            ("skew", Value::float(skew)),
+            ("pool", Value::uint(pool)),
+            ("hit_rate", Value::float(hit_rate)),
+            ("hits", Value::uint(s.hits as usize)),
+            ("misses", Value::uint(s.misses as usize)),
+            ("cert_rejects", Value::uint(s.cert_rejects as usize)),
+            ("p50_us_cached", Value::float(p50_cached)),
+            ("p50_us_uncached", Value::float(p50_uncached)),
+            (
+                "p50_us_uncached_scratch",
+                Value::float(p50_uncached_scratch),
+            ),
+            ("hit_p50_us", Value::float(hit_p50)),
+            ("qps_cached", Value::float(cached_qps)),
+        ]));
+    }
+
     // Registry snapshot for this cell: the instrumented sequential pass
-    // plus every executor pass.
+    // plus every executor and cache pass.
     let snap = m.snapshot();
     let cell = Value::object([
         ("n", Value::uint(n)),
@@ -320,6 +435,7 @@ fn run_cell(n: usize, d: usize, k: usize, cfg: &Config) -> (Value, f64) {
                 ("overhead_pct_vs_plain", Value::float(guarded_overhead_pct)),
             ]),
         ),
+        ("zipf_cache", Value::Array(zipf_rows)),
         (
             "obs",
             Value::object([
@@ -367,7 +483,8 @@ fn main() {
             eprintln!("throughput: {e}");
             eprintln!(
                 "usage: throughput [--n N[,..]] [--d D[,..]] [--k K[,..]] \
-                 [--threads T[,..]] [--queries Q] [--out FILE] [--min-qps F]"
+                 [--threads T[,..]] [--queries Q] [--out FILE] [--min-qps F] \
+                 [--zipf-pool P] [--zipf-skews S[,..]]"
             );
             std::process::exit(2);
         }

@@ -21,6 +21,7 @@
 
 use drtopk_common::{
     relation_from_csv, ColumnSpec, Direction, Distribution, Weights, WorkloadSpec,
+    ZipfWeightWorkload,
 };
 use drtopk_core::{BatchExecutor, DlOptions, DualLayerIndex, ZeroMode};
 use drtopk_storage::{
@@ -107,7 +108,12 @@ impl Flags {
                 )));
             };
             // Boolean switches take no value.
-            if name == "parallel" || name == "stats" || name == "partial" || name == "checkpoint" {
+            if name == "parallel"
+                || name == "stats"
+                || name == "partial"
+                || name == "checkpoint"
+                || name == "cache"
+            {
                 switches.push(name.to_string());
                 i += 1;
                 continue;
@@ -203,10 +209,11 @@ commands:
   build     --data FILE --out FILE [--variant dl+|dl|dg|dg+] [--parallel]
             [--threads T] [--stats]
   stats     --index FILE [--format text|json|prom] [--probe N] [--seed S]
+            [--cache]
   query     --index FILE --weights W1,W2,... [--k K]
             [--deadline-ms MS] [--max-cost C] [--partial]
   batch     --index FILE --weights-file FILE [--k K] [--threads T]
-            [--deadline-ms MS] [--max-cost C] [--partial]
+            [--deadline-ms MS] [--max-cost C] [--partial] [--cache]
   recover   --dir DIR [--variant dl+|dl|dg|dg+] [--checkpoint]
   wal       --dir DIR
   help
@@ -381,17 +388,29 @@ fn stats_text(idx: &DualLayerIndex, path: &Path) -> String {
     out
 }
 
-/// Drives `n` seeded random top-k queries through `idx` so the metrics
-/// registry has live data to export (an offline stand-in for scraping a
-/// serving process).
-fn run_probes(idx: &DualLayerIndex, n: usize, seed: u64) {
+/// Drives `n` seeded top-k queries through `idx` so the metrics registry
+/// has live data to export (an offline stand-in for scraping a serving
+/// process). With a cache the probes draw from a small Zipf-skewed weight
+/// pool — repeated traffic, the shape the cache exists for — so the cache
+/// counters carry signal; without one they are independent random weights.
+fn run_probes(idx: &DualLayerIndex, n: usize, seed: u64, cache: Option<&drtopk_core::ResultCache>) {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    let mut rng = StdRng::seed_from_u64(seed);
     let mut scratch = drtopk_core::QueryScratch::for_index(idx);
-    for _ in 0..n {
-        let w = Weights::random(idx.dims(), &mut rng);
-        idx.topk_with_scratch(&w, 10, &mut scratch);
+    match cache {
+        Some(c) => {
+            let pool = 16.min(n.max(1));
+            for w in ZipfWeightWorkload::new(idx.dims(), pool, n, 1.0, seed).generate() {
+                c.topk_with_scratch(idx, &w, 10, &mut scratch);
+            }
+        }
+        None => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..n {
+                let w = Weights::random(idx.dims(), &mut rng);
+                idx.topk_with_scratch(&w, 10, &mut scratch);
+            }
+        }
     }
 }
 
@@ -463,7 +482,8 @@ fn cmd_stats(f: &Flags) -> Result<String, CliError> {
     let idx = load_index(&path).map_err(CliError::from)?;
     let probes: usize = f.parse_num("probe", 0)?;
     if probes > 0 {
-        run_probes(&idx, probes, f.parse_num("seed", 42)?);
+        let cache = f.has("cache").then(drtopk_core::ResultCache::default);
+        run_probes(&idx, probes, f.parse_num("seed", 42)?, cache.as_ref());
     }
     let snap = drtopk_obs::metrics().snapshot();
     match f.get("format").unwrap_or("text") {
@@ -503,6 +523,19 @@ fn cmd_stats(f: &Flags) -> Result<String, CliError> {
                         snap.kernel_block_tuples.mean()
                     );
                 }
+            }
+            let cache_lookups = snap.cache_hits + snap.cache_misses;
+            if cache_lookups > 0 {
+                let _ = writeln!(out, "result cache (this process)");
+                let _ = writeln!(
+                    out,
+                    "  hits / misses     {} / {} ({:.1}% hit rate)",
+                    snap.cache_hits,
+                    snap.cache_misses,
+                    100.0 * snap.cache_hits as f64 / cache_lookups as f64
+                );
+                let _ = writeln!(out, "  cert rejects      {}", snap.cache_cert_rejects);
+                let _ = writeln!(out, "  invalidations     {}", snap.cache_invalidations);
             }
             Ok(out)
         }
@@ -633,7 +666,11 @@ fn cmd_batch(f: &Flags) -> Result<String, CliError> {
         .map_err(|e| CliError::runtime(format!("{}: {e}", weights_path.display())))?;
     let queries = parse_weights_file(&text, idx.dims())?;
     let budget = parse_budget(f)?;
-    let exec = BatchExecutor::with_threads(&idx, threads);
+    let cache = f.has("cache").then(drtopk_core::ResultCache::default);
+    let mut exec = BatchExecutor::with_threads(&idx, threads);
+    if let Some(c) = &cache {
+        exec = exec.with_cache(c);
+    }
     let t0 = std::time::Instant::now();
     // The guarded path carries per-request outcomes; the plain path is
     // mapped into the same shape so one report loop serves both.
@@ -710,6 +747,18 @@ fn cmd_batch(f: &Flags) -> Result<String, CliError> {
     );
     if failed > 0 {
         let _ = writeln!(out, "{failed} queries failed; the rest are unaffected");
+    }
+    if let Some(c) = &cache {
+        let s = c.stats();
+        let lookups = s.hits + s.misses;
+        let _ = writeln!(
+            out,
+            "cache: {} hits / {} misses ({:.1}% hit rate), {} cert rejects",
+            s.hits,
+            s.misses,
+            100.0 * s.hits as f64 / lookups.max(1) as f64,
+            s.cert_rejects
+        );
     }
     Ok(out)
 }
@@ -961,6 +1010,170 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.message.contains("text|json|prom"));
+    }
+
+    /// Audit of the Prometheus exposition: every sample family — including
+    /// the new cache counters — must be preceded by both a HELP and a TYPE
+    /// line, per the text-format contract scrapers rely on.
+    #[test]
+    fn prom_output_has_help_and_type_for_every_family() {
+        let data = tmp("promaudit.data.drt");
+        let index = tmp("promaudit.index.drt");
+        run(&argv(&[
+            "generate",
+            "--dist",
+            "ant",
+            "--dims",
+            "2",
+            "--n",
+            "300",
+            "--seed",
+            "3",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            index.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let prom = run(&argv(&[
+            "stats",
+            "--index",
+            index.to_str().unwrap(),
+            "--format",
+            "prom",
+            "--probe",
+            "40",
+            "--cache",
+        ]))
+        .unwrap();
+        let mut helped: Vec<String> = Vec::new();
+        let mut typed: Vec<String> = Vec::new();
+        for line in prom.lines() {
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                helped.push(rest.split(' ').next().unwrap().to_string());
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                typed.push(rest.split(' ').next().unwrap().to_string());
+                continue;
+            }
+            let sample = line.split([' ', '{']).next().unwrap();
+            if sample.is_empty() {
+                continue;
+            }
+            // Histogram samples belong to their base family name.
+            let family = sample
+                .strip_suffix("_bucket")
+                .or_else(|| sample.strip_suffix("_sum"))
+                .or_else(|| sample.strip_suffix("_count"))
+                .unwrap_or(sample);
+            assert!(
+                helped.iter().any(|h| h == family),
+                "sample {sample:?} has no preceding HELP: {prom}"
+            );
+            assert!(
+                typed.iter().any(|t| t == family),
+                "sample {sample:?} has no preceding TYPE: {prom}"
+            );
+        }
+        for name in [
+            "drtopk_cache_hits_total",
+            "drtopk_cache_misses_total",
+            "drtopk_cache_cert_rejects_total",
+            "drtopk_cache_invalidations_total",
+        ] {
+            assert!(
+                prom.contains(&format!("# TYPE {name} counter")),
+                "{name} missing TYPE: {prom}"
+            );
+        }
+        if drtopk_obs::COMPILED {
+            // Zipf probes over a 16-weight pool must actually hit.
+            let hits: u64 = prom
+                .lines()
+                .find(|l| l.starts_with("drtopk_cache_hits_total "))
+                .and_then(|l| l.rsplit(' ').next())
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!(hits > 0, "{prom}");
+        }
+    }
+
+    #[test]
+    fn batch_with_cache_matches_uncached_answers() {
+        let data = tmp("cachebatch.data.drt");
+        let index = tmp("cachebatch.index.drt");
+        let wfile = tmp("cachebatch.weights.txt");
+        run(&argv(&[
+            "generate",
+            "--dist",
+            "ind",
+            "--dims",
+            "2",
+            "--n",
+            "250",
+            "--seed",
+            "9",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            index.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Three distinct vectors, each repeated: repeats must hit.
+        let mut lines = String::new();
+        for _ in 0..5 {
+            lines.push_str("0.3,0.7\n0.5,0.5\n0.8,0.2\n");
+        }
+        std::fs::write(&wfile, lines).unwrap();
+        let base = argv(&[
+            "batch",
+            "--index",
+            index.to_str().unwrap(),
+            "--weights-file",
+            wfile.to_str().unwrap(),
+            "--k",
+            "5",
+            "--threads",
+            "1",
+        ]);
+        let plain = run(&base).unwrap();
+        let mut with_cache = base.clone();
+        with_cache.push("--cache".into());
+        let cached = run(&with_cache).unwrap();
+        for (p, c) in plain.lines().zip(cached.lines()) {
+            if p.starts_with("query ") {
+                // Same answers; costs may differ (hit semantics).
+                let strip = |l: &str| l.split('[').nth(1).map(|s| s.to_string());
+                assert_eq!(strip(p), strip(c), "plain: {p}\ncached: {c}");
+            }
+        }
+        let summary = cached
+            .lines()
+            .find(|l| l.starts_with("cache: "))
+            .expect("cache summary line");
+        let hits: u64 = summary
+            .strip_prefix("cache: ")
+            .unwrap()
+            .split(' ')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(hits >= 12, "repeated weights must hit: {summary}");
     }
 
     #[test]

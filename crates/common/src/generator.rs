@@ -8,6 +8,7 @@
 //! paper requires.
 
 use crate::relation::Relation;
+use crate::weights::Weights;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -184,6 +185,84 @@ fn anti_correlated_row<R: Rng + ?Sized>(row: &mut [f64], rng: &mut R) {
     }
 }
 
+/// Specification of a seeded, Zipf-repeated *weight* workload: `queries`
+/// draws over a fixed pool of `pool` distinct random weight vectors whose
+/// popularity follows a Zipf law with exponent `skew` (rank `r` has mass
+/// ∝ `1/(r+1)^skew`; `skew = 0` is uniform popularity).
+///
+/// Real top-k traffic repeats heavily in weight space — the same ranking
+/// preferences arrive again and again — which is exactly the regime a
+/// weight-space result cache exploits. This generator is the shared source
+/// of that traffic shape for the throughput bench and the cache tests, so
+/// both measure the same distribution. Generation is fully deterministic
+/// per spec.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfWeightWorkload {
+    /// Weight-vector dimensionality.
+    pub dims: usize,
+    /// Number of distinct weight vectors in the pool.
+    pub pool: usize,
+    /// Number of queries to draw.
+    pub queries: usize,
+    /// Zipf exponent (`0` = uniform popularity; `1` is the classic law).
+    pub skew: f64,
+    /// RNG seed; equal specs generate equal workloads.
+    pub seed: u64,
+}
+
+impl ZipfWeightWorkload {
+    /// Bundles the five generation parameters into a spec.
+    pub fn new(dims: usize, pool: usize, queries: usize, skew: f64, seed: u64) -> Self {
+        ZipfWeightWorkload {
+            dims,
+            pool,
+            queries,
+            skew,
+            seed,
+        }
+    }
+
+    /// The weight pool alone (rank 0 is the most popular vector).
+    pub fn pool_weights(&self) -> Vec<Weights> {
+        assert!(self.dims >= 1, "dims must be >= 1");
+        assert!(self.pool >= 1, "pool must be >= 1");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        (0..self.pool)
+            .map(|_| Weights::random(self.dims, &mut rng))
+            .collect()
+    }
+
+    /// Generates the query sequence by CDF-inverting the Zipf popularity
+    /// law over the pool.
+    pub fn generate(&self) -> Vec<Weights> {
+        assert!(
+            self.skew.is_finite() && self.skew >= 0.0,
+            "skew must be finite and non-negative"
+        );
+        let pool = self.pool_weights();
+        // Cumulative Zipf mass, normalized to end exactly at 1.
+        let mut cdf = Vec::with_capacity(pool.len());
+        let mut acc = 0.0f64;
+        for r in 0..pool.len() {
+            acc += 1.0 / ((r + 1) as f64).powf(self.skew);
+            cdf.push(acc);
+        }
+        for c in &mut cdf {
+            *c /= acc;
+        }
+        // The draw sequence gets its own stream derived from the same
+        // seed, so changing `queries` never perturbs the pool itself.
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5A1F_C0DE);
+        (0..self.queries)
+            .map(|_| {
+                let u: f64 = rng.gen();
+                let rank = cdf.partition_point(|&c| c < u).min(pool.len() - 1);
+                pool[rank].clone()
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +333,46 @@ mod tests {
         assert!(ci.abs() < 0.1, "IND corr {ci}");
         assert!(ca < -0.2, "ANT corr {ca}");
         assert!(cc > 0.5, "COR corr {cc}");
+    }
+
+    #[test]
+    fn zipf_weight_workload_is_deterministic_and_pool_bounded() {
+        let spec = ZipfWeightWorkload::new(3, 16, 500, 1.0, 9);
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b, "equal specs must generate equal workloads");
+        assert_eq!(a.len(), 500);
+        let pool = spec.pool_weights();
+        assert_eq!(pool.len(), 16);
+        for w in &a {
+            assert!(pool.contains(w), "every draw comes from the pool");
+        }
+        let other = ZipfWeightWorkload::new(3, 16, 500, 1.0, 10).generate();
+        assert_ne!(a, other, "different seeds diverge");
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_mass_on_top_ranks() {
+        let count_top = |skew: f64| {
+            let spec = ZipfWeightWorkload::new(2, 32, 2000, skew, 7);
+            let pool = spec.pool_weights();
+            spec.generate().iter().filter(|w| **w == pool[0]).count()
+        };
+        let uniform = count_top(0.0);
+        let skewed = count_top(1.5);
+        // Uniform popularity gives rank 0 about 1/32 of the draws; skew
+        // 1.5 gives it the lion's share.
+        assert!(uniform < 150, "uniform top-rank count {uniform}");
+        assert!(skewed > 500, "skewed top-rank count {skewed}");
+    }
+
+    #[test]
+    fn zipf_pool_growth_is_a_prefix() {
+        // Pool generation draws sequentially from one stream, so a larger
+        // pool extends a smaller one.
+        let small = ZipfWeightWorkload::new(3, 8, 1, 1.0, 3).pool_weights();
+        let large = ZipfWeightWorkload::new(3, 12, 1, 1.0, 3).pool_weights();
+        assert_eq!(&large[..8], &small[..]);
     }
 
     #[test]

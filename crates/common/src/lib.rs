@@ -24,7 +24,7 @@ pub use columns::Columns;
 pub use cost::Cost;
 pub use dominance::{dominates, dominates_eq, DomOrd};
 pub use error::Error;
-pub use generator::{Distribution, WorkloadSpec};
+pub use generator::{Distribution, WorkloadSpec, ZipfWeightWorkload};
 pub use ingest::{relation_from_csv, ColumnSpec, Direction, Normalizer};
 pub use oracle::topk_bruteforce;
 pub use relation::{Relation, TupleId};

@@ -13,6 +13,7 @@
 //! deterministic, so the thread count can only change wall-clock time,
 //! never answers or costs.
 
+use crate::cache::ResultCache;
 use crate::index::DualLayerIndex;
 use crate::par::{parallel_map_chunked, resolve_workers_chunked};
 use crate::query::{GuardedTopk, QueryBudget, QueryScratch, TopkResult};
@@ -76,17 +77,36 @@ const MIN_REQUESTS_PER_WORKER: usize = 8;
 pub struct BatchExecutor<'a> {
     idx: &'a DualLayerIndex,
     threads: usize,
+    cache: Option<&'a ResultCache>,
 }
 
 impl<'a> BatchExecutor<'a> {
     /// An executor that uses all available cores.
     pub fn new(idx: &'a DualLayerIndex) -> Self {
-        BatchExecutor { idx, threads: 0 }
+        BatchExecutor {
+            idx,
+            threads: 0,
+            cache: None,
+        }
     }
 
     /// An executor with an explicit thread count (`0` = all cores).
     pub fn with_threads(idx: &'a DualLayerIndex, threads: usize) -> Self {
-        BatchExecutor { idx, threads }
+        BatchExecutor {
+            idx,
+            threads,
+            cache: None,
+        }
+    }
+
+    /// Routes this executor's queries through a shared [`ResultCache`].
+    /// All workers consult and fill the same cache concurrently (its
+    /// sharded locks keep the hit path read-mostly); ids stay
+    /// bit-identical to the uncached run, costs follow the cache's
+    /// documented hit/miss semantics.
+    pub fn with_cache(mut self, cache: &'a ResultCache) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// The thread count this executor would use for a batch of `requests`
@@ -104,13 +124,17 @@ impl<'a> BatchExecutor<'a> {
     /// index's.
     pub fn run(&self, requests: &[(Weights, usize)]) -> Vec<TopkResult> {
         let idx = self.idx;
+        let cache = self.cache;
         drtopk_obs::metrics().batch_enqueue(requests.len() as u64);
         let out = parallel_map_chunked(
             requests,
             self.threads,
             MIN_REQUESTS_PER_WORKER,
             &|| QueryScratch::for_index(idx),
-            &|scratch, (w, k)| idx.topk_with_scratch(w, *k, scratch),
+            &|scratch, (w, k)| match cache {
+                Some(c) => c.topk_with_scratch(idx, w, *k, scratch).into_result(),
+                None => idx.topk_with_scratch(w, *k, scratch),
+            },
         );
         drtopk_obs::metrics().batch_drain(out.len() as u64);
         out
@@ -135,12 +159,20 @@ impl<'a> BatchExecutor<'a> {
     /// A worker whose request panicked rebuilds its pooled scratch before
     /// the next request: the panic may have unwound mid-update, and a
     /// fresh scratch is the only state guaranteed clean.
+    ///
+    /// With a cache attached: under an unlimited budget requests take the
+    /// full cache path (lookup, fallback, fill). Under a real budget a
+    /// cache *hit* — always a complete answer costing at most k rescores —
+    /// is served as-is (strictly better than any truncation the budget
+    /// could force), while a miss runs the guarded traversal unchanged and
+    /// is never stored (a truncated answer must not poison the cache).
     pub fn run_guarded(
         &self,
         requests: &[(Weights, usize)],
         budget: &QueryBudget,
     ) -> Vec<Result<GuardedTopk, RequestError>> {
         let idx = self.idx;
+        let cache = self.cache;
         drtopk_obs::metrics().batch_enqueue(requests.len() as u64);
         let out = parallel_map_chunked(
             requests,
@@ -155,7 +187,25 @@ impl<'a> BatchExecutor<'a> {
                         })
                         .map(|()| {
                             let scratch = slot.get_or_insert_with(|| QueryScratch::for_index(idx));
-                            idx.topk_guarded_with_scratch(w, *k, budget, scratch)
+                            match cache {
+                                Some(c) if budget.is_unlimited() => {
+                                    let r = c.topk_with_scratch(idx, w, *k, scratch);
+                                    GuardedTopk {
+                                        ids: r.ids,
+                                        cost: r.cost,
+                                        truncated: None,
+                                    }
+                                }
+                                Some(c) => match c.probe(idx, w, *k) {
+                                    Some(r) => GuardedTopk {
+                                        ids: r.ids,
+                                        cost: r.cost,
+                                        truncated: None,
+                                    },
+                                    None => idx.topk_guarded_with_scratch(w, *k, budget, scratch),
+                                },
+                                None => idx.topk_guarded_with_scratch(w, *k, budget, scratch),
+                            }
                         })
                 }));
                 match outcome {
@@ -176,13 +226,17 @@ impl<'a> BatchExecutor<'a> {
     /// Answers every query with the same `k` — the common benchmark shape.
     pub fn run_uniform(&self, queries: &[Weights], k: usize) -> Vec<TopkResult> {
         let idx = self.idx;
+        let cache = self.cache;
         drtopk_obs::metrics().batch_enqueue(queries.len() as u64);
         let out = parallel_map_chunked(
             queries,
             self.threads,
             MIN_REQUESTS_PER_WORKER,
             &|| QueryScratch::for_index(idx),
-            &|scratch, w| idx.topk_with_scratch(w, k, scratch),
+            &|scratch, w| match cache {
+                Some(c) => c.topk_with_scratch(idx, w, k, scratch).into_result(),
+                None => idx.topk_with_scratch(w, k, scratch),
+            },
         );
         drtopk_obs::metrics().batch_drain(out.len() as u64);
         out
@@ -327,6 +381,77 @@ mod tests {
             assert!(!g.is_complete(), "pre-tripped flag truncates every request");
             assert!(g.ids.is_empty());
         }
+    }
+
+    #[test]
+    fn cached_batch_ids_are_bit_identical_across_threads() {
+        use crate::cache::ResultCache;
+        for d in [2usize, 3] {
+            let (idx, _) = batch_fixture(d, 400);
+            // A zipfian batch: heavy weight repetition, mixed k.
+            let mut rng = StdRng::seed_from_u64(0xCAC4E);
+            let pool: Vec<Weights> = (0..6).map(|_| Weights::random(d, &mut rng)).collect();
+            let requests: Vec<(Weights, usize)> = (0..120)
+                .map(|i| (pool[i % pool.len()].clone(), 1 + i % 20))
+                .collect();
+            let plain = BatchExecutor::with_threads(&idx, 1).run(&requests);
+            let cache = ResultCache::default();
+            for threads in [1usize, 4] {
+                let cached = BatchExecutor::with_threads(&idx, threads)
+                    .with_cache(&cache)
+                    .run(&requests);
+                for (i, (c, p)) in cached.iter().zip(&plain).enumerate() {
+                    assert_eq!(c.ids, p.ids, "d={d} threads={threads} request {i}");
+                }
+            }
+            let s = cache.stats();
+            assert!(s.hits > 0, "d={d}: repeated weights must hit: {s:?}");
+        }
+    }
+
+    #[test]
+    fn cached_guarded_run_serves_hits_and_respects_budgets() {
+        use crate::cache::ResultCache;
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let (idx, _) = batch_fixture(3, 300);
+        let w = Weights::uniform(3);
+        let requests: Vec<(Weights, usize)> = (0..16).map(|_| (w.clone(), 5)).collect();
+        let cache = ResultCache::default();
+        let exec = BatchExecutor::with_threads(&idx, 2).with_cache(&cache);
+        // Unlimited budget: full cache path, answers match plain topk.
+        let want = idx.topk(&w, 5).ids;
+        for r in exec.run_guarded(&requests, &QueryBudget::unlimited()) {
+            let g = r.expect("no faults");
+            assert!(g.is_complete());
+            assert_eq!(g.ids, want);
+        }
+        assert!(cache.stats().hits > 0);
+        // A pre-tripped budget: hits still come back complete (the cache
+        // bypasses the traversal entirely), and nothing new is stored.
+        let stores_before = cache.stats().stores;
+        let flag = Arc::new(AtomicBool::new(true));
+        let tripped = QueryBudget::unlimited().with_cancel_flag(flag);
+        for r in exec.run_guarded(&requests, &tripped) {
+            let g = r.expect("cancellation is not an error");
+            assert!(g.is_complete(), "cache hits bypass the tripped budget");
+            assert_eq!(g.ids, want);
+        }
+        assert_eq!(
+            cache.stats().stores,
+            stores_before,
+            "budgeted misses must never fill the cache"
+        );
+        // Same tripped budget without a warm entry: plain truncation.
+        let cold = ResultCache::default();
+        let cold_exec = BatchExecutor::with_threads(&idx, 2).with_cache(&cold);
+        let flag2 = Arc::new(AtomicBool::new(true));
+        let tripped2 = QueryBudget::unlimited().with_cancel_flag(flag2);
+        for r in cold_exec.run_guarded(&requests, &tripped2) {
+            let g = r.expect("cancellation is not an error");
+            assert!(!g.is_complete(), "cold cache + tripped budget truncates");
+        }
+        assert!(cold.is_empty(), "truncated answers must not be stored");
     }
 
     #[test]

@@ -16,19 +16,21 @@
 //! brute-force oracle over the live multiset. Ids returned are *handles*
 //! (stable across rebuilds), not positions in the current index.
 
+use crate::cache::{CacheLookup, ResultCache};
 use crate::index::DualLayerIndex;
 use crate::options::DlOptions;
 use crate::query::TopkResult;
 use crate::snapshot::IndexSnapshot;
 use drtopk_common::{Cost, Error, Relation, Weights};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// A stable handle to a tuple inserted into a [`DynamicIndex`].
 pub type Handle = u64;
 
 /// An updatable top-k index: a static [`DualLayerIndex`] plus an insert
 /// buffer and tombstones.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DynamicIndex {
     opts: DlOptions,
     index: DualLayerIndex,
@@ -43,6 +45,27 @@ pub struct DynamicIndex {
     /// indexed size` (and at least `MIN_REBUILD` pending updates).
     rebuild_fraction: f64,
     rebuilds: usize,
+    /// Optional weight-space result cache, invalidated by every mutation.
+    cache: Option<Arc<ResultCache>>,
+}
+
+impl Clone for DynamicIndex {
+    /// Clones the index *without* the attached cache: a shared cache would
+    /// let one clone serve answers filled by the other after their live
+    /// sets diverge. Re-attach a cache to the clone if it needs one.
+    fn clone(&self) -> Self {
+        DynamicIndex {
+            opts: self.opts.clone(),
+            index: self.index.clone(),
+            indexed_handles: self.indexed_handles.clone(),
+            buffer: self.buffer.clone(),
+            tombstones: self.tombstones.clone(),
+            next_handle: self.next_handle,
+            rebuild_fraction: self.rebuild_fraction,
+            rebuilds: self.rebuilds,
+            cache: None,
+        }
+    }
 }
 
 const MIN_REBUILD: usize = 64;
@@ -81,6 +104,33 @@ impl DynamicIndex {
             tombstones: HashSet::new(),
             rebuild_fraction: rebuild_fraction.clamp(0.01, 10.0),
             rebuilds: 0,
+            cache: None,
+        }
+    }
+
+    /// Attaches a weight-space result cache to the query path. The cache
+    /// is invalidated on attachment (it may hold entries from an earlier
+    /// life) and by every subsequent mutation; one cache must serve
+    /// exactly one logical index.
+    pub fn attach_cache(&mut self, cache: Arc<ResultCache>) {
+        cache.invalidate_all();
+        self.cache = Some(cache);
+    }
+
+    /// Detaches and returns the cache, if one was attached.
+    pub fn detach_cache(&mut self) -> Option<Arc<ResultCache>> {
+        self.cache.take()
+    }
+
+    /// The attached cache, if any.
+    pub fn cache(&self) -> Option<&Arc<ResultCache>> {
+        self.cache.as_ref()
+    }
+
+    /// Invalidates the attached cache (every mutation calls this).
+    fn touch_cache(&self) {
+        if let Some(c) = &self.cache {
+            c.invalidate_all();
         }
     }
 
@@ -154,6 +204,7 @@ impl DynamicIndex {
         self.next_handle += 1;
         self.buffer.push((h, row.to_vec()));
         drtopk_obs::metrics().dynamic_insert();
+        self.touch_cache();
         self.maybe_rebuild();
         Ok(h)
     }
@@ -175,6 +226,7 @@ impl DynamicIndex {
         self.next_handle = h + 1;
         self.buffer.push((h, row.to_vec()));
         drtopk_obs::metrics().dynamic_insert();
+        self.touch_cache();
         self.maybe_rebuild();
         Ok(())
     }
@@ -186,20 +238,55 @@ impl DynamicIndex {
         }
         self.tombstones.insert(h);
         drtopk_obs::metrics().dynamic_delete();
+        self.touch_cache();
         self.maybe_rebuild();
         true
     }
 
     /// Answers a top-k query over the live tuples; returns stable handles.
+    ///
+    /// With a cache attached, hits return the same handles with the
+    /// cache's cost semantics (0 on a 2-d cell hit, k rescores on a
+    /// certified hit) and misses report the cost of the k+1-fetch the
+    /// cache fill requires; answers are bit-identical either way. The
+    /// stored (k+1)-th *merged* score is a sound barrier: any unfetched
+    /// indexed tuple scores at least the traversal's last fetched answer,
+    /// which is at least the merged (k+1)-th.
     pub fn topk(&self, w: &Weights, k: usize) -> (Vec<Handle>, Cost) {
         let k_eff = k.min(self.len());
         let mut cost = Cost::new();
         if k_eff == 0 {
             return (Vec::new(), cost);
         }
+        let cache = self.cache.as_deref().filter(|c| k_eff <= c.config().max_k);
+        let mut fill = None;
+        if let Some(c) = cache {
+            let key = c.key_for_parts(self.index.dims(), self.index.zero2d(), w, k_eff as u32);
+            let generation = c.generation();
+            match c.lookup_raw(&key, w, self.index.dims(), generation) {
+                CacheLookup::Hit2d(ids) => return (ids, Cost::new()),
+                CacheLookup::HitCertified(ids, evals) => {
+                    return (
+                        ids,
+                        Cost {
+                            evaluated: evals,
+                            pseudo_evaluated: 0,
+                        },
+                    )
+                }
+                CacheLookup::Miss => fill = Some((key, generation)),
+            }
+        }
+        // On a cache fill, fetch one extra answer: it is the new entry's
+        // barrier (the score no outside tuple can beat).
+        let want = if fill.is_some() {
+            (k_eff + 1).min(self.len())
+        } else {
+            k_eff
+        };
         // Over-fetch from the index to absorb tombstoned answers. Deleted
         // indexed tuples are at most `tombstones` many.
-        let fetch = k_eff + self.tombstones.len();
+        let fetch = want + self.tombstones.len();
         let TopkResult { ids, cost: c } = self.index.topk(w, fetch);
         cost.merge(&c);
         let mut merged: Vec<(f64, Handle)> = Vec::with_capacity(ids.len() + self.buffer.len());
@@ -217,6 +304,23 @@ impl DynamicIndex {
             }
         }
         merged.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        if let (Some((key, generation)), Some(c)) = (fill, cache) {
+            let barrier = if merged.len() > k_eff {
+                merged[k_eff].0
+            } else {
+                f64::INFINITY
+            };
+            let ids: Vec<u64> = merged[..k_eff.min(merged.len())]
+                .iter()
+                .map(|&(_, h)| h)
+                .collect();
+            let dims = self.index.dims();
+            let mut coords = Vec::with_capacity(ids.len() * dims);
+            for &h in &ids {
+                coords.extend_from_slice(self.get(h).expect("answer handle is live"));
+            }
+            c.store_raw(key, generation, w.as_slice(), ids, coords, barrier);
+        }
         merged.truncate(k_eff);
         (merged.into_iter().map(|(_, h)| h).collect(), cost)
     }
@@ -257,6 +361,7 @@ impl DynamicIndex {
         self.tombstones.clear();
         self.rebuilds += 1;
         drtopk_obs::metrics().dynamic_rebuild();
+        self.touch_cache();
     }
 
     /// Captures the full state for persistence. Reconstructing via
@@ -351,6 +456,7 @@ impl DynamicIndex {
             next_handle: state.next_handle,
             rebuild_fraction: rebuild_fraction.clamp(0.01, 10.0),
             rebuilds: 0,
+            cache: None,
         })
     }
 

@@ -7,7 +7,8 @@
 //! that *traversal order*: real nodes get internal ids `0..n` sorted by
 //! (coarse layer, fine sublayer, attribute sum, tuple id), pseudo nodes get
 //! `n..n+p` sorted the same way within their own sublayers. All adjacency
-//! ([`EdgeArena`]), in-degree arrays, seeds, the 2-d chain, and the scoring
+//! (the crate-internal `EdgeArena`), in-degree arrays, seeds, the 2-d
+//! chain, and the scoring
 //! columns are stored in internal space, which turns the query's
 //! relaxation loops and score gathers into near-sequential memory scans.
 //! The permutation ([`DualLayerIndex::node_permutation`]) is applied only

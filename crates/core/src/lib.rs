@@ -32,6 +32,7 @@ mod assemble;
 pub mod batch;
 pub mod build;
 pub mod build_reference;
+pub mod cache;
 pub mod dynamic;
 pub mod explain;
 pub mod index;
@@ -45,6 +46,7 @@ pub mod verify;
 pub mod zero;
 
 pub use batch::{BatchExecutor, RequestError};
+pub use cache::{CacheConfig, CacheOutcome, CacheStats, CachedTopk, ResultCache};
 pub use dynamic::{DynamicIndex, DynamicState, Handle};
 pub use explain::QueryExplain;
 pub use index::{DualLayerIndex, IndexStats, NodeId};

@@ -161,6 +161,10 @@ pub struct MetricsRegistry {
     dynamic_deletes: ShardedCounter,
     dynamic_rebuilds: ShardedCounter,
     dynamic_buffer_scanned: ShardedCounter,
+    cache_hits: ShardedCounter,
+    cache_misses: ShardedCounter,
+    cache_cert_rejects: ShardedCounter,
+    cache_invalidations: ShardedCounter,
     query_latency_ns: LogHistogram,
     query_cost: LogHistogram,
     scratch_touched: LogHistogram,
@@ -192,6 +196,10 @@ impl MetricsRegistry {
             dynamic_deletes: ShardedCounter::new(),
             dynamic_rebuilds: ShardedCounter::new(),
             dynamic_buffer_scanned: ShardedCounter::new(),
+            cache_hits: ShardedCounter::new(),
+            cache_misses: ShardedCounter::new(),
+            cache_cert_rejects: ShardedCounter::new(),
+            cache_invalidations: ShardedCounter::new(),
             query_latency_ns: LogHistogram::new(),
             query_cost: LogHistogram::new(),
             scratch_touched: LogHistogram::new(),
@@ -267,6 +275,39 @@ impl MetricsRegistry {
         }
     }
 
+    /// One result-cache lookup served from the cache (2-d cell hit or
+    /// certified hit).
+    #[inline]
+    pub fn cache_hit(&self) {
+        if self.recording() {
+            self.cache_hits.add(1);
+        }
+    }
+
+    /// One result-cache lookup that fell back to the traversal.
+    #[inline]
+    pub fn cache_miss(&self) {
+        if self.recording() {
+            self.cache_misses.add(1);
+        }
+    }
+
+    /// `n` cached entries whose hit certificate failed validation.
+    #[inline]
+    pub fn cache_cert_reject(&self, n: u64) {
+        if self.recording() {
+            self.cache_cert_rejects.add(n);
+        }
+    }
+
+    /// One result-cache generation bump (full invalidation).
+    #[inline]
+    pub fn cache_invalidate(&self) {
+        if self.recording() {
+            self.cache_invalidations.add(1);
+        }
+    }
+
     /// Copies every counter and histogram out. Each value is read with a
     /// relaxed load, so a snapshot taken while queries run is a coherent
     /// *approximation* — fine for monitoring, exact once writers quiesce.
@@ -285,6 +326,10 @@ impl MetricsRegistry {
             dynamic_deletes: self.dynamic_deletes.get(),
             dynamic_rebuilds: self.dynamic_rebuilds.get(),
             dynamic_buffer_scanned: self.dynamic_buffer_scanned.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            cache_cert_rejects: self.cache_cert_rejects.get(),
+            cache_invalidations: self.cache_invalidations.get(),
             query_latency_ns: self.query_latency_ns.snapshot(),
             query_cost: self.query_cost.snapshot(),
             scratch_touched: self.scratch_touched.snapshot(),
@@ -309,6 +354,10 @@ impl MetricsRegistry {
         self.dynamic_deletes.reset();
         self.dynamic_rebuilds.reset();
         self.dynamic_buffer_scanned.reset();
+        self.cache_hits.reset();
+        self.cache_misses.reset();
+        self.cache_cert_rejects.reset();
+        self.cache_invalidations.reset();
         self.query_latency_ns.reset();
         self.query_cost.reset();
         self.scratch_touched.reset();

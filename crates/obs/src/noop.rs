@@ -55,6 +55,22 @@ impl MetricsRegistry {
     #[inline]
     pub fn dynamic_buffer_scan(&self, _n: u64) {}
 
+    /// No-op.
+    #[inline]
+    pub fn cache_hit(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn cache_miss(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn cache_cert_reject(&self, _n: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn cache_invalidate(&self) {}
+
     /// All zeros.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot::default()

@@ -187,6 +187,14 @@ pub struct MetricsSnapshot {
     pub dynamic_rebuilds: u64,
     /// Buffered (unindexed) tuples scanned by dynamic-index queries.
     pub dynamic_buffer_scanned: u64,
+    /// Result-cache lookups served from the cache (cell + certified hits).
+    pub cache_hits: u64,
+    /// Result-cache lookups that fell back to the traversal.
+    pub cache_misses: u64,
+    /// Cached entries whose hit certificate failed validation.
+    pub cache_cert_rejects: u64,
+    /// Result-cache generation bumps (full invalidations).
+    pub cache_invalidations: u64,
     /// Per-query wall-clock latency, recorded in nanoseconds.
     pub query_latency_ns: HistogramSnapshot,
     /// Per-query paper cost (Definition 9 total, real + pseudo).
@@ -273,6 +281,26 @@ impl MetricsSnapshot {
                 "dynamic_buffer_scanned",
                 "Buffered tuples scanned by dynamic-index queries",
                 self.dynamic_buffer_scanned,
+            ),
+            (
+                "cache_hits",
+                "Result-cache lookups served from the cache",
+                self.cache_hits,
+            ),
+            (
+                "cache_misses",
+                "Result-cache lookups answered by the traversal",
+                self.cache_misses,
+            ),
+            (
+                "cache_cert_rejects",
+                "Cached entries whose hit certificate failed validation",
+                self.cache_cert_rejects,
+            ),
+            (
+                "cache_invalidations",
+                "Result-cache generation bumps (full invalidations)",
+                self.cache_invalidations,
             ),
         ]
     }

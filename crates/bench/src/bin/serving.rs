@@ -1,0 +1,505 @@
+//! Serving load generator: drives a `drtopk_server::Server` over real
+//! TCP loopback connections and reports what the paper's cost model
+//! cannot — end-to-end latency under concurrency, admission control, and
+//! overload.
+//!
+//! Three phases against one in-process index:
+//!
+//! * **closed loop** — `--clients` connections each issue the next query
+//!   the moment the previous answer lands, for `--seconds`. Reports the
+//!   achieved QPS and the latency distribution; `--min-qps` turns this
+//!   into the CI serving-smoke regression gate.
+//! * **open loop** — each offered rate in `--rates` is paced on a fixed
+//!   schedule and latency is measured from the *scheduled* send time, so
+//!   queue delay from a saturated server is charged to the server, not
+//!   silently absorbed by the generator (no coordinated omission).
+//! * **overload** — the same workload against a deliberately starved
+//!   server (`--overload-queue` admission slots, one worker). Sheds must
+//!   be explicit `Overloaded` replies, the shed rate is reported, and the
+//!   p99 of the queries that *were* admitted stays bounded because the
+//!   queue they waited in is short.
+//!
+//! Queries are Zipf-distributed over a `--pool`-sized weight pool
+//! (`--skew`), the same repetition model as the throughput harness's
+//! cache pass, so `--cache` exercises the server's result-cache fast
+//! path. Results land in `BENCH_serving.json`.
+//!
+//! ```text
+//! serving [--n 50000] [--d 3] [--k 10] [--clients 4] [--seconds 2.0]
+//!         [--rates 2000,8000] [--pool 64] [--skew 1.0] [--workers 2]
+//!         [--batch-max 32] [--batch-window-us 200] [--queue-depth 1024]
+//!         [--overload-clients 8] [--overload-queue 1] [--cache]
+//!         [--out BENCH_serving.json] [--min-qps F]
+//! ```
+
+use drtopk_bench::dataset;
+use drtopk_bench::json::Value;
+use drtopk_common::{Distribution, ZipfWeightWorkload};
+use drtopk_core::{DlOptions, DualLayerIndex};
+use drtopk_server::{Client, ClientError, ErrorCode, Server, ServerConfig, ServerHandle};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Config {
+    n: usize,
+    d: usize,
+    k: u32,
+    clients: usize,
+    seconds: f64,
+    rates: Vec<f64>,
+    pool: usize,
+    skew: f64,
+    workers: usize,
+    batch_max: usize,
+    batch_window_us: u64,
+    queue_depth: usize,
+    overload_clients: usize,
+    overload_queue: usize,
+    cache: bool,
+    out: String,
+    min_qps: Option<f64>,
+}
+
+impl Config {
+    fn parse(args: &[String]) -> Result<Config, String> {
+        let mut cfg = Config {
+            n: 50_000,
+            d: 3,
+            k: 10,
+            clients: 4,
+            seconds: 2.0,
+            rates: vec![2_000.0, 8_000.0],
+            pool: 64,
+            skew: 1.0,
+            workers: 2,
+            batch_max: 32,
+            batch_window_us: 200,
+            queue_depth: 1024,
+            overload_clients: 8,
+            overload_queue: 1,
+            cache: false,
+            out: "BENCH_serving.json".to_string(),
+            min_qps: None,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            if flag == "--cache" {
+                cfg.cache = true;
+                i += 1;
+                continue;
+            }
+            let val = args
+                .get(i + 1)
+                .ok_or_else(|| format!("{flag} requires a value"))?;
+            let num = || val.parse::<usize>().map_err(|_| format!("{flag}: {val:?}"));
+            let fnum = || val.parse::<f64>().map_err(|_| format!("{flag}: {val:?}"));
+            match flag {
+                "--n" => cfg.n = num()?,
+                "--d" => cfg.d = num()?,
+                "--k" => cfg.k = num()? as u32,
+                "--clients" => cfg.clients = num()?,
+                "--seconds" => cfg.seconds = fnum()?,
+                "--rates" => {
+                    cfg.rates = val
+                        .split(',')
+                        .map(|p| p.trim().parse::<f64>())
+                        .collect::<Result<_, _>>()
+                        .map_err(|_| format!("--rates: {val:?}"))?
+                }
+                "--pool" => cfg.pool = num()?,
+                "--skew" => cfg.skew = fnum()?,
+                "--workers" => cfg.workers = num()?,
+                "--batch-max" => cfg.batch_max = num()?,
+                "--batch-window-us" => cfg.batch_window_us = num()? as u64,
+                "--queue-depth" => cfg.queue_depth = num()?,
+                "--overload-clients" => cfg.overload_clients = num()?,
+                "--overload-queue" => cfg.overload_queue = num()?,
+                "--out" => cfg.out = val.clone(),
+                "--min-qps" => cfg.min_qps = Some(fnum()?),
+                other => return Err(format!("unknown flag {other}")),
+            }
+            i += 2;
+        }
+        if cfg.clients == 0 || cfg.seconds <= 0.0 || cfg.pool == 0 {
+            return Err("--clients, --seconds, and --pool must be positive".to_string());
+        }
+        Ok(cfg)
+    }
+}
+
+/// Nearest-rank percentile of a sorted slice (q in 0..=1).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// What one generator thread observed.
+#[derive(Default)]
+struct WorkerStats {
+    latencies_us: Vec<f64>,
+    ok: u64,
+    sheds: u64,
+    errors: u64,
+}
+
+impl WorkerStats {
+    fn absorb(&mut self, other: WorkerStats) {
+        self.latencies_us.extend(other.latencies_us);
+        self.ok += other.ok;
+        self.sheds += other.sheds;
+        self.errors += other.errors;
+    }
+}
+
+/// Classifies one reply into the stats; returns `false` when the
+/// connection is unusable and the worker should stop.
+fn record(
+    stats: &mut WorkerStats,
+    result: Result<drtopk_server::TopkReply, ClientError>,
+    latency_us: f64,
+) -> bool {
+    match result {
+        Ok(_) => {
+            stats.ok += 1;
+            stats.latencies_us.push(latency_us);
+            true
+        }
+        Err(ClientError::Server { code, .. }) => {
+            // An explicit reply: the request was *answered*, with a
+            // refusal. Overloaded is the admission controller shedding;
+            // anything else is unexpected under this workload.
+            if code == ErrorCode::Overloaded {
+                stats.sheds += 1;
+            } else {
+                stats.errors += 1;
+            }
+            true
+        }
+        Err(_) => {
+            stats.errors += 1;
+            false
+        }
+    }
+}
+
+/// Zipf-ordered raw weight vectors for one generator thread. Each thread
+/// gets its own draw order (seeded by its id) over the shared pool.
+fn zipf_sequence(cfg: &Config, thread: usize) -> Vec<Vec<f64>> {
+    ZipfWeightWorkload::new(cfg.d, cfg.pool, 4096, cfg.skew, 0x5E41 + thread as u64)
+        .generate()
+        .into_iter()
+        .map(|w| w.as_slice().to_vec())
+        .collect()
+}
+
+/// Closed loop: issue the next query as soon as the previous reply
+/// arrives, across `clients` connections, for `seconds`.
+fn closed_loop(addr: SocketAddr, cfg: &Config, clients: usize, k: u32) -> (WorkerStats, f64) {
+    let stop = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let mut total = WorkerStats::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let stop = &stop;
+                let seq = zipf_sequence(cfg, c);
+                scope.spawn(move || {
+                    let mut stats = WorkerStats::default();
+                    let Ok(mut client) = Client::connect(addr) else {
+                        stats.errors += 1;
+                        return stats;
+                    };
+                    let mut i = 0usize;
+                    while !stop.load(Ordering::Relaxed) {
+                        let w = &seq[i % seq.len()];
+                        i += 1;
+                        let q0 = Instant::now();
+                        let r = client.query(w, k, 0, 0);
+                        let us = q0.elapsed().as_secs_f64() * 1e6;
+                        if !record(&mut stats, r, us) {
+                            break;
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_secs_f64(cfg.seconds));
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            total.absorb(h.join().expect("generator thread"));
+        }
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    (total, secs)
+}
+
+/// Open loop: each client paces `rate / clients` sends on a fixed
+/// schedule; latency runs from the *scheduled* send time, so a server
+/// that falls behind is charged its queue delay.
+fn open_loop(addr: SocketAddr, cfg: &Config, rate: f64) -> (WorkerStats, f64) {
+    let per_client = rate / cfg.clients as f64;
+    let interval = Duration::from_secs_f64(1.0 / per_client);
+    let duration = Duration::from_secs_f64(cfg.seconds);
+    let t0 = Instant::now();
+    let mut total = WorkerStats::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|c| {
+                let seq = zipf_sequence(cfg, 100 + c);
+                scope.spawn(move || {
+                    let mut stats = WorkerStats::default();
+                    let Ok(mut client) = Client::connect(addr) else {
+                        stats.errors += 1;
+                        return stats;
+                    };
+                    let start = Instant::now();
+                    let mut scheduled = start;
+                    let mut i = 0usize;
+                    while start.elapsed() < duration {
+                        let now = Instant::now();
+                        if now < scheduled {
+                            std::thread::sleep(scheduled - now);
+                        }
+                        let w = &seq[i % seq.len()];
+                        i += 1;
+                        let r = client.query(w, cfg.k, 0, 0);
+                        let us = scheduled.elapsed().as_secs_f64() * 1e6;
+                        scheduled += interval;
+                        if !record(&mut stats, r, us) {
+                            break;
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect();
+        for h in handles {
+            total.absorb(h.join().expect("generator thread"));
+        }
+    });
+    (total, t0.elapsed().as_secs_f64())
+}
+
+/// Pulls one counter's value out of the Prometheus exposition.
+fn scrape(prom: &str, name: &str) -> Option<f64> {
+    prom.lines()
+        .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+}
+
+/// Phase report: aggregate stats → JSON object (+ a console line).
+fn phase_json(label: &str, stats: &WorkerStats, secs: f64) -> Value {
+    let mut sorted = stats.latencies_us.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let (p50, p99) = (percentile(&sorted, 0.50), percentile(&sorted, 0.99));
+    let attempts = stats.ok + stats.sheds + stats.errors;
+    let qps = stats.ok as f64 / secs;
+    let shed_rate = if attempts > 0 {
+        stats.sheds as f64 / attempts as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "  {label}: {qps:.0} answered q/s, p50 {p50:.0}µs p99 {p99:.0}µs, \
+         {} ok / {} shed ({:.1}%) / {} errors",
+        stats.ok,
+        stats.sheds,
+        shed_rate * 100.0,
+        stats.errors
+    );
+    Value::object([
+        ("seconds", Value::float(secs)),
+        ("answered_qps", Value::float(qps)),
+        ("p50_us", Value::float(p50)),
+        ("p99_us", Value::float(p99)),
+        ("ok", Value::uint(stats.ok as usize)),
+        ("sheds", Value::uint(stats.sheds as usize)),
+        ("errors", Value::uint(stats.errors as usize)),
+        ("shed_rate", Value::float(shed_rate)),
+    ])
+}
+
+/// Server-side counters for a finished phase, scraped over the wire so
+/// the report shows what an operator's dashboard would.
+fn server_counters(addr: SocketAddr) -> Value {
+    let Ok(mut client) = Client::connect(addr) else {
+        return Value::Null;
+    };
+    let Ok(prom) = client.metrics_text() else {
+        return Value::Null;
+    };
+    let count = scrape(&prom, "drtopk_server_batch_size_count").unwrap_or(0.0);
+    let sum = scrape(&prom, "drtopk_server_batch_size_sum").unwrap_or(0.0);
+    let mean_batch = if count > 0.0 { sum / count } else { 0.0 };
+    Value::object([
+        (
+            "requests_total",
+            Value::float(scrape(&prom, "drtopk_server_requests_total").unwrap_or(0.0)),
+        ),
+        (
+            "sheds_total",
+            Value::float(scrape(&prom, "drtopk_server_sheds_total").unwrap_or(0.0)),
+        ),
+        (
+            "protocol_errors_total",
+            Value::float(scrape(&prom, "drtopk_server_protocol_errors_total").unwrap_or(0.0)),
+        ),
+        ("mean_batch_size", Value::float(mean_batch)),
+    ])
+}
+
+fn start_server(idx: &Arc<DualLayerIndex>, cfg: &ServerConfig) -> (ServerHandle, SocketAddr) {
+    let handle = Server::start(Arc::clone(idx), cfg.clone()).expect("start server");
+    let addr = handle.addr();
+    (handle, addr)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match Config::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serving: {e}");
+            eprintln!(
+                "usage: serving [--n N] [--d D] [--k K] [--clients C] [--seconds S] \
+                 [--rates R[,..]] [--pool P] [--skew Z] [--workers W] [--batch-max B] \
+                 [--batch-window-us US] [--queue-depth Q] [--overload-clients C] \
+                 [--overload-queue Q] [--cache] [--out FILE] [--min-qps F]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!("serving: building DL+ index (n={}, d={})...", cfg.n, cfg.d);
+    let rel = dataset(Distribution::Independent, cfg.d, cfg.n);
+    let idx = Arc::new(DualLayerIndex::build(&rel, DlOptions::dl_plus()));
+
+    let base = ServerConfig::new()
+        .addr("127.0.0.1:0")
+        .workers(cfg.workers)
+        .batch_max(cfg.batch_max)
+        .batch_window(Duration::from_micros(cfg.batch_window_us))
+        .queue_depth(cfg.queue_depth)
+        .cache(cfg.cache);
+
+    // Phase 1+2: a healthy server — closed loop, then each offered rate.
+    let (handle, addr) = start_server(&idx, &base);
+    eprintln!("closed loop: {} clients for {} s", cfg.clients, cfg.seconds);
+    let (closed, closed_secs) = closed_loop(addr, &cfg, cfg.clients, cfg.k);
+    let closed_json = phase_json("closed", &closed, closed_secs);
+    let mut open_rows = Vec::new();
+    for &rate in &cfg.rates {
+        eprintln!("open loop: offering {rate:.0} q/s");
+        let (stats, secs) = open_loop(addr, &cfg, rate);
+        let mut row = phase_json(&format!("open@{rate:.0}"), &stats, secs);
+        if let Value::Object(fields) = &mut row {
+            fields.insert(0, ("offered_qps".to_string(), Value::float(rate)));
+        }
+        open_rows.push(row);
+    }
+    let healthy_counters = server_counters(addr);
+    handle.shutdown();
+
+    // Phase 3: overload — one worker, a starved admission queue, and more
+    // closed-loop clients than the queue can hold. The point of the
+    // numbers: sheds are explicit (clients got an Overloaded reply, not a
+    // hang), and the p99 of admitted queries stays bounded because the
+    // queue they sat in is at most `overload_queue` deep.
+    let starved = base
+        .clone()
+        .workers(1)
+        .queue_depth(cfg.overload_queue)
+        .cache(false);
+    let (handle, addr) = start_server(&idx, &starved);
+    eprintln!(
+        "overload: {} clients against a queue of {}",
+        cfg.overload_clients, cfg.overload_queue
+    );
+    let (over, over_secs) = closed_loop(addr, &cfg, cfg.overload_clients, cfg.k);
+    let mut overload_json = phase_json("overload", &over, over_secs);
+    if let Value::Object(fields) = &mut overload_json {
+        fields.insert(
+            0,
+            ("queue_depth".to_string(), Value::uint(cfg.overload_queue)),
+        );
+        fields.insert(
+            0,
+            ("clients".to_string(), Value::uint(cfg.overload_clients)),
+        );
+    }
+    let overload_counters = server_counters(addr);
+    handle.shutdown();
+
+    if over.sheds == 0 {
+        eprintln!("serving: WARNING overload phase produced no sheds — not actually overloaded");
+    }
+
+    let host_threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    let doc = Value::object([
+        (
+            "host",
+            Value::object([("available_parallelism", Value::uint(host_threads))]),
+        ),
+        (
+            "config",
+            Value::object([
+                ("n", Value::uint(cfg.n)),
+                ("d", Value::uint(cfg.d)),
+                ("k", Value::uint(cfg.k as usize)),
+                ("clients", Value::uint(cfg.clients)),
+                ("pool", Value::uint(cfg.pool)),
+                ("skew", Value::float(cfg.skew)),
+                ("workers", Value::uint(cfg.workers)),
+                ("batch_max", Value::uint(cfg.batch_max)),
+                ("batch_window_us", Value::uint(cfg.batch_window_us as usize)),
+                ("queue_depth", Value::uint(cfg.queue_depth)),
+                ("cache", Value::Bool(cfg.cache)),
+            ]),
+        ),
+        ("closed_loop", closed_json),
+        ("open_loop", Value::Array(open_rows)),
+        ("overload", overload_json),
+        (
+            "server_counters",
+            Value::object([
+                ("healthy", healthy_counters),
+                ("overload", overload_counters),
+            ]),
+        ),
+        (
+            "note",
+            Value::str(
+                "open-loop latency is measured from the scheduled send time \
+                 (coordinated-omission safe); overload sheds are explicit \
+                 Overloaded replies per PROTOCOL.md §5.1, never silent drops",
+            ),
+        ),
+    ]);
+    std::fs::write(&cfg.out, doc.pretty()).expect("write results file");
+    eprintln!("wrote {}", cfg.out);
+
+    if let Some(floor) = cfg.min_qps {
+        let qps = closed.ok as f64 / closed_secs;
+        if qps < floor {
+            eprintln!("SERVING REGRESSION: closed-loop {qps:.0} q/s below the floor {floor:.0}");
+            std::process::exit(1);
+        }
+    }
+    if closed.errors > 0 || over.errors > 0 {
+        eprintln!(
+            "SERVING ERRORS: {} closed-loop / {} overload protocol or transport errors",
+            closed.errors, over.errors
+        );
+        std::process::exit(1);
+    }
+}

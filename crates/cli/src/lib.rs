@@ -13,11 +13,16 @@
 //! drtopk batch    --index index.drt --weights-file queries.txt --k 10 [--threads T]
 //! drtopk recover  --dir store/ [--variant dl+|dl|dg|dg+] [--checkpoint]
 //! drtopk wal      --dir store/
+//! drtopk serve    --index index.drt [--addr HOST:PORT] [--workers W] [--cache]
+//! drtopk query    --connect HOST:PORT --weights 0.3,0.3,0.4 --k 10
+//! drtopk drain    --connect HOST:PORT
 //! ```
 //!
 //! Query and batch accept `--deadline-ms` / `--max-cost` budgets; a
 //! tripped budget exits with code 4 unless `--partial` accepts the
 //! truncated answer prefix. Corrupt persisted data exits with code 3.
+//! `serve` / `query --connect` speak the wire protocol documented in
+//! `PROTOCOL.md`; operational guidance lives in `OPERATIONS.md`.
 
 use drtopk_common::{
     relation_from_csv, ColumnSpec, Direction, Distribution, Weights, WorkloadSpec,
@@ -139,6 +144,13 @@ impl Flags {
                 "dir",
                 "deadline-ms",
                 "max-cost",
+                "connect",
+                "addr",
+                "workers",
+                "batch-max",
+                "batch-window-us",
+                "queue-depth",
+                "duration-s",
             ];
             if !KNOWN.contains(&name) {
                 return Err(CliError::usage(format!("unknown flag --{name}")));
@@ -191,6 +203,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "batch" => cmd_batch(&flags),
         "recover" => cmd_recover(&flags),
         "wal" => cmd_wal(&flags),
+        "serve" => cmd_serve(&flags),
+        "drain" => cmd_drain(&flags),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::usage(format!(
             "unknown command {other:?}\n{}",
@@ -212,11 +226,21 @@ commands:
             [--cache]
   query     --index FILE --weights W1,W2,... [--k K]
             [--deadline-ms MS] [--max-cost C] [--partial]
+  query     --connect HOST:PORT --weights W1,W2,... [--k K]
+            [--deadline-ms MS] [--max-cost C] [--partial]
   batch     --index FILE --weights-file FILE [--k K] [--threads T]
             [--deadline-ms MS] [--max-cost C] [--partial] [--cache]
   recover   --dir DIR [--variant dl+|dl|dg|dg+] [--checkpoint]
   wal       --dir DIR
+  serve     --index FILE [--addr HOST:PORT] [--workers W] [--batch-max B]
+            [--batch-window-us US] [--queue-depth Q] [--cache]
+            [--duration-s S]
+  drain     --connect HOST:PORT
   help
+
+serve listens on --addr (default 127.0.0.1:7071; port 0 picks a free
+port) and answers the wire protocol in PROTOCOL.md plus HTTP GET
+/metrics on the same port. See OPERATIONS.md for the runbook.
 
 exit codes: 0 ok, 1 runtime error, 2 usage, 3 corrupt data,
             4 budget tripped without --partial
@@ -548,7 +572,6 @@ fn cmd_stats(f: &Flags) -> Result<String, CliError> {
 }
 
 fn cmd_query(f: &Flags) -> Result<String, CliError> {
-    let path = PathBuf::from(f.require("index")?);
     let raw: Vec<f64> = f
         .require("weights")?
         .split(',')
@@ -556,6 +579,10 @@ fn cmd_query(f: &Flags) -> Result<String, CliError> {
         .collect::<Result<_, _>>()
         .map_err(|_| CliError::usage("--weights must be comma-separated numbers".to_string()))?;
     let k: usize = f.parse_num("k", 10)?;
+    if let Some(addr) = f.get("connect") {
+        return query_over_network(f, addr, &raw, k);
+    }
+    let path = PathBuf::from(f.require("index")?);
     let idx = load_index(&path).map_err(CliError::from)?;
     let w = Weights::new(raw).map_err(|e| CliError::usage(e.to_string()))?;
     if w.dims() != idx.dims() {
@@ -616,6 +643,127 @@ fn cmd_query(f: &Flags) -> Result<String, CliError> {
         cost.pseudo_evaluated
     );
     Ok(out)
+}
+
+/// Maps a server-side failure onto the CLI exit-code contract: protocol
+/// rejections (`BadRequest`) are usage errors (code 2), everything else
+/// — overload, drain, transport loss — is a runtime failure (code 1).
+fn client_error(e: drtopk_server::ClientError) -> CliError {
+    match &e {
+        drtopk_server::ClientError::Server { code, .. }
+            if *code == drtopk_server::ErrorCode::BadRequest =>
+        {
+            CliError::usage(e.to_string())
+        }
+        _ => CliError::runtime(e.to_string()),
+    }
+}
+
+/// Human-readable reason for a TOPK `truncated` flag (PROTOCOL.md §4.1).
+fn truncation_reason(flag: u8) -> &'static str {
+    match flag {
+        1 => "deadline expired",
+        2 => "cost budget exhausted",
+        3 => "cancelled",
+        _ => "truncated",
+    }
+}
+
+/// `query --connect HOST:PORT`: ship the raw weight vector to a running
+/// `drtopk serve` instance instead of loading an index locally. The
+/// server normalises weights exactly as the in-process path does, so the
+/// answer ids are bit-identical to `query --index` on the same data.
+fn query_over_network(f: &Flags, addr: &str, raw: &[f64], k: usize) -> Result<String, CliError> {
+    let deadline_ms: u64 = f.parse_num("deadline-ms", 0)?;
+    let max_cost: u64 = f.parse_num("max-cost", 0)?;
+    let deadline_ms = u32::try_from(deadline_ms)
+        .map_err(|_| CliError::usage("--deadline-ms too large for the wire format"))?;
+    let k32 = u32::try_from(k).map_err(|_| CliError::usage("--k too large for the wire format"))?;
+    let mut client = drtopk_server::Client::connect(addr)
+        .map_err(|e| CliError::runtime(format!("{addr}: {e}")))?;
+    let t0 = std::time::Instant::now();
+    let reply = client
+        .query(raw, k32, deadline_ms, max_cost)
+        .map_err(client_error)?;
+    let micros = t0.elapsed().as_micros();
+    if !reply.is_complete() && !f.has("partial") {
+        return Err(CliError::budget(format!(
+            "query stopped after {} of {k} answers: {} \
+             (pass --partial to accept the prefix)",
+            reply.ids.len(),
+            truncation_reason(reply.truncated)
+        )));
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "rank  tuple");
+    for (rank, t) in reply.ids.iter().enumerate() {
+        let _ = writeln!(out, "{:>4}  {:>6}", rank + 1, t);
+    }
+    if !reply.is_complete() {
+        let _ = writeln!(
+            out,
+            "TRUNCATED after {} of {k} answers: {}",
+            reply.ids.len(),
+            truncation_reason(reply.truncated)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "evaluated {} tuples ({} pseudo) via {addr} in {micros} µs",
+        reply.evaluated + reply.pseudo_evaluated,
+        reply.pseudo_evaluated
+    );
+    Ok(out)
+}
+
+/// `serve --index FILE`: run the network index service until killed, or
+/// for `--duration-s` seconds when given (used by smoke tests and timed
+/// benchmarks). The bound address is announced on stderr immediately so
+/// operators (and scripts) can connect before the command returns.
+fn cmd_serve(f: &Flags) -> Result<String, CliError> {
+    let path = PathBuf::from(f.require("index")?);
+    let addr = f.get("addr").unwrap_or("127.0.0.1:7071");
+    let workers: usize = f.parse_num("workers", 2)?;
+    let batch_max: usize = f.parse_num("batch-max", 32)?;
+    let window_us: u64 = f.parse_num("batch-window-us", 200)?;
+    let queue_depth: usize = f.parse_num("queue-depth", 1024)?;
+    let duration_s: u64 = f.parse_num("duration-s", 0)?;
+    let idx = std::sync::Arc::new(load_index(&path).map_err(CliError::from)?);
+    let cfg = drtopk_server::ServerConfig::new()
+        .addr(addr)
+        .workers(workers)
+        .batch_max(batch_max)
+        .batch_window(std::time::Duration::from_micros(window_us))
+        .queue_depth(queue_depth)
+        .cache(f.has("cache"));
+    let handle = drtopk_server::Server::start(idx, cfg)
+        .map_err(|e| CliError::runtime(format!("serve: {e}")))?;
+    let bound = handle.addr();
+    eprintln!(
+        "drtopk serving on {bound} ({workers} workers, batch <= {batch_max} \
+         or {window_us} µs, queue depth {queue_depth}, cache {})",
+        if f.has("cache") { "on" } else { "off" }
+    );
+    if duration_s > 0 {
+        std::thread::sleep(std::time::Duration::from_secs(duration_s));
+        handle.shutdown();
+        Ok(format!("served on {bound} for {duration_s} s, drained\n"))
+    } else {
+        // Runs until a client sends a DRAIN frame (`drtopk drain`) or the
+        // process is killed.
+        handle.wait();
+        Ok(format!("served on {bound}, drained\n"))
+    }
+}
+
+/// `drain --connect HOST:PORT`: ask a running server to stop accepting
+/// work, finish its queue, and exit (PROTOCOL.md §3.4).
+fn cmd_drain(f: &Flags) -> Result<String, CliError> {
+    let addr = f.require("connect")?;
+    let mut client = drtopk_server::Client::connect(addr)
+        .map_err(|e| CliError::runtime(format!("{addr}: {e}")))?;
+    client.drain().map_err(client_error)?;
+    Ok(format!("drain acknowledged by {addr}\n"))
 }
 
 /// Parses a weights file: one comma-separated weight vector per line;
@@ -1612,5 +1760,190 @@ mod tests {
 
         let err = run(&argv(&["wal", "--dir", "/nonexistent-dir"])).unwrap_err();
         assert_eq!(err.code, 1);
+    }
+
+    /// The `serve` / `query --connect` / `drain` loop end to end: the
+    /// network answer carries the same tuple ids as the local path, the
+    /// budget exit-code contract survives the wire, and a DRAIN frame
+    /// stops the serve command.
+    #[test]
+    fn network_query_matches_local_and_drain_stops_the_server() {
+        let data = tmp("serve.data.drt");
+        let index = tmp("serve.index.drt");
+        run(&argv(&[
+            "generate",
+            "--dist",
+            "ant",
+            "--dims",
+            "2",
+            "--n",
+            "300",
+            "--seed",
+            "21",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            index.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // Reserve an ephemeral port, release it, then serve on it from a
+        // background thread (the tiny reuse window is fine for a test).
+        let port = std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .port();
+        let addr = format!("127.0.0.1:{port}");
+        let serve_args = argv(&[
+            "serve",
+            "--index",
+            index.to_str().unwrap(),
+            "--addr",
+            &addr,
+            "--workers",
+            "1",
+        ]);
+        let server = std::thread::spawn(move || run(&serve_args));
+        for _ in 0..200 {
+            if std::net::TcpStream::connect(&addr).is_ok() {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+
+        let local = run(&argv(&[
+            "query",
+            "--index",
+            index.to_str().unwrap(),
+            "--weights",
+            "0.4,0.6",
+            "--k",
+            "7",
+        ]))
+        .unwrap();
+        let remote = run(&argv(&[
+            "query",
+            "--connect",
+            &addr,
+            "--weights",
+            "0.4,0.6",
+            "--k",
+            "7",
+        ]))
+        .unwrap();
+        let ids = |s: &str| -> Vec<String> {
+            s.lines()
+                .filter(|l| l.trim_start().starts_with(char::is_numeric))
+                .map(|l| l.split_whitespace().nth(1).unwrap().to_string())
+                .collect()
+        };
+        assert_eq!(
+            ids(&local),
+            ids(&remote),
+            "local: {local}\nremote: {remote}"
+        );
+        assert_eq!(ids(&remote).len(), 7);
+
+        // A tripped budget without --partial is exit code 4, same as the
+        // local path; with --partial the prefix is printed and flagged.
+        let err = run(&argv(&[
+            "query",
+            "--connect",
+            &addr,
+            "--weights",
+            "0.4,0.6",
+            "--k",
+            "7",
+            "--max-cost",
+            "2",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 4, "{}", err.message);
+        let partial = run(&argv(&[
+            "query",
+            "--connect",
+            &addr,
+            "--weights",
+            "0.4,0.6",
+            "--k",
+            "7",
+            "--max-cost",
+            "2",
+            "--partial",
+        ]))
+        .unwrap();
+        assert!(partial.contains("TRUNCATED"), "{partial}");
+        assert!(partial.contains("cost budget exhausted"), "{partial}");
+
+        // Wrong arity is rejected server-side as BadRequest -> usage (2).
+        let err = run(&argv(&[
+            "query",
+            "--connect",
+            &addr,
+            "--weights",
+            "0.2,0.3,0.5",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+
+        let out = run(&argv(&["drain", "--connect", &addr])).unwrap();
+        assert!(out.contains("drain acknowledged"), "{out}");
+        let served = server.join().unwrap().unwrap();
+        assert!(served.contains("drained"), "{served}");
+
+        // Draining an already-stopped server is a runtime error (1).
+        let err = run(&argv(&["drain", "--connect", &addr])).unwrap_err();
+        assert_eq!(err.code, 1);
+        // drain without --connect is a usage error (2).
+        assert_eq!(run(&argv(&["drain"])).unwrap_err().code, 2);
+    }
+
+    /// `--duration-s` bounds the serve command without an external drain
+    /// — the shape CI smoke tests and timed benchmarks rely on.
+    #[test]
+    fn serve_duration_flag_drains_on_its_own() {
+        let data = tmp("timed.data.drt");
+        let index = tmp("timed.index.drt");
+        run(&argv(&[
+            "generate",
+            "--dist",
+            "ind",
+            "--dims",
+            "2",
+            "--n",
+            "100",
+            "--seed",
+            "4",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            index.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&argv(&[
+            "serve",
+            "--index",
+            index.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+            "--duration-s",
+            "1",
+            "--cache",
+        ]))
+        .unwrap();
+        assert!(out.contains("drained"), "{out}");
     }
 }

@@ -223,6 +223,73 @@ impl<'a> BatchExecutor<'a> {
         out
     }
 
+    /// Like [`run_guarded`](Self::run_guarded), but with a **per-request**
+    /// budget: each `(weights, k, budget)` triple carries its own
+    /// deadline/cost cap/cancel flag. This is the enqueue hook the network
+    /// server uses — every client propagates its own deadline in the frame
+    /// header (`PROTOCOL.md` §3.1), so one slow client's budget must not
+    /// govern the micro-batch it happens to share.
+    ///
+    /// All `run_guarded` guarantees hold per slot: panics are confined to
+    /// the request that raised them, untruncated results are bit-identical
+    /// to sequential [`DualLayerIndex::topk`], cache hits are served
+    /// complete under any budget, and budgeted misses never fill the cache.
+    pub fn run_guarded_each(
+        &self,
+        requests: &[(Weights, usize, QueryBudget)],
+    ) -> Vec<Result<GuardedTopk, RequestError>> {
+        let idx = self.idx;
+        let cache = self.cache;
+        drtopk_obs::metrics().batch_enqueue(requests.len() as u64);
+        let out = parallel_map_chunked(
+            requests,
+            self.threads,
+            MIN_REQUESTS_PER_WORKER,
+            &|| Some(QueryScratch::for_index(idx)),
+            &|slot: &mut Option<QueryScratch>, (w, k, budget)| {
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    drtopk_failpoints::hit(WORKER_FAILPOINT)
+                        .map_err(|e| RequestError {
+                            message: e.to_string(),
+                        })
+                        .map(|()| {
+                            let scratch = slot.get_or_insert_with(|| QueryScratch::for_index(idx));
+                            match cache {
+                                Some(c) if budget.is_unlimited() => {
+                                    let r = c.topk_with_scratch(idx, w, *k, scratch);
+                                    GuardedTopk {
+                                        ids: r.ids,
+                                        cost: r.cost,
+                                        truncated: None,
+                                    }
+                                }
+                                Some(c) => match c.probe(idx, w, *k) {
+                                    Some(r) => GuardedTopk {
+                                        ids: r.ids,
+                                        cost: r.cost,
+                                        truncated: None,
+                                    },
+                                    None => idx.topk_guarded_with_scratch(w, *k, budget, scratch),
+                                },
+                                None => idx.topk_guarded_with_scratch(w, *k, budget, scratch),
+                            }
+                        })
+                }));
+                match outcome {
+                    Ok(result) => result,
+                    Err(payload) => {
+                        *slot = None;
+                        Err(RequestError {
+                            message: panic_message(payload),
+                        })
+                    }
+                }
+            },
+        );
+        drtopk_obs::metrics().batch_drain(out.len() as u64);
+        out
+    }
+
     /// Answers every query with the same `k` — the common benchmark shape.
     pub fn run_uniform(&self, queries: &[Weights], k: usize) -> Vec<TopkResult> {
         let idx = self.idx;
@@ -452,6 +519,76 @@ mod tests {
             assert!(!g.is_complete(), "cold cache + tripped budget truncates");
         }
         assert!(cold.is_empty(), "truncated answers must not be stored");
+    }
+
+    #[test]
+    fn per_request_budgets_apply_independently() {
+        use crate::query::{QueryBudget, TruncateReason};
+        let (idx, requests) = batch_fixture(3, 400);
+        // Alternate unlimited and zero-cost budgets across the batch: even
+        // slots must come back complete and bit-identical to sequential
+        // topk, odd slots must truncate with CostExceeded — regardless of
+        // which worker thread and micro-chunk a slot lands in.
+        let each: Vec<(Weights, usize, QueryBudget)> = requests
+            .iter()
+            .enumerate()
+            .map(|(i, (w, k))| {
+                let b = if i % 2 == 0 {
+                    QueryBudget::unlimited()
+                } else {
+                    QueryBudget::unlimited().with_max_cost(0)
+                };
+                (w.clone(), *k, b)
+            })
+            .collect();
+        for threads in [1usize, 2, 8] {
+            let out = BatchExecutor::with_threads(&idx, threads).run_guarded_each(&each);
+            assert_eq!(out.len(), each.len());
+            for (i, r) in out.iter().enumerate() {
+                let g = r.as_ref().expect("no faults injected");
+                if i % 2 == 0 {
+                    assert!(g.is_complete(), "threads={threads} request {i}");
+                    let want = idx.topk(&requests[i].0, requests[i].1);
+                    assert_eq!(g.ids, want.ids, "threads={threads} request {i}");
+                    assert_eq!(g.cost, want.cost, "threads={threads} request {i}");
+                } else {
+                    assert_eq!(
+                        g.truncated,
+                        Some(TruncateReason::CostExceeded),
+                        "threads={threads} request {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn per_request_budgets_with_cache_serve_hits_complete() {
+        use crate::cache::ResultCache;
+        use crate::query::QueryBudget;
+        let (idx, _) = batch_fixture(3, 300);
+        let w = Weights::uniform(3);
+        let want = idx.topk(&w, 5).ids;
+        let cache = ResultCache::default();
+        let exec = BatchExecutor::with_threads(&idx, 2).with_cache(&cache);
+        // Warm the cache with an unlimited request, then hammer it with
+        // zero-cost budgets: every hit must come back complete.
+        let warm = vec![(w.clone(), 5, QueryBudget::unlimited())];
+        exec.run_guarded_each(&warm)[0].as_ref().expect("warm");
+        let stores_before = cache.stats().stores;
+        let tight: Vec<(Weights, usize, QueryBudget)> = (0..16)
+            .map(|_| (w.clone(), 5, QueryBudget::unlimited().with_max_cost(0)))
+            .collect();
+        for r in exec.run_guarded_each(&tight) {
+            let g = r.expect("no faults");
+            assert!(g.is_complete(), "cache hits bypass the tight budget");
+            assert_eq!(g.ids, want);
+        }
+        assert_eq!(
+            cache.stats().stores,
+            stores_before,
+            "budgeted requests must never fill the cache"
+        );
     }
 
     #[test]

@@ -165,10 +165,18 @@ pub struct MetricsRegistry {
     cache_misses: ShardedCounter,
     cache_cert_rejects: ShardedCounter,
     cache_invalidations: ShardedCounter,
+    server_connections: ShardedCounter,
+    server_requests: ShardedCounter,
+    server_sheds: ShardedCounter,
+    server_protocol_errors: ShardedCounter,
+    server_enqueued: ShardedCounter,
+    server_dequeued: ShardedCounter,
     query_latency_ns: LogHistogram,
     query_cost: LogHistogram,
     scratch_touched: LogHistogram,
     kernel_block_tuples: LogHistogram,
+    server_batch_size: LogHistogram,
+    server_queue_wait_ns: LogHistogram,
 }
 
 static REGISTRY: MetricsRegistry = MetricsRegistry::new();
@@ -200,10 +208,18 @@ impl MetricsRegistry {
             cache_misses: ShardedCounter::new(),
             cache_cert_rejects: ShardedCounter::new(),
             cache_invalidations: ShardedCounter::new(),
+            server_connections: ShardedCounter::new(),
+            server_requests: ShardedCounter::new(),
+            server_sheds: ShardedCounter::new(),
+            server_protocol_errors: ShardedCounter::new(),
+            server_enqueued: ShardedCounter::new(),
+            server_dequeued: ShardedCounter::new(),
             query_latency_ns: LogHistogram::new(),
             query_cost: LogHistogram::new(),
             scratch_touched: LogHistogram::new(),
             kernel_block_tuples: LogHistogram::new(),
+            server_batch_size: LogHistogram::new(),
+            server_queue_wait_ns: LogHistogram::new(),
         }
     }
 
@@ -308,6 +324,65 @@ impl MetricsRegistry {
         }
     }
 
+    /// One client connection accepted by the network server.
+    #[inline]
+    pub fn server_connection(&self) {
+        if self.recording() {
+            self.server_connections.add(1);
+        }
+    }
+
+    /// One well-formed request frame received by the network server.
+    #[inline]
+    pub fn server_request(&self) {
+        if self.recording() {
+            self.server_requests.add(1);
+        }
+    }
+
+    /// One request shed by admission control (answered `Overloaded`).
+    #[inline]
+    pub fn server_shed(&self) {
+        if self.recording() {
+            self.server_sheds.add(1);
+        }
+    }
+
+    /// One protocol violation (bad frame, CRC mismatch, oversized length)
+    /// on a server connection.
+    #[inline]
+    pub fn server_protocol_error(&self) {
+        if self.recording() {
+            self.server_protocol_errors.add(1);
+        }
+    }
+
+    /// One request admitted into the server's bounded queue.
+    #[inline]
+    pub fn server_enqueue(&self) {
+        if self.recording() {
+            self.server_enqueued.add(1);
+        }
+    }
+
+    /// `n` requests pulled from the server queue into a micro-batch
+    /// (recorded together with one batch-size observation).
+    #[inline]
+    pub fn server_batch(&self, n: u64) {
+        if self.recording() {
+            self.server_dequeued.add(n);
+            self.server_batch_size.record(n);
+        }
+    }
+
+    /// One request's time spent waiting in the server queue.
+    #[inline]
+    pub fn server_queue_wait(&self, ns: u64) {
+        if self.recording() {
+            self.server_queue_wait_ns.record(ns);
+        }
+    }
+
     /// Copies every counter and histogram out. Each value is read with a
     /// relaxed load, so a snapshot taken while queries run is a coherent
     /// *approximation* — fine for monitoring, exact once writers quiesce.
@@ -330,10 +405,18 @@ impl MetricsRegistry {
             cache_misses: self.cache_misses.get(),
             cache_cert_rejects: self.cache_cert_rejects.get(),
             cache_invalidations: self.cache_invalidations.get(),
+            server_connections: self.server_connections.get(),
+            server_requests: self.server_requests.get(),
+            server_sheds: self.server_sheds.get(),
+            server_protocol_errors: self.server_protocol_errors.get(),
+            server_enqueued: self.server_enqueued.get(),
+            server_dequeued: self.server_dequeued.get(),
             query_latency_ns: self.query_latency_ns.snapshot(),
             query_cost: self.query_cost.snapshot(),
             scratch_touched: self.scratch_touched.snapshot(),
             kernel_block_tuples: self.kernel_block_tuples.snapshot(),
+            server_batch_size: self.server_batch_size.snapshot(),
+            server_queue_wait_ns: self.server_queue_wait_ns.snapshot(),
         }
     }
 
@@ -358,10 +441,18 @@ impl MetricsRegistry {
         self.cache_misses.reset();
         self.cache_cert_rejects.reset();
         self.cache_invalidations.reset();
+        self.server_connections.reset();
+        self.server_requests.reset();
+        self.server_sheds.reset();
+        self.server_protocol_errors.reset();
+        self.server_enqueued.reset();
+        self.server_dequeued.reset();
         self.query_latency_ns.reset();
         self.query_cost.reset();
         self.scratch_touched.reset();
         self.kernel_block_tuples.reset();
+        self.server_batch_size.reset();
+        self.server_queue_wait_ns.reset();
     }
 }
 

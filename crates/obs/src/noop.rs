@@ -71,6 +71,34 @@ impl MetricsRegistry {
     #[inline]
     pub fn cache_invalidate(&self) {}
 
+    /// No-op.
+    #[inline]
+    pub fn server_connection(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn server_request(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn server_shed(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn server_protocol_error(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn server_enqueue(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn server_batch(&self, _n: u64) {}
+
+    /// No-op.
+    #[inline]
+    pub fn server_queue_wait(&self, _ns: u64) {}
+
     /// All zeros.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot::default()

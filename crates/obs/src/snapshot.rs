@@ -195,6 +195,18 @@ pub struct MetricsSnapshot {
     pub cache_cert_rejects: u64,
     /// Result-cache generation bumps (full invalidations).
     pub cache_invalidations: u64,
+    /// Client connections accepted by the network server.
+    pub server_connections: u64,
+    /// Well-formed request frames received by the network server.
+    pub server_requests: u64,
+    /// Requests shed by admission control (answered `Overloaded`).
+    pub server_sheds: u64,
+    /// Protocol violations (bad frame, CRC mismatch, oversized length).
+    pub server_protocol_errors: u64,
+    /// Requests admitted into the server's bounded queue.
+    pub server_enqueued: u64,
+    /// Requests pulled from the server queue into micro-batches.
+    pub server_dequeued: u64,
     /// Per-query wall-clock latency, recorded in nanoseconds.
     pub query_latency_ns: HistogramSnapshot,
     /// Per-query paper cost (Definition 9 total, real + pseudo).
@@ -205,12 +217,22 @@ pub struct MetricsSnapshot {
     /// Tuples per scoring-kernel invocation (columnar block sizes on the
     /// query hot path).
     pub kernel_block_tuples: HistogramSnapshot,
+    /// Requests per server micro-batch flush (adaptive batching window).
+    pub server_batch_size: HistogramSnapshot,
+    /// Per-request time spent waiting in the server queue, in nanoseconds.
+    pub server_queue_wait_ns: HistogramSnapshot,
 }
 
 impl MetricsSnapshot {
     /// Batch requests currently in flight (enqueued but not yet drained).
     pub fn batch_queue_depth(&self) -> u64 {
         self.batch_enqueued.saturating_sub(self.batch_drained)
+    }
+
+    /// Requests currently waiting in the server's admission queue
+    /// (admitted but not yet pulled into a micro-batch).
+    pub fn server_queue_depth(&self) -> u64 {
+        self.server_enqueued.saturating_sub(self.server_dequeued)
     }
 
     /// The counter fields as `(name, help, value)` rows — one source of
@@ -302,6 +324,36 @@ impl MetricsSnapshot {
                 "Result-cache generation bumps (full invalidations)",
                 self.cache_invalidations,
             ),
+            (
+                "server_connections",
+                "Client connections accepted by the network server",
+                self.server_connections,
+            ),
+            (
+                "server_requests",
+                "Well-formed request frames received by the network server",
+                self.server_requests,
+            ),
+            (
+                "server_sheds",
+                "Requests shed by admission control (answered Overloaded)",
+                self.server_sheds,
+            ),
+            (
+                "server_protocol_errors",
+                "Protocol violations on server connections",
+                self.server_protocol_errors,
+            ),
+            (
+                "server_enqueued",
+                "Requests admitted into the server queue",
+                self.server_enqueued,
+            ),
+            (
+                "server_dequeued",
+                "Requests pulled from the server queue into micro-batches",
+                self.server_dequeued,
+            ),
         ]
     }
 
@@ -320,6 +372,11 @@ impl MetricsSnapshot {
             "{pad}  \"batch_queue_depth\": {},",
             self.batch_queue_depth()
         );
+        let _ = writeln!(
+            out,
+            "{pad}  \"server_queue_depth\": {},",
+            self.server_queue_depth()
+        );
         let _ = write!(out, "{pad}  \"query_latency_ns\": ");
         self.query_latency_ns.to_json(&mut out, &format!("{pad}  "));
         out.push_str(",\n");
@@ -331,6 +388,14 @@ impl MetricsSnapshot {
         out.push_str(",\n");
         let _ = write!(out, "{pad}  \"kernel_block_tuples\": ");
         self.kernel_block_tuples
+            .to_json(&mut out, &format!("{pad}  "));
+        out.push_str(",\n");
+        let _ = write!(out, "{pad}  \"server_batch_size\": ");
+        self.server_batch_size
+            .to_json(&mut out, &format!("{pad}  "));
+        out.push_str(",\n");
+        let _ = write!(out, "{pad}  \"server_queue_wait_ns\": ");
+        self.server_queue_wait_ns
             .to_json(&mut out, &format!("{pad}  "));
         let _ = write!(out, "\n{pad}}}");
         out
@@ -357,6 +422,12 @@ impl MetricsSnapshot {
             "Batch requests currently in flight",
             self.batch_queue_depth() as f64,
         );
+        prom_gauge(
+            &mut out,
+            "drtopk_server_queue_depth",
+            "Requests waiting in the server admission queue",
+            self.server_queue_depth() as f64,
+        );
         self.query_latency_ns.to_prometheus(
             &mut out,
             "drtopk_query_latency_seconds",
@@ -380,6 +451,18 @@ impl MetricsSnapshot {
             "drtopk_kernel_block_tuples",
             "Tuples per scoring-kernel block",
             1.0,
+        );
+        self.server_batch_size.to_prometheus(
+            &mut out,
+            "drtopk_server_batch_size",
+            "Requests per server micro-batch flush",
+            1.0,
+        );
+        self.server_queue_wait_ns.to_prometheus(
+            &mut out,
+            "drtopk_server_queue_wait_seconds",
+            "Per-request wait in the server admission queue",
+            1e-9,
         );
         out
     }
@@ -475,6 +558,23 @@ mod tests {
             assert!(c >= last, "buckets not cumulative: {p}");
             last = c;
         }
+    }
+
+    #[test]
+    fn server_queue_depth_is_enqueued_minus_dequeued() {
+        let s = MetricsSnapshot {
+            server_enqueued: 9,
+            server_dequeued: 4,
+            ..MetricsSnapshot::default()
+        };
+        assert_eq!(s.server_queue_depth(), 5);
+        let p = s.to_prometheus();
+        assert!(p.contains("drtopk_server_queue_depth 5"));
+        assert!(p.contains("# TYPE drtopk_server_sheds_total counter"));
+        assert!(p.contains("# TYPE drtopk_server_batch_size histogram"));
+        let j = s.to_json();
+        assert!(j.contains("\"server_queue_depth\": 5"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

@@ -1,0 +1,219 @@
+//! Blocking client for the drtopk index service.
+//!
+//! Speaks `PROTOCOL.md` verbatim: hello exchange (§1.1), then frames
+//! (§2). The synchronous [`Client::query`] sends one QUERY and reads its
+//! reply; the split [`Client::send_query`] / [`Client::recv`] pair
+//! supports pipelining — many requests in flight on one connection,
+//! replies paired back up by `request_id` (§2.3), which the open-loop
+//! load generator uses.
+
+use crate::protocol::{read_frame, write_frame, ErrorCode, Message, WireError, HELLO};
+use std::io::{self, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A decoded TOPK reply (`PROTOCOL.md` §4.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopkReply {
+    /// Answer ids, ascending `(score, id)`; a true prefix of the exact
+    /// answer when `truncated != 0`.
+    pub ids: Vec<u64>,
+    /// Real tuples scored (Definition 9, real part).
+    pub evaluated: u64,
+    /// Zero-layer pseudo-tuples scored (Definition 9, pseudo part).
+    pub pseudo_evaluated: u64,
+    /// Truncation reason: `0` complete, `1` deadline, `2` cost cap, `3`
+    /// cancelled.
+    pub truncated: u8,
+}
+
+impl TopkReply {
+    /// Whether the answer ran to completion (no budget tripped).
+    pub fn is_complete(&self) -> bool {
+        self.truncated == 0
+    }
+}
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or died.
+    Io(io::Error),
+    /// The server sent bytes that violate the spec.
+    Wire(WireError),
+    /// The server answered with an ERROR frame (`PROTOCOL.md` §5).
+    Server {
+        /// The server's error code.
+        code: ErrorCode,
+        /// The server's human-readable detail.
+        message: String,
+    },
+    /// The reply was a sound frame of an unexpected type.
+    Unexpected(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Wire(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "server error ({code}): {message}")
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected reply: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(e) => ClientError::Io(e),
+            other => ClientError::Wire(other),
+        }
+    }
+}
+
+/// A blocking connection to a `drtopk serve` process.
+///
+/// One `Client` is one TCP connection; it is not `Sync` — use one per
+/// thread (the server multiplexes them into shared batches on its side).
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects and performs the hello exchange (`PROTOCOL.md` §1.1).
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        stream.write_all(&HELLO)?;
+        stream.flush()?;
+        let mut echo = [0u8; 8];
+        stream.read_exact(&mut echo)?;
+        if echo != HELLO {
+            return Err(ClientError::Unexpected(format!(
+                "bad hello echo: {echo:02x?}"
+            )));
+        }
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    /// Sends one QUERY frame (§3.1) without waiting, returning its
+    /// request id for pairing with a later [`recv`](Self::recv).
+    pub fn send_query(
+        &mut self,
+        weights: &[f64],
+        k: u32,
+        deadline_ms: u32,
+        max_cost: u64,
+    ) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(
+            &mut self.stream,
+            id,
+            &Message::Query {
+                deadline_ms,
+                max_cost,
+                k,
+                weights: weights.to_vec(),
+            },
+        )?;
+        Ok(id)
+    }
+
+    /// Reads the next reply frame, whatever request it answers.
+    pub fn recv(&mut self) -> Result<(u64, Message), ClientError> {
+        Ok(read_frame(&mut self.stream)?)
+    }
+
+    /// Reads the next reply and interprets it as a top-k answer,
+    /// returning `(request_id, reply)`. ERROR frames become
+    /// [`ClientError::Server`].
+    pub fn recv_topk(&mut self) -> Result<(u64, TopkReply), ClientError> {
+        match self.recv()? {
+            (
+                id,
+                Message::Topk {
+                    truncated,
+                    evaluated,
+                    pseudo_evaluated,
+                    ids,
+                },
+            ) => Ok((
+                id,
+                TopkReply {
+                    ids,
+                    evaluated,
+                    pseudo_evaluated,
+                    truncated,
+                },
+            )),
+            (_, Message::Error { code, message }) => Err(ClientError::Server { code, message }),
+            (_, other) => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// One synchronous top-k query: send, then wait for that request's
+    /// reply. `deadline_ms`/`max_cost` of `0` mean unbounded (§3.1).
+    pub fn query(
+        &mut self,
+        weights: &[f64],
+        k: u32,
+        deadline_ms: u32,
+        max_cost: u64,
+    ) -> Result<TopkReply, ClientError> {
+        let want = self.send_query(weights, k, deadline_ms, max_cost)?;
+        loop {
+            let (id, reply) = self.recv_topk()?;
+            if id == want {
+                return Ok(reply);
+            }
+            // A stale reply from an abandoned pipelined request; skip it.
+        }
+    }
+
+    /// Liveness probe (§3.3).
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, id, &Message::Ping)?;
+        match self.recv()? {
+            (got, Message::Pong) if got == id => Ok(()),
+            (_, other) => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Fetches the Prometheus text exposition over the protocol (§3.2).
+    pub fn metrics_text(&mut self) -> Result<String, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, id, &Message::MetricsRequest)?;
+        match self.recv()? {
+            (got, Message::MetricsReply(text)) if got == id => Ok(text),
+            (_, other) => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Asks the server to drain gracefully (§3.4), waiting for the
+    /// DRAINING acknowledgement.
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(&mut self.stream, id, &Message::Drain)?;
+        match self.recv()? {
+            (got, Message::Draining) if got == id => Ok(()),
+            (_, other) => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Network index service for the dual-resolution layer index.
+//!
+//! Everything the workspace built in-process — the O(touched) query hot
+//! path, guarded budgets, the batch executor, the weight-space result
+//! cache — becomes reachable over TCP here. The design splits three
+//! ways:
+//!
+//! * [`protocol`] — the hand-rolled wire format. **`PROTOCOL.md` is the
+//!   contract**: length-prefixed CRC-checked frames in the style of the
+//!   write-ahead log, a budget header per query, explicit error codes.
+//! * [`server`] — the service: per-connection readers feed one bounded
+//!   admission queue; a fixed worker pool drains it in adaptive
+//!   micro-batches (flush on size or age) through
+//!   [`BatchExecutor::run_guarded_each`](drtopk_core::BatchExecutor::run_guarded_each),
+//!   each request under its own deadline. Overload sheds fast
+//!   (`Overloaded` replies) instead of queueing without bound; shutdown
+//!   drains gracefully; `/metrics` answers both a protocol frame and
+//!   plain HTTP.
+//! * [`client`] — a blocking client with pipelining support, used by the
+//!   CLI (`drtopk query --connect`), the tests, and the serving load
+//!   generator.
+//!
+//! ```no_run
+//! use drtopk_common::{Distribution, WorkloadSpec};
+//! use drtopk_core::{DlOptions, DualLayerIndex};
+//! use drtopk_server::{Client, Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! let rel = WorkloadSpec::new(Distribution::Independent, 2, 500, 7).generate();
+//! let idx = Arc::new(DualLayerIndex::build(&rel, DlOptions::dl_plus()));
+//! let handle = Server::start(idx, ServerConfig::new().addr("127.0.0.1:0")).unwrap();
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! let reply = client.query(&[0.5, 0.5], 10, 0, 0).unwrap();
+//! assert_eq!(reply.ids.len(), 10);
+//! handle.shutdown();
+//! ```
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError, TopkReply};
+pub use protocol::{ErrorCode, Message, WireError, HELLO, MAX_PAYLOAD};
+pub use server::{Server, ServerConfig, ServerHandle, ACCEPT_FAILPOINT};

@@ -1,0 +1,525 @@
+//! Wire-format encoder/decoder for the drtopk network protocol.
+//!
+//! **`PROTOCOL.md` is the contract**; this module is its implementation.
+//! Every message and field below names the spec section it encodes, and
+//! `tests/protocol.rs` pins the spec's worked hex examples (§7) against
+//! this encoder byte-for-byte.
+//!
+//! Framing (§2) follows the write-ahead log: `len u32 LE | crc32 u32 LE |
+//! payload`, CRC-32 IEEE over the payload (the same
+//! [`drtopk_storage::format::crc32`] the WAL uses), payloads capped at
+//! 1 MiB. A frame that fails any check is a [`WireError::Corrupt`]: the
+//! stream is unreadable past it, exactly like a torn WAL tail.
+
+use drtopk_storage::format::crc32;
+use std::io::{self, Read, Write};
+
+/// Connection hello (§1.1): 7 magic bytes + the protocol version.
+pub const HELLO: [u8; 8] = *b"DRTOPKN\x01";
+
+/// Largest permitted frame payload (§2.1): 1 MiB, matching
+/// [`drtopk_storage::MAX_WAL_RECORD`].
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Fixed payload-header length (§2.3): type byte + request id.
+const HEADER: usize = 1 + 8;
+
+/// Message type bytes (§3, §4, §5).
+mod ty {
+    pub const QUERY: u8 = 0x01;
+    pub const METRICS_REQ: u8 = 0x02;
+    pub const PING: u8 = 0x03;
+    pub const DRAIN: u8 = 0x04;
+    pub const TOPK: u8 = 0x81;
+    pub const METRICS_REP: u8 = 0x82;
+    pub const PONG: u8 = 0x83;
+    pub const DRAINING: u8 = 0x84;
+    pub const ERROR: u8 = 0x7F;
+}
+
+/// Error codes carried by an ERROR frame (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Malformed body, wrong dimensionality, invalid weights (§5 code 1).
+    BadRequest = 1,
+    /// Admission queue at capacity; the request was shed (§5 code 2).
+    Overloaded = 2,
+    /// Server is draining; the request was not admitted (§5 code 3).
+    ShuttingDown = 3,
+    /// The request failed inside the server (§5 code 4).
+    Internal = 4,
+    /// Unknown message type (§5 code 5, forward-compat rule §1.3).
+    Unsupported = 5,
+}
+
+impl ErrorCode {
+    fn from_u8(b: u8) -> Option<Self> {
+        Some(match b {
+            1 => ErrorCode::BadRequest,
+            2 => ErrorCode::Overloaded,
+            3 => ErrorCode::ShuttingDown,
+            4 => ErrorCode::Internal,
+            5 => ErrorCode::Unsupported,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ErrorCode::BadRequest => "bad request",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting down",
+            ErrorCode::Internal => "internal error",
+            ErrorCode::Unsupported => "unsupported message",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One decoded protocol message (the payload past the request id, §2.3).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// QUERY (§3.1): one top-k request with its budget header.
+    Query {
+        /// Budget deadline in milliseconds from admission; `0` = none.
+        deadline_ms: u32,
+        /// Budget cap on Definition-9 cost; `0` = none.
+        max_cost: u64,
+        /// Number of results requested.
+        k: u32,
+        /// Query weight vector (`dims` is implied by the length).
+        weights: Vec<f64>,
+    },
+    /// METRICS request (§3.2): empty body.
+    MetricsRequest,
+    /// PING (§3.3): empty body.
+    Ping,
+    /// DRAIN (§3.4): begin a graceful drain.
+    Drain,
+    /// TOPK response (§4.1): answer ids plus the paper cost split.
+    Topk {
+        /// Truncation reason: `0` complete, `1` deadline, `2` cost cap,
+        /// `3` cancelled (§4.1 flags bits 0–1).
+        truncated: u8,
+        /// Real tuples scored (Definition 9, real part).
+        evaluated: u64,
+        /// Zero-layer pseudo-tuples scored (Definition 9, pseudo part).
+        pseudo_evaluated: u64,
+        /// Answer ids, ascending `(score, id)`; a true prefix when
+        /// `truncated != 0`.
+        ids: Vec<u64>,
+    },
+    /// METRICS response (§4.2): Prometheus text exposition.
+    MetricsReply(
+        /// The exposition body, UTF-8.
+        String,
+    ),
+    /// PONG (§4.3): empty body.
+    Pong,
+    /// DRAINING (§4.4): drain acknowledged.
+    Draining,
+    /// ERROR (§5): a coded failure scoped to `request_id`.
+    Error {
+        /// What went wrong (§5 table).
+        code: ErrorCode,
+        /// Human-readable detail; not part of the contract.
+        message: String,
+    },
+}
+
+/// Decode-side failure.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying stream failed (includes EOF mid-frame, §2.2).
+    Io(io::Error),
+    /// The frame violated the spec: bad length, CRC mismatch, truncated
+    /// or over-long body (§2.1–§2.2). The stream is unreadable past it.
+    Corrupt(String),
+    /// Sound frame, unknown type byte (§5.3): the connection survives;
+    /// a server answers `ERR_UNSUPPORTED` for this `request_id`.
+    UnknownType {
+        /// Request id parsed from the sound payload header.
+        request_id: u64,
+        /// The unrecognized type byte.
+        type_byte: u8,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "io error: {e}"),
+            WireError::Corrupt(msg) => write!(f, "corrupt frame: {msg}"),
+            WireError::UnknownType { type_byte, .. } => {
+                write!(f, "unknown message type 0x{type_byte:02x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+fn corrupt(msg: impl Into<String>) -> WireError {
+    WireError::Corrupt(msg.into())
+}
+
+/// Encodes `msg` for `request_id` as one complete frame (§2): length
+/// prefix, payload CRC, payload.
+pub fn encode_frame(request_id: u64, msg: &Message) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(HEADER + 16);
+    payload.push(type_byte(msg));
+    payload.extend_from_slice(&request_id.to_le_bytes());
+    encode_body(msg, &mut payload);
+    debug_assert!(payload.len() <= MAX_PAYLOAD, "oversized frame");
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+fn type_byte(msg: &Message) -> u8 {
+    match msg {
+        Message::Query { .. } => ty::QUERY,
+        Message::MetricsRequest => ty::METRICS_REQ,
+        Message::Ping => ty::PING,
+        Message::Drain => ty::DRAIN,
+        Message::Topk { .. } => ty::TOPK,
+        Message::MetricsReply(_) => ty::METRICS_REP,
+        Message::Pong => ty::PONG,
+        Message::Draining => ty::DRAINING,
+        Message::Error { .. } => ty::ERROR,
+    }
+}
+
+fn encode_body(msg: &Message, out: &mut Vec<u8>) {
+    match msg {
+        Message::Query {
+            deadline_ms,
+            max_cost,
+            k,
+            weights,
+        } => {
+            out.extend_from_slice(&deadline_ms.to_le_bytes());
+            out.extend_from_slice(&max_cost.to_le_bytes());
+            out.extend_from_slice(&k.to_le_bytes());
+            out.extend_from_slice(&(weights.len() as u16).to_le_bytes());
+            for w in weights {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        Message::Topk {
+            truncated,
+            evaluated,
+            pseudo_evaluated,
+            ids,
+        } => {
+            out.push(*truncated);
+            out.extend_from_slice(&evaluated.to_le_bytes());
+            out.extend_from_slice(&pseudo_evaluated.to_le_bytes());
+            out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
+            for id in ids {
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        Message::MetricsReply(text) => out.extend_from_slice(text.as_bytes()),
+        Message::Error { code, message } => {
+            out.push(*code as u8);
+            out.extend_from_slice(message.as_bytes());
+        }
+        Message::MetricsRequest
+        | Message::Ping
+        | Message::Drain
+        | Message::Pong
+        | Message::Draining => {}
+    }
+}
+
+/// A little-endian cursor over a decoded payload body.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(corrupt(format!(
+                "body truncated: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(corrupt(format!(
+                "{} trailing bytes past the message body",
+                self.buf.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Decodes one payload (everything past the 8-byte frame header) into
+/// `(request_id, message)`. The CRC must already have been verified.
+pub fn decode_payload(payload: &[u8]) -> Result<(u64, Message), WireError> {
+    if payload.len() < HEADER {
+        return Err(corrupt(format!(
+            "payload shorter than the {HEADER}-byte header: {} bytes",
+            payload.len()
+        )));
+    }
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
+    let type_byte = c.u8()?;
+    let request_id = c.u64()?;
+    let msg = match type_byte {
+        ty::QUERY => {
+            let deadline_ms = c.u32()?;
+            let max_cost = c.u64()?;
+            let k = c.u32()?;
+            let dims = c.u16()? as usize;
+            let mut weights = Vec::with_capacity(dims);
+            for _ in 0..dims {
+                weights.push(c.f64()?);
+            }
+            Message::Query {
+                deadline_ms,
+                max_cost,
+                k,
+                weights,
+            }
+        }
+        ty::METRICS_REQ => Message::MetricsRequest,
+        ty::PING => Message::Ping,
+        ty::DRAIN => Message::Drain,
+        ty::TOPK => {
+            let truncated = c.u8()?;
+            let evaluated = c.u64()?;
+            let pseudo_evaluated = c.u64()?;
+            let count = c.u32()? as usize;
+            // An honest count can't outrun the payload that carries it.
+            if count > (payload.len() - c.pos) / 8 {
+                return Err(corrupt(format!("id count {count} exceeds the body")));
+            }
+            let mut ids = Vec::with_capacity(count);
+            for _ in 0..count {
+                ids.push(c.u64()?);
+            }
+            Message::Topk {
+                truncated,
+                evaluated,
+                pseudo_evaluated,
+                ids,
+            }
+        }
+        ty::METRICS_REP => {
+            let rest = c.take(payload.len() - c.pos)?;
+            let text = String::from_utf8(rest.to_vec())
+                .map_err(|_| corrupt("metrics body is not UTF-8"))?;
+            Message::MetricsReply(text)
+        }
+        ty::PONG => Message::Pong,
+        ty::DRAINING => Message::Draining,
+        ty::ERROR => {
+            let code_byte = c.u8()?;
+            let code = ErrorCode::from_u8(code_byte)
+                .ok_or_else(|| corrupt(format!("unknown error code {code_byte}")))?;
+            let rest = c.take(payload.len() - c.pos)?;
+            let message = String::from_utf8(rest.to_vec())
+                .map_err(|_| corrupt("error message is not UTF-8"))?;
+            Message::Error { code, message }
+        }
+        other => {
+            return Err(WireError::UnknownType {
+                request_id,
+                type_byte: other,
+            })
+        }
+    };
+    c.finish()?;
+    Ok((request_id, msg))
+}
+
+/// Reads one frame from `r` (§2): validates the length bound and the
+/// payload CRC, then decodes. An EOF *before the first header byte*
+/// surfaces as `Io(UnexpectedEof)` — callers treat it as a clean
+/// disconnect; EOF anywhere later is the torn-tail case.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<(u64, Message), WireError> {
+    let mut header = [0u8; 8];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+    let want_crc = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len == 0 || len > MAX_PAYLOAD {
+        return Err(corrupt(format!(
+            "frame length {len} outside 1..={MAX_PAYLOAD}"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    let got_crc = crc32(&payload);
+    if got_crc != want_crc {
+        return Err(corrupt(format!(
+            "payload crc mismatch: stored {want_crc:#010x}, computed {got_crc:#010x}"
+        )));
+    }
+    decode_payload(&payload)
+}
+
+/// Writes one encoded frame to `w` and flushes it.
+pub fn write_frame<W: Write>(w: &mut W, request_id: u64, msg: &Message) -> io::Result<()> {
+    w.write_all(&encode_frame(request_id, msg))?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(id: u64, msg: Message) {
+        let frame = encode_frame(id, &msg);
+        let (got_id, got) = read_frame(&mut &frame[..]).expect("roundtrip");
+        assert_eq!(got_id, id);
+        assert_eq!(got, msg);
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        roundtrip(
+            7,
+            Message::Query {
+                deadline_ms: 250,
+                max_cost: 0,
+                k: 3,
+                weights: vec![0.25, 0.75],
+            },
+        );
+        roundtrip(1, Message::MetricsRequest);
+        roundtrip(2, Message::Ping);
+        roundtrip(3, Message::Drain);
+        roundtrip(
+            7,
+            Message::Topk {
+                truncated: 0,
+                evaluated: 5,
+                pseudo_evaluated: 1,
+                ids: vec![12, 4, 9],
+            },
+        );
+        roundtrip(4, Message::MetricsReply("# HELP x\nx 1\n".into()));
+        roundtrip(5, Message::Pong);
+        roundtrip(6, Message::Draining);
+        roundtrip(
+            9,
+            Message::Error {
+                code: ErrorCode::Overloaded,
+                message: "queue full".into(),
+            },
+        );
+    }
+
+    #[test]
+    fn zero_and_oversized_lengths_are_rejected() {
+        let mut bad = encode_frame(1, &Message::Ping);
+        bad[0..4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &bad[..]),
+            Err(WireError::Corrupt(_))
+        ));
+        let mut huge = encode_frame(1, &Message::Ping);
+        huge[0..4].copy_from_slice(&((MAX_PAYLOAD as u32) + 1).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &huge[..]),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_type_reports_the_request_id() {
+        let mut frame = encode_frame(42, &Message::Ping);
+        frame[8] = 0x55; // unknown type byte
+        let payload = frame[8..].to_vec();
+        frame[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
+        match read_frame(&mut &frame[..]) {
+            Err(WireError::UnknownType {
+                request_id,
+                type_byte,
+            }) => {
+                assert_eq!(request_id, 42);
+                assert_eq!(type_byte, 0x55);
+            }
+            other => panic!("want UnknownType, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_corrupt() {
+        let mut frame = encode_frame(1, &Message::Ping);
+        // Append one byte inside the declared payload and re-checksum.
+        frame.push(0xAB);
+        let len = (frame.len() - 8) as u32;
+        frame[0..4].copy_from_slice(&len.to_le_bytes());
+        let payload = frame[8..].to_vec();
+        frame[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &frame[..]),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn topk_count_cannot_outrun_the_body() {
+        let msg = Message::Topk {
+            truncated: 0,
+            evaluated: 1,
+            pseudo_evaluated: 0,
+            ids: vec![1, 2],
+        };
+        let mut frame = encode_frame(1, &msg);
+        // count lives at payload offset 26 → frame offset 34.
+        frame[34..38].copy_from_slice(&u32::MAX.to_le_bytes());
+        let payload = frame[8..].to_vec();
+        frame[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &frame[..]),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+}

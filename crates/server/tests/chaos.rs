@@ -1,0 +1,42 @@
+//! Chaos: an armed accept-path failpoint must degrade to a graceful
+//! connection-scoped ERROR frame (`PROTOCOL.md` §5.2), never a hang or a
+//! silent close. Run with `--features failpoints`.
+#![cfg(feature = "failpoints")]
+
+use drtopk_common::{Distribution, WorkloadSpec};
+use drtopk_core::{DlOptions, DualLayerIndex};
+use drtopk_failpoints::FailAction;
+use drtopk_server::{Client, ClientError, ErrorCode, Server, ServerConfig, ACCEPT_FAILPOINT};
+use std::sync::Arc;
+
+#[test]
+fn armed_accept_path_degrades_to_a_graceful_error_reply() {
+    let rel = WorkloadSpec::new(Distribution::Independent, 2, 150, 1).generate();
+    let idx = Arc::new(DualLayerIndex::build(&rel, DlOptions::dl_plus()));
+    let handle = Server::start(Arc::clone(&idx), ServerConfig::new()).expect("start");
+
+    drtopk_failpoints::reset();
+    drtopk_failpoints::arm(ACCEPT_FAILPOINT, 0, FailAction::Error);
+
+    // The poisoned connection completes the hello (so framing exists to
+    // carry the error) and then receives a connection-scoped ERROR.
+    let mut poisoned = Client::connect(handle.addr()).expect("hello still exchanges");
+    match poisoned.query(&[0.5, 0.5], 5, 0, 0) {
+        Err(ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::Internal);
+            assert!(message.contains(ACCEPT_FAILPOINT), "{message}");
+        }
+        // The server may close before our frame is read; an I/O error is
+        // also a graceful (non-hanging) outcome — but only after the
+        // ERROR frame was sent, which recv() would have surfaced first.
+        other => panic!("want Internal error reply, got {other:?}"),
+    }
+
+    // The failpoint is one-shot: the next connection serves normally.
+    let mut healthy = Client::connect(handle.addr()).expect("connect");
+    let reply = healthy.query(&[0.5, 0.5], 5, 0, 0).expect("healthy query");
+    assert_eq!(reply.ids.len(), 5);
+
+    drtopk_failpoints::reset();
+    handle.shutdown();
+}

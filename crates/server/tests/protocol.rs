@@ -1,0 +1,155 @@
+//! Wire-format conformance: the spec's worked hex examples pinned
+//! against the encoder, and the corruption matrix (truncation at every
+//! byte, a bit flip at every position) mirroring the storage crate's
+//! torn-tail/bit-rot tests.
+
+use drtopk_server::protocol::{encode_frame, read_frame, ErrorCode, Message, WireError};
+use drtopk_server::HELLO;
+
+fn hex(s: &str) -> Vec<u8> {
+    s.split_whitespace()
+        .map(|b| u8::from_str_radix(b, 16).expect("hex byte"))
+        .collect()
+}
+
+/// PROTOCOL.md §7: the spec's worked examples are the encoder's output,
+/// byte for byte. If this test fails, the *document* and the code have
+/// diverged — fix whichever one is wrong, deliberately.
+#[test]
+fn spec_hex_examples_match_the_encoder() {
+    // §7.1 QUERY
+    let query = encode_frame(
+        7,
+        &Message::Query {
+            deadline_ms: 250,
+            max_cost: 0,
+            k: 3,
+            weights: vec![0.25, 0.75],
+        },
+    );
+    assert_eq!(
+        query,
+        hex("2b 00 00 00 3f 77 84 64 01 07 00 00 00 00 00 00 \
+             00 fa 00 00 00 00 00 00 00 00 00 00 00 03 00 00 \
+             00 02 00 00 00 00 00 00 00 d0 3f 00 00 00 00 00 \
+             00 e8 3f"),
+        "§7.1 QUERY example"
+    );
+
+    // §7.2 TOPK
+    let topk = encode_frame(
+        7,
+        &Message::Topk {
+            truncated: 0,
+            evaluated: 5,
+            pseudo_evaluated: 1,
+            ids: vec![12, 4, 9],
+        },
+    );
+    assert_eq!(
+        topk,
+        hex("36 00 00 00 d8 f7 fb 20 81 07 00 00 00 00 00 00 \
+             00 00 05 00 00 00 00 00 00 00 01 00 00 00 00 00 \
+             00 00 03 00 00 00 0c 00 00 00 00 00 00 00 04 00 \
+             00 00 00 00 00 00 09 00 00 00 00 00 00 00"),
+        "§7.2 TOPK example"
+    );
+
+    // §7.3 ERROR
+    let error = encode_frame(
+        9,
+        &Message::Error {
+            code: ErrorCode::Overloaded,
+            message: "queue full".to_string(),
+        },
+    );
+    assert_eq!(
+        error,
+        hex("14 00 00 00 b6 17 80 e7 7f 09 00 00 00 00 00 00 \
+             00 02 71 75 65 75 65 20 66 75 6c 6c"),
+        "§7.3 ERROR example"
+    );
+
+    // §7.4 hello
+    assert_eq!(HELLO.to_vec(), hex("44 52 54 4f 50 4b 4e 01"));
+}
+
+fn sample_frames() -> Vec<Vec<u8>> {
+    vec![
+        encode_frame(
+            7,
+            &Message::Query {
+                deadline_ms: 250,
+                max_cost: 1_000_000,
+                k: 3,
+                weights: vec![0.25, 0.75],
+            },
+        ),
+        encode_frame(
+            u64::MAX,
+            &Message::Topk {
+                truncated: 2,
+                evaluated: 123_456,
+                pseudo_evaluated: 78,
+                ids: vec![0, u64::from(u32::MAX), 17],
+            },
+        ),
+        encode_frame(3, &Message::Ping),
+        encode_frame(
+            9,
+            &Message::Error {
+                code: ErrorCode::Overloaded,
+                message: "queue full".to_string(),
+            },
+        ),
+        encode_frame(11, &Message::MetricsReply("# HELP a b\na 1\n".to_string())),
+    ]
+}
+
+/// §2.2 torn tail: a frame cut short at *every* byte boundary must fail
+/// to decode — cleanly, never panicking, never yielding a message.
+#[test]
+fn truncation_at_every_byte_is_detected() {
+    for frame in sample_frames() {
+        for cut in 0..frame.len() {
+            let torn = &frame[..cut];
+            match read_frame(&mut &torn[..]) {
+                Err(WireError::Io(_)) | Err(WireError::Corrupt(_)) => {}
+                other => panic!("cut at {cut}/{} decoded: {other:?}", frame.len()),
+            }
+        }
+        // The untouched frame still decodes (the matrix's control arm).
+        read_frame(&mut &frame[..]).expect("intact frame decodes");
+    }
+}
+
+/// §2.2 bit rot: flipping any single bit anywhere in the frame must be
+/// detected — the length bound catches header rot, the CRC catches
+/// payload rot. No flip may yield the original message.
+#[test]
+fn single_bit_flips_never_decode_to_the_original() {
+    for frame in sample_frames() {
+        let original = read_frame(&mut &frame[..]).expect("intact");
+        for byte in 0..frame.len() {
+            for bit in 0..8 {
+                let mut flipped = frame.clone();
+                flipped[byte] ^= 1 << bit;
+                match read_frame(&mut &flipped[..]) {
+                    Err(_) => {}
+                    Ok(decoded) => {
+                        // A flip in the length prefix can only shrink the
+                        // frame into an earlier-terminating one; it must
+                        // never round-trip to the original message.
+                        assert_ne!(
+                            decoded, original,
+                            "flip at byte {byte} bit {bit} went undetected"
+                        );
+                        panic!(
+                            "flip at byte {byte} bit {bit} decoded to {decoded:?} (CRC must catch payload rot)"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! End-to-end loopback tests: a real server on an ephemeral port,
+//! concurrent clients, and the differential contract — every network
+//! answer bit-identical (ids + costs) to an in-process `topk` call,
+//! including budget-truncated partials. Plus the overload contract
+//! (sheds are *reported*, never dropped), graceful drain, the HTTP
+//! metrics escape hatch, and forward-compat error replies.
+
+use drtopk_common::{Distribution, Weights, WorkloadSpec};
+use drtopk_core::{DlOptions, DualLayerIndex, QueryBudget};
+use drtopk_server::protocol::{read_frame, write_frame, Message};
+use drtopk_server::{Client, ClientError, ErrorCode, Server, ServerConfig, HELLO};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn build_index(d: usize, n: usize, seed: u64) -> Arc<DualLayerIndex> {
+    let rel = WorkloadSpec::new(Distribution::AntiCorrelated, d, n, seed).generate();
+    Arc::new(DualLayerIndex::build(&rel, DlOptions::dl_plus()))
+}
+
+/// Raw weight vectors (pre-normalization): the server and the local
+/// reference both construct `Weights::new` from the same f64s, so the
+/// comparison is bit-exact by construction.
+fn raw_weights(d: usize, count: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| (0..d).map(|_| rng.gen_range(0.05..1.0)).collect())
+        .collect()
+}
+
+/// The acceptance-criteria differential: a seeded matrix of d/k/budget
+/// options, N concurrent clients, every reply bit-identical (ids and
+/// both cost components) to the in-process guarded traversal — complete
+/// answers and cost-capped partials alike.
+#[test]
+fn loopback_matrix_is_bit_identical_to_in_process_topk() {
+    for d in [2usize, 3] {
+        let idx = build_index(d, 400, 13 + d as u64);
+        let handle = Server::start(
+            Arc::clone(&idx),
+            ServerConfig::new()
+                .workers(2)
+                .batch_max(8)
+                .batch_window(Duration::from_micros(100)),
+        )
+        .expect("start server");
+        let addr = handle.addr();
+
+        std::thread::scope(|s| {
+            for client_id in 0..4u64 {
+                let idx = Arc::clone(&idx);
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let pool = raw_weights(d, 12, 0xC11E47 + client_id);
+                    for (i, raw) in pool.iter().enumerate() {
+                        let k = [1usize, 5, 25][i % 3];
+                        // Every 3rd query carries a cost cap tight enough
+                        // to truncate most traversals.
+                        let max_cost = if i % 3 == 2 { 4 } else { 0 };
+                        let reply = client.query(raw, k as u32, 0, max_cost).expect("query");
+                        let w = Weights::new(raw.clone()).unwrap();
+                        let mut budget = QueryBudget::unlimited();
+                        if max_cost > 0 {
+                            budget = budget.with_max_cost(max_cost);
+                        }
+                        let want = idx.topk_guarded(&w, k, &budget);
+                        let want_ids: Vec<u64> = want.ids.iter().map(|&id| u64::from(id)).collect();
+                        assert_eq!(reply.ids, want_ids, "client {client_id} query {i}");
+                        assert_eq!(
+                            reply.evaluated, want.cost.evaluated,
+                            "client {client_id} query {i}"
+                        );
+                        assert_eq!(
+                            reply.pseudo_evaluated, want.cost.pseudo_evaluated,
+                            "client {client_id} query {i}"
+                        );
+                        assert_eq!(
+                            reply.is_complete(),
+                            want.truncated.is_none(),
+                            "client {client_id} query {i}"
+                        );
+                        if max_cost > 0 && want.truncated.is_some() {
+                            assert_eq!(reply.truncated, 2, "cost-cap truncation flag");
+                        }
+                    }
+                });
+            }
+        });
+        handle.shutdown();
+    }
+}
+
+/// `--cache` wiring: repeated weight vectors are served from the result
+/// cache with ids still bit-identical to the traversal.
+#[test]
+fn cached_server_serves_repeats_bit_identically() {
+    let d = 2;
+    let idx = build_index(d, 300, 99);
+    let handle = Server::start(Arc::clone(&idx), ServerConfig::new().cache(true).workers(1))
+        .expect("start server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let raw: Vec<f64> = vec![0.3, 0.7];
+    let want: Vec<u64> = idx
+        .topk(&Weights::new(raw.clone()).unwrap(), 10)
+        .ids
+        .iter()
+        .map(|&id| u64::from(id))
+        .collect();
+    for round in 0..10 {
+        let reply = client.query(&raw, 10, 0, 0).expect("query");
+        assert_eq!(reply.ids, want, "round {round}");
+        assert!(reply.is_complete());
+    }
+    // After the first round the weight cell is hot; later rounds must be
+    // cache hits (cost 0 on the 2-d cell path, ≤ k rescores certified).
+    let last = client.query(&raw, 10, 0, 0).expect("query");
+    assert!(
+        last.evaluated <= 10,
+        "hot cell must not re-run the traversal: evaluated {}",
+        last.evaluated
+    );
+    handle.shutdown();
+}
+
+/// §5.1: a full queue sheds with an explicit `Overloaded` reply — every
+/// request is answered, nothing is silently dropped. `queue_depth(0)`
+/// makes the overload deterministic.
+#[test]
+fn overload_sheds_are_reported_not_dropped() {
+    let idx = build_index(2, 200, 7);
+    let handle =
+        Server::start(Arc::clone(&idx), ServerConfig::new().queue_depth(0)).expect("start server");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for i in 0..20 {
+        match client.query(&[0.5, 0.5], 5, 0, 0) {
+            Err(ClientError::Server { code, message }) => {
+                assert_eq!(code, ErrorCode::Overloaded, "request {i}");
+                assert!(!message.is_empty());
+            }
+            other => panic!("request {i}: want Overloaded, got {other:?}"),
+        }
+    }
+    // The sheds are visible in the serving metrics.
+    let text = client.metrics_text().expect("metrics");
+    let sheds: u64 = text
+        .lines()
+        .find(|l| l.starts_with("drtopk_server_sheds_total"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .expect("sheds counter present");
+    assert!(sheds >= 20, "20 sheds must be counted, saw {sheds}");
+    handle.shutdown();
+}
+
+/// Bad requests (wrong dims, non-finite weights) get coded replies and
+/// the connection survives them.
+#[test]
+fn bad_requests_are_rejected_and_the_connection_survives() {
+    let idx = build_index(2, 150, 21);
+    let handle = Server::start(Arc::clone(&idx), ServerConfig::new()).expect("start");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    for bad in [vec![0.5, 0.3, 0.2], vec![f64::NAN, 1.0], vec![-1.0, 2.0]] {
+        match client.query(&bad, 5, 0, 0) {
+            Err(ClientError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::BadRequest, "weights {bad:?}")
+            }
+            other => panic!("weights {bad:?}: want BadRequest, got {other:?}"),
+        }
+    }
+    // Still alive and correct afterwards.
+    let reply = client.query(&[0.5, 0.5], 3, 0, 0).expect("healthy query");
+    assert_eq!(reply.ids.len(), 3);
+    handle.shutdown();
+}
+
+/// §5.3: an unknown request type draws `ERR_UNSUPPORTED` for that id and
+/// the connection keeps working — the forward-compat rule.
+#[test]
+fn unknown_message_type_gets_unsupported_not_a_hangup() {
+    let idx = build_index(2, 100, 3);
+    let handle = Server::start(Arc::clone(&idx), ServerConfig::new()).expect("start");
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream.write_all(&HELLO).expect("hello");
+    let mut echo = [0u8; 8];
+    stream.read_exact(&mut echo).expect("echo");
+    assert_eq!(echo, HELLO);
+    // Hand-build a sound frame with unknown type 0x42: splice the type
+    // byte into a PING frame and re-checksum.
+    let mut frame = drtopk_server::protocol::encode_frame(77, &Message::Ping);
+    frame[8] = 0x42;
+    let crc = drtopk_storage::format::crc32(&frame[8..]);
+    frame[4..8].copy_from_slice(&crc.to_le_bytes());
+    stream.write_all(&frame).expect("send unknown");
+    match read_frame(&mut stream).expect("reply") {
+        (77, Message::Error { code, .. }) => assert_eq!(code, ErrorCode::Unsupported),
+        other => panic!("want Unsupported for id 77, got {other:?}"),
+    }
+    // The connection survives: a PING still answers.
+    write_frame(&mut stream, 78, &Message::Ping).expect("ping");
+    match read_frame(&mut stream).expect("pong") {
+        (78, Message::Pong) => {}
+        other => panic!("want Pong, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+/// §3.4 + §4.4: a client-initiated DRAIN is acknowledged, the server
+/// drains, and the listener goes away.
+#[test]
+fn drain_frame_shuts_the_server_down_gracefully() {
+    let idx = build_index(2, 100, 5);
+    let handle = Server::start(Arc::clone(&idx), ServerConfig::new()).expect("start");
+    let addr = handle.addr();
+    let mut client = Client::connect(addr).expect("connect");
+    // Work first, then drain: the admitted query must be answered.
+    let reply = client.query(&[0.4, 0.6], 5, 0, 0).expect("query");
+    assert_eq!(reply.ids.len(), 5);
+    client.drain().expect("drain acknowledged");
+    // wait() returns because the DRAIN joined every thread.
+    handle.wait();
+    // The listener is gone: new connections are refused (or reset).
+    assert!(
+        TcpStream::connect(addr).is_err() || Client::connect(addr).is_err(),
+        "post-drain connections must fail"
+    );
+}
+
+/// §6: the same port answers plain HTTP for Prometheus scrapers, with
+/// the serving metrics present, and 404s everything but /metrics.
+#[test]
+fn http_metrics_escape_hatch() {
+    let idx = build_index(2, 100, 11);
+    let handle = Server::start(Arc::clone(&idx), ServerConfig::new()).expect("start");
+    let addr = handle.addr();
+
+    let mut ok = TcpStream::connect(addr).expect("connect");
+    ok.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("get");
+    let mut body = String::new();
+    ok.read_to_string(&mut body).expect("read");
+    assert!(body.starts_with("HTTP/1.0 200 OK"), "{body}");
+    assert!(body.contains("drtopk_server_connections_total"), "{body}");
+    assert!(body.contains("drtopk_index_tuples"), "{body}");
+
+    let mut missing = TcpStream::connect(addr).expect("connect");
+    missing
+        .write_all(b"GET /nope HTTP/1.0\r\n\r\n")
+        .expect("get");
+    let mut reply = String::new();
+    missing.read_to_string(&mut reply).expect("read");
+    assert!(reply.starts_with("HTTP/1.0 404"), "{reply}");
+
+    // The protocol-level METRICS frame returns the same exposition shape.
+    let mut client = Client::connect(addr).expect("connect");
+    let text = client.metrics_text().expect("metrics frame");
+    assert!(text.contains("drtopk_server_requests_total"));
+    handle.shutdown();
+}
+
+/// Pipelining: many queries in flight on one connection, replies paired
+/// by request id regardless of arrival order.
+#[test]
+fn pipelined_queries_pair_up_by_request_id() {
+    let d = 3;
+    let idx = build_index(d, 300, 17);
+    let handle = Server::start(
+        Arc::clone(&idx),
+        ServerConfig::new()
+            .workers(2)
+            .batch_max(4)
+            .batch_window(Duration::from_micros(50)),
+    )
+    .expect("start");
+    let mut client = Client::connect(handle.addr()).expect("connect");
+    let pool = raw_weights(d, 24, 0xF00D);
+    let mut expected = std::collections::HashMap::new();
+    for raw in &pool {
+        let id = client.send_query(raw, 7, 0, 0).expect("send");
+        let w = Weights::new(raw.clone()).unwrap();
+        let want: Vec<u64> = idx.topk(&w, 7).ids.iter().map(|&x| u64::from(x)).collect();
+        expected.insert(id, want);
+    }
+    for _ in 0..pool.len() {
+        let (id, reply) = client.recv_topk().expect("recv");
+        let want = expected.remove(&id).expect("unknown or duplicate id");
+        assert_eq!(reply.ids, want, "request {id}");
+    }
+    assert!(expected.is_empty());
+    handle.shutdown();
+}

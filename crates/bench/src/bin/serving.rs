@@ -24,11 +24,21 @@
 //! cache pass, so `--cache` exercises the server's result-cache fast
 //! path. Results land in `BENCH_serving.json`.
 //!
+//! With `--shards P` a fourth phase serves the same relation through a
+//! P-way sharded deployment: a healthy closed loop first, then
+//! `--degrade-shard S` is cordoned mid-run and the loop repeats against
+//! the degraded router. Every reply in the degraded pass must carry the
+//! coverage extension, and the client-side degraded count is
+//! cross-checked against the server's
+//! `drtopk_shard_degraded_answers_total` counter — a mismatch is a
+//! protocol bug and fails the run.
+//!
 //! ```text
 //! serving [--n 50000] [--d 3] [--k 10] [--clients 4] [--seconds 2.0]
 //!         [--rates 2000,8000] [--pool 64] [--skew 1.0] [--workers 2]
 //!         [--batch-max 32] [--batch-window-us 200] [--queue-depth 1024]
 //!         [--overload-clients 8] [--overload-queue 1] [--cache]
+//!         [--shards P] [--degrade-shard S]
 //!         [--out BENCH_serving.json] [--min-qps F]
 //! ```
 
@@ -58,6 +68,8 @@ struct Config {
     overload_clients: usize,
     overload_queue: usize,
     cache: bool,
+    shards: usize,
+    degrade_shard: usize,
     out: String,
     min_qps: Option<f64>,
 }
@@ -80,6 +92,8 @@ impl Config {
             overload_clients: 8,
             overload_queue: 1,
             cache: false,
+            shards: 0,
+            degrade_shard: 0,
             out: "BENCH_serving.json".to_string(),
             min_qps: None,
         };
@@ -117,6 +131,8 @@ impl Config {
                 "--queue-depth" => cfg.queue_depth = num()?,
                 "--overload-clients" => cfg.overload_clients = num()?,
                 "--overload-queue" => cfg.overload_queue = num()?,
+                "--shards" => cfg.shards = num()?,
+                "--degrade-shard" => cfg.degrade_shard = num()?,
                 "--out" => cfg.out = val.clone(),
                 "--min-qps" => cfg.min_qps = Some(fnum()?),
                 other => return Err(format!("unknown flag {other}")),
@@ -125,6 +141,12 @@ impl Config {
         }
         if cfg.clients == 0 || cfg.seconds <= 0.0 || cfg.pool == 0 {
             return Err("--clients, --seconds, and --pool must be positive".to_string());
+        }
+        if cfg.shards > 0 && cfg.degrade_shard >= cfg.shards {
+            return Err(format!(
+                "--degrade-shard {} is out of range for --shards {}",
+                cfg.degrade_shard, cfg.shards
+            ));
         }
         Ok(cfg)
     }
@@ -146,6 +168,9 @@ struct WorkerStats {
     ok: u64,
     sheds: u64,
     errors: u64,
+    /// Answers that arrived with the degraded-coverage extension set
+    /// (sharded phase only; always 0 against an unsharded server).
+    degraded: u64,
 }
 
 impl WorkerStats {
@@ -154,6 +179,7 @@ impl WorkerStats {
         self.ok += other.ok;
         self.sheds += other.sheds;
         self.errors += other.errors;
+        self.degraded += other.degraded;
     }
 }
 
@@ -165,8 +191,11 @@ fn record(
     latency_us: f64,
 ) -> bool {
     match result {
-        Ok(_) => {
+        Ok(reply) => {
             stats.ok += 1;
+            if reply.coverage.is_some() {
+                stats.degraded += 1;
+            }
             stats.latencies_us.push(latency_us);
             true
         }
@@ -362,6 +391,116 @@ fn start_server(idx: &Arc<DualLayerIndex>, cfg: &ServerConfig) -> (ServerHandle,
     (handle, addr)
 }
 
+/// One counter scraped over the wire, defaulting to 0 when the family is
+/// absent (e.g. a build without `obs`).
+fn scrape_counter(addr: SocketAddr, name: &str) -> f64 {
+    Client::connect(addr)
+        .ok()
+        .and_then(|mut c| c.metrics_text().ok())
+        .and_then(|prom| scrape(&prom, name))
+        .unwrap_or(0.0)
+}
+
+/// Phase 4 (`--shards P`): the same relation through a P-way sharded
+/// deployment — a healthy closed loop, then `--degrade-shard S` cordoned
+/// and the loop repeated. Returns the JSON section and whether the
+/// degraded-coverage cross-check failed.
+fn sharded_phase(
+    rel: &drtopk_common::Relation,
+    cfg: &Config,
+    base: &ServerConfig,
+) -> (Value, bool) {
+    let dir = std::env::temp_dir().join(format!("drtopk_bench_sharded_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let stores = drtopk_storage::create_sharded(
+        &dir,
+        rel,
+        cfg.shards,
+        &drtopk_storage::DurableOptions::default(),
+    )
+    .expect("create sharded deployment");
+    let shards: Vec<drtopk_server::ServedShard> = stores
+        .into_iter()
+        .enumerate()
+        .map(|(s, st)| drtopk_server::ServedShard::new(s, st))
+        .collect();
+    let router = Arc::new(
+        drtopk_core::ShardRouter::new(shards, drtopk_core::RouterConfig::default())
+            .expect("shard router"),
+    );
+    let handle =
+        Server::start_sharded(Arc::clone(&router), base.clone()).expect("start sharded server");
+    let addr = handle.addr();
+
+    eprintln!(
+        "sharded: {} shards, {} clients healthy for {} s",
+        cfg.shards, cfg.clients, cfg.seconds
+    );
+    let (healthy, healthy_secs) = closed_loop(addr, cfg, cfg.clients, cfg.k);
+    let healthy_json = phase_json("sharded/healthy", &healthy, healthy_secs);
+
+    // Cordon one shard mid-deployment and rerun: every answer must now
+    // carry the coverage extension, and the server's degraded-answer
+    // counter must advance exactly once per such answer.
+    let before = scrape_counter(addr, "drtopk_shard_degraded_answers_total");
+    router.cordon(cfg.degrade_shard);
+    eprintln!(
+        "sharded: shard {} cordoned, rerunning closed loop",
+        cfg.degrade_shard
+    );
+    let (degraded, degraded_secs) = closed_loop(addr, cfg, cfg.clients, cfg.k);
+    let degraded_json = phase_json("sharded/degraded", &degraded, degraded_secs);
+    let server_degraded = scrape_counter(addr, "drtopk_shard_degraded_answers_total") - before;
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut failed = false;
+    if healthy.degraded != 0 {
+        eprintln!(
+            "SHARDED ERROR: {} answers from the healthy deployment claimed degraded coverage",
+            healthy.degraded
+        );
+        failed = true;
+    }
+    if degraded.ok == 0 || degraded.degraded != degraded.ok {
+        eprintln!(
+            "SHARDED ERROR: {} of {} answers from the degraded deployment carried the \
+             coverage extension (expected all)",
+            degraded.degraded, degraded.ok
+        );
+        failed = true;
+    }
+    if server_degraded as u64 != degraded.degraded {
+        eprintln!(
+            "SHARDED ERROR: client saw {} degraded answers but the server counted {}",
+            degraded.degraded, server_degraded
+        );
+        failed = true;
+    }
+    if healthy.errors > 0 || degraded.errors > 0 {
+        eprintln!(
+            "SHARDED ERRORS: {} healthy / {} degraded protocol or transport errors",
+            healthy.errors, degraded.errors
+        );
+        failed = true;
+    }
+    let json = Value::object([
+        ("shards", Value::uint(cfg.shards)),
+        ("degrade_shard", Value::uint(cfg.degrade_shard)),
+        ("healthy", healthy_json),
+        ("degraded", degraded_json),
+        (
+            "client_degraded_answers",
+            Value::uint(degraded.degraded as usize),
+        ),
+        (
+            "server_degraded_answers",
+            Value::uint(server_degraded as usize),
+        ),
+    ]);
+    (json, failed)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = match Config::parse(&args) {
@@ -372,7 +511,8 @@ fn main() {
                 "usage: serving [--n N] [--d D] [--k K] [--clients C] [--seconds S] \
                  [--rates R[,..]] [--pool P] [--skew Z] [--workers W] [--batch-max B] \
                  [--batch-window-us US] [--queue-depth Q] [--overload-clients C] \
-                 [--overload-queue Q] [--cache] [--out FILE] [--min-qps F]"
+                 [--overload-queue Q] [--cache] [--shards P] [--degrade-shard S] \
+                 [--out FILE] [--min-qps F]"
             );
             std::process::exit(2);
         }
@@ -442,6 +582,13 @@ fn main() {
         eprintln!("serving: WARNING overload phase produced no sheds — not actually overloaded");
     }
 
+    // Phase 4 (opt-in): sharded serving with a mid-run shard failure.
+    let (sharded_json, sharded_failed) = if cfg.shards > 0 {
+        sharded_phase(&rel, &cfg, &base)
+    } else {
+        (Value::Null, false)
+    };
+
     let host_threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
@@ -469,6 +616,7 @@ fn main() {
         ("closed_loop", closed_json),
         ("open_loop", Value::Array(open_rows)),
         ("overload", overload_json),
+        ("sharded", sharded_json),
         (
             "server_counters",
             Value::object([
@@ -500,6 +648,9 @@ fn main() {
             "SERVING ERRORS: {} closed-loop / {} overload protocol or transport errors",
             closed.errors, over.errors
         );
+        std::process::exit(1);
+    }
+    if sharded_failed {
         std::process::exit(1);
     }
 }

@@ -151,6 +151,11 @@ impl Flags {
                 "batch-window-us",
                 "queue-depth",
                 "duration-s",
+                "shards",
+                "shard-dir",
+                "shard",
+                "connect-retries",
+                "connect-backoff-ms",
             ];
             if !KNOWN.contains(&name) {
                 return Err(CliError::usage(format!("unknown flag --{name}")));
@@ -228,22 +233,29 @@ commands:
             [--deadline-ms MS] [--max-cost C] [--partial]
   query     --connect HOST:PORT --weights W1,W2,... [--k K]
             [--deadline-ms MS] [--max-cost C] [--partial]
+            [--connect-retries R] [--connect-backoff-ms MS]
   batch     --index FILE --weights-file FILE [--k K] [--threads T]
             [--deadline-ms MS] [--max-cost C] [--partial] [--cache]
-  recover   --dir DIR [--variant dl+|dl|dg|dg+] [--checkpoint]
+  recover   --dir DIR [--shard N] [--variant dl+|dl|dg|dg+] [--checkpoint]
   wal       --dir DIR
   serve     --index FILE [--addr HOST:PORT] [--workers W] [--batch-max B]
             [--batch-window-us US] [--queue-depth Q] [--cache]
             [--duration-s S]
+  serve     --shard-dir DIR [--shards P --data FILE] [--addr HOST:PORT]
+            [--workers W] [--batch-max B] [--batch-window-us US]
+            [--queue-depth Q] [--duration-s S]
   drain     --connect HOST:PORT
   help
 
 serve listens on --addr (default 127.0.0.1:7071; port 0 picks a free
 port) and answers the wire protocol in PROTOCOL.md plus HTTP GET
-/metrics on the same port. See OPERATIONS.md for the runbook.
+/metrics on the same port. With --shard-dir it serves a sharded durable
+deployment (creating it from --data when the directory is empty); a
+shard that fails recovery is served *around* with degraded coverage —
+see OPERATIONS.md for the shard runbook.
 
 exit codes: 0 ok, 1 runtime error, 2 usage, 3 corrupt data,
-            4 budget tripped without --partial
+            4 budget tripped or coverage degraded without --partial
 "
     .to_string()
 }
@@ -669,6 +681,23 @@ fn truncation_reason(flag: u8) -> &'static str {
     }
 }
 
+/// Connects per the CLI's reconnect policy: `--connect-retries` bounded
+/// re-attempts (default 3) after transient connect/hello failures, with
+/// jittered exponential backoff from `--connect-backoff-ms` (default
+/// 100). `--connect-retries 0` restores single-attempt behavior. The
+/// exit-code contract is unchanged: a connection that never comes up is
+/// still a runtime error (code 1).
+fn connect_with_policy(f: &Flags, addr: &str) -> Result<drtopk_server::Client, CliError> {
+    let retries: u32 = f.parse_num("connect-retries", 3)?;
+    let backoff_ms: u64 = f.parse_num("connect-backoff-ms", 100)?;
+    drtopk_server::Client::connect_with_retry(
+        addr,
+        retries,
+        std::time::Duration::from_millis(backoff_ms),
+    )
+    .map_err(|e| CliError::runtime(format!("{addr}: {e}")))
+}
+
 /// `query --connect HOST:PORT`: ship the raw weight vector to a running
 /// `drtopk serve` instance instead of loading an index locally. The
 /// server normalises weights exactly as the in-process path does, so the
@@ -679,8 +708,7 @@ fn query_over_network(f: &Flags, addr: &str, raw: &[f64], k: usize) -> Result<St
     let deadline_ms = u32::try_from(deadline_ms)
         .map_err(|_| CliError::usage("--deadline-ms too large for the wire format"))?;
     let k32 = u32::try_from(k).map_err(|_| CliError::usage("--k too large for the wire format"))?;
-    let mut client = drtopk_server::Client::connect(addr)
-        .map_err(|e| CliError::runtime(format!("{addr}: {e}")))?;
+    let mut client = connect_with_policy(f, addr)?;
     let t0 = std::time::Instant::now();
     let reply = client
         .query(raw, k32, deadline_ms, max_cost)
@@ -694,6 +722,19 @@ fn query_over_network(f: &Flags, addr: &str, raw: &[f64], k: usize) -> Result<St
             truncation_reason(reply.truncated)
         )));
     }
+    if let Some(cov) = &reply.coverage {
+        // Degraded coverage is a partial answer in the shard dimension:
+        // same contract as a truncated prefix — explicit opt-in.
+        if !f.has("partial") {
+            return Err(CliError::budget(format!(
+                "answer covers {} of {} shards (skipped {:?}); \
+                 pass --partial to accept degraded coverage",
+                cov.shards as usize - cov.skipped().len(),
+                cov.shards,
+                cov.skipped()
+            )));
+        }
+    }
     let mut out = String::new();
     let _ = writeln!(out, "rank  tuple");
     for (rank, t) in reply.ids.iter().enumerate() {
@@ -705,6 +746,15 @@ fn query_over_network(f: &Flags, addr: &str, raw: &[f64], k: usize) -> Result<St
             "TRUNCATED after {} of {k} answers: {}",
             reply.ids.len(),
             truncation_reason(reply.truncated)
+        );
+    }
+    if let Some(cov) = &reply.coverage {
+        let _ = writeln!(
+            out,
+            "DEGRADED coverage: {} of {} shards answered (skipped {:?})",
+            cov.shards as usize - cov.skipped().len(),
+            cov.shards,
+            cov.skipped()
         );
     }
     let _ = writeln!(
@@ -721,14 +771,12 @@ fn query_over_network(f: &Flags, addr: &str, raw: &[f64], k: usize) -> Result<St
 /// benchmarks). The bound address is announced on stderr immediately so
 /// operators (and scripts) can connect before the command returns.
 fn cmd_serve(f: &Flags) -> Result<String, CliError> {
-    let path = PathBuf::from(f.require("index")?);
     let addr = f.get("addr").unwrap_or("127.0.0.1:7071");
     let workers: usize = f.parse_num("workers", 2)?;
     let batch_max: usize = f.parse_num("batch-max", 32)?;
     let window_us: u64 = f.parse_num("batch-window-us", 200)?;
     let queue_depth: usize = f.parse_num("queue-depth", 1024)?;
     let duration_s: u64 = f.parse_num("duration-s", 0)?;
-    let idx = std::sync::Arc::new(load_index(&path).map_err(CliError::from)?);
     let cfg = drtopk_server::ServerConfig::new()
         .addr(addr)
         .workers(workers)
@@ -736,8 +784,14 @@ fn cmd_serve(f: &Flags) -> Result<String, CliError> {
         .batch_window(std::time::Duration::from_micros(window_us))
         .queue_depth(queue_depth)
         .cache(f.has("cache"));
-    let handle = drtopk_server::Server::start(idx, cfg)
-        .map_err(|e| CliError::runtime(format!("serve: {e}")))?;
+    let handle = if let Some(root) = f.get("shard-dir") {
+        serve_sharded(f, PathBuf::from(root), cfg)?
+    } else {
+        let path = PathBuf::from(f.require("index")?);
+        let idx = std::sync::Arc::new(load_index(&path).map_err(CliError::from)?);
+        drtopk_server::Server::start(idx, cfg)
+            .map_err(|e| CliError::runtime(format!("serve: {e}")))?
+    };
     let bound = handle.addr();
     eprintln!(
         "drtopk serving on {bound} ({workers} workers, batch <= {batch_max} \
@@ -756,12 +810,109 @@ fn cmd_serve(f: &Flags) -> Result<String, CliError> {
     }
 }
 
+/// The `serve --shard-dir` path: open an existing sharded deployment
+/// (shard.0000, shard.0001, ... under `root`) or create one from
+/// `--shards P --data FILE` when the directory holds none. A shard that
+/// fails recovery is served *around*: it gets an unavailable slot, is
+/// cordoned, and every answer that would have touched it carries the
+/// degraded-coverage extension until `drtopk recover --shard N` repairs
+/// its directory and the server is restarted (or the shard is replaced
+/// in process by an embedding caller).
+fn serve_sharded(
+    f: &Flags,
+    root: PathBuf,
+    cfg: drtopk_server::ServerConfig,
+) -> Result<drtopk_server::ServerHandle, CliError> {
+    let opts = DurableOptions::default();
+    let existing = if root.is_dir() {
+        drtopk_storage::list_shard_dirs(&root).map_err(CliError::from)?
+    } else {
+        Vec::new()
+    };
+    let (shards, failed): (Vec<drtopk_server::ServedShard>, Vec<(usize, String)>) =
+        if existing.is_empty() {
+            let p: usize = f.parse_num("shards", 0)?;
+            if p == 0 {
+                return Err(CliError::usage(format!(
+                    "{} holds no shards; pass --shards P --data FILE to create a deployment",
+                    root.display()
+                )));
+            }
+            let data = PathBuf::from(f.require("data")?);
+            let rel = load_relation(&data).map_err(CliError::from)?;
+            let stores =
+                drtopk_storage::create_sharded(&root, &rel, p, &opts).map_err(CliError::from)?;
+            (
+                stores
+                    .into_iter()
+                    .enumerate()
+                    .map(|(s, st)| drtopk_server::ServedShard::new(s, st))
+                    .collect(),
+                Vec::new(),
+            )
+        } else {
+            // Open every shard independently; a failure quarantines to
+            // that shard's slot instead of refusing the deployment.
+            let mut opened = Vec::with_capacity(existing.len());
+            for (s, dir) in existing.iter().enumerate() {
+                opened.push((s, DurableDynamicIndex::open(dir, opts.clone())));
+            }
+            let dims = opened
+                .iter()
+                .find_map(|(_, r)| r.as_ref().ok().map(|(st, _)| st.index().dims()))
+                .ok_or_else(|| {
+                    CliError::corrupt(format!(
+                        "{}: every shard failed recovery; repair at least one \
+                         with `drtopk recover --dir {} --shard N`",
+                        root.display(),
+                        root.display()
+                    ))
+                })?;
+            let mut shards = Vec::with_capacity(opened.len());
+            let mut failed = Vec::new();
+            for (s, r) in opened {
+                match r {
+                    Ok((st, report)) => {
+                        if report.replayed > 0 || report.snapshots_skipped > 0 {
+                            eprintln!(
+                                "shard {s}: recovered (replayed {}, snapshots skipped {})",
+                                report.replayed, report.snapshots_skipped
+                            );
+                        }
+                        shards.push(drtopk_server::ServedShard::new(s, st));
+                    }
+                    Err(e) => {
+                        let reason = e.to_string();
+                        shards.push(drtopk_server::ServedShard::unavailable(s, dims, &reason));
+                        failed.push((s, reason));
+                    }
+                }
+            }
+            (shards, failed)
+        };
+    let shard_count = shards.len();
+    let router = std::sync::Arc::new(
+        drtopk_core::ShardRouter::new(shards, drtopk_core::RouterConfig::default())
+            .map_err(|e| CliError::runtime(format!("serve: {e}")))?,
+    );
+    for (s, reason) in &failed {
+        router.cordon(*s);
+        eprintln!("shard {s}: UNAVAILABLE ({reason}); serving degraded around it");
+    }
+    eprintln!(
+        "sharded deployment at {}: {} of {shard_count} shards up",
+        root.display(),
+        shard_count - failed.len()
+    );
+    drtopk_server::Server::start_sharded(router, cfg)
+        .map_err(|e| CliError::runtime(format!("serve: {e}")))
+}
+
 /// `drain --connect HOST:PORT`: ask a running server to stop accepting
 /// work, finish its queue, and exit (PROTOCOL.md §3.4).
 fn cmd_drain(f: &Flags) -> Result<String, CliError> {
     let addr = f.require("connect")?;
-    let mut client = drtopk_server::Client::connect(addr)
-        .map_err(|e| CliError::runtime(format!("{addr}: {e}")))?;
+    let mut client = connect_with_policy(f, addr)?;
     client.drain().map_err(client_error)?;
     Ok(format!("drain acknowledged by {addr}\n"))
 }
@@ -914,7 +1065,14 @@ fn cmd_batch(f: &Flags) -> Result<String, CliError> {
 /// `recover --dir DIR`: opens a durable dynamic store, replaying its WAL
 /// over the newest loadable snapshot, and reports what recovery did.
 fn cmd_recover(f: &Flags) -> Result<String, CliError> {
-    let dir = PathBuf::from(f.require("dir")?);
+    let mut dir = PathBuf::from(f.require("dir")?);
+    if f.get("shard").is_some() {
+        // `--dir` names the deployment root; `--shard N` selects one
+        // shard's own directory. Recovery stays single-shard: peers'
+        // WALs and snapshots are never read, let alone written.
+        let shard: usize = f.parse_num("shard", 0)?;
+        dir = drtopk_storage::shard_dir(&dir, shard);
+    }
     let opts = DurableOptions {
         opts: variant_options(f.get("variant").unwrap_or("dl+"))?,
         ..DurableOptions::default()
@@ -1945,5 +2103,254 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("drained"), "{out}");
+    }
+
+    /// Sharded serving end to end through the CLI: create a deployment
+    /// from `--data`, query it with full coverage, reopen it from disk,
+    /// then corrupt one shard wholesale and verify the reopened server
+    /// serves *around* it — degraded coverage is exit 4 without
+    /// `--partial`, explicit with it, and never leaks tuples from the
+    /// dead shard's residue class.
+    #[test]
+    fn sharded_serve_creates_reopens_and_degrades_around_a_dead_shard() {
+        let data = tmp("shardcli.data.drt");
+        run(&argv(&[
+            "generate",
+            "--dist",
+            "ind",
+            "--dims",
+            "2",
+            "--n",
+            "240",
+            "--seed",
+            "33",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let root = tmp("shardcli.deploy");
+        let _ = std::fs::remove_dir_all(&root);
+        let ids = |s: &str| -> Vec<u64> {
+            s.lines()
+                .filter(|l| l.trim_start().starts_with(char::is_numeric))
+                .map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap())
+                .collect()
+        };
+        let reserve = || {
+            let port = std::net::TcpListener::bind("127.0.0.1:0")
+                .unwrap()
+                .local_addr()
+                .unwrap()
+                .port();
+            format!("127.0.0.1:{port}")
+        };
+        let wait_up = |addr: &str| {
+            for _ in 0..200 {
+                if std::net::TcpStream::connect(addr).is_ok() {
+                    return;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            panic!("server on {addr} never came up");
+        };
+
+        // Phase 1: create the deployment from --data and serve it.
+        let addr = reserve();
+        let serve_args = argv(&[
+            "serve",
+            "--shard-dir",
+            root.to_str().unwrap(),
+            "--shards",
+            "3",
+            "--data",
+            data.to_str().unwrap(),
+            "--addr",
+            &addr,
+            "--workers",
+            "1",
+        ]);
+        let server = std::thread::spawn(move || run(&serve_args));
+        wait_up(&addr);
+        let full = run(&argv(&[
+            "query",
+            "--connect",
+            &addr,
+            "--weights",
+            "0.5,0.5",
+            "--k",
+            "9",
+        ]))
+        .unwrap();
+        assert!(!full.contains("DEGRADED"), "{full}");
+        let full_ids = ids(&full);
+        assert_eq!(full_ids.len(), 9, "{full}");
+        run(&argv(&["drain", "--connect", &addr])).unwrap();
+        server.join().unwrap().unwrap();
+        for s in 0..3 {
+            assert!(root.join(format!("shard.{s:04}")).is_dir());
+        }
+
+        // Single-shard recovery names only that shard's directory.
+        let out = run(&argv(&[
+            "recover",
+            "--dir",
+            root.to_str().unwrap(),
+            "--shard",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("shard.0002"), "{out}");
+
+        // Phase 2: trash every file under shard 1, reopen the
+        // deployment, and it serves degraded around the corpse.
+        for entry in std::fs::read_dir(root.join("shard.0001")).unwrap() {
+            std::fs::write(entry.unwrap().path(), b"not a drtopk file").unwrap();
+        }
+        let addr = reserve();
+        let serve_args = argv(&[
+            "serve",
+            "--shard-dir",
+            root.to_str().unwrap(),
+            "--addr",
+            &addr,
+            "--workers",
+            "1",
+        ]);
+        let server = std::thread::spawn(move || run(&serve_args));
+        wait_up(&addr);
+        let err = run(&argv(&[
+            "query",
+            "--connect",
+            &addr,
+            "--weights",
+            "0.5,0.5",
+            "--k",
+            "9",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 4, "{}", err.message);
+        assert!(err.message.contains("degraded coverage"), "{}", err.message);
+        let partial = run(&argv(&[
+            "query",
+            "--connect",
+            &addr,
+            "--weights",
+            "0.5,0.5",
+            "--k",
+            "9",
+            "--partial",
+        ]))
+        .unwrap();
+        assert!(
+            partial.contains("DEGRADED coverage: 2 of 3 shards answered (skipped [1])"),
+            "{partial}"
+        );
+        let degraded_ids = ids(&partial);
+        assert_eq!(degraded_ids.len(), 9, "{partial}");
+        // Shard s holds handles with h % 3 == s; nothing from the dead
+        // residue class may appear, and the answer must be exactly the
+        // full answer with shard 1's tuples dropped and backfilled.
+        assert!(degraded_ids.iter().all(|t| t % 3 != 1), "{partial}");
+        let expected: Vec<u64> = full_ids.iter().copied().filter(|t| t % 3 != 1).collect();
+        assert_eq!(&degraded_ids[..expected.len()], &expected[..], "{partial}");
+        run(&argv(&["drain", "--connect", &addr])).unwrap();
+        server.join().unwrap().unwrap();
+
+        // An empty shard dir without --shards/--data is a usage error.
+        let empty = tmp("shardcli.empty");
+        let _ = std::fs::remove_dir_all(&empty);
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = run(&argv(&[
+            "serve",
+            "--shard-dir",
+            empty.to_str().unwrap(),
+            "--addr",
+            "127.0.0.1:0",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 2, "{}", err.message);
+    }
+
+    /// `--connect-retries` rides out a server that is still starting:
+    /// the client backs off and reconnects instead of failing the first
+    /// refused connection, and `--connect-retries 0` restores the old
+    /// single-attempt contract (runtime error, exit 1).
+    #[test]
+    fn query_connect_retries_until_the_server_appears() {
+        let data = tmp("retry.data.drt");
+        let index = tmp("retry.index.drt");
+        run(&argv(&[
+            "generate",
+            "--dist",
+            "ind",
+            "--dims",
+            "2",
+            "--n",
+            "80",
+            "--seed",
+            "5",
+            "--out",
+            data.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            index.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let port = std::net::TcpListener::bind("127.0.0.1:0")
+            .unwrap()
+            .local_addr()
+            .unwrap()
+            .port();
+        let addr = format!("127.0.0.1:{port}");
+
+        // No listener yet: zero retries fails immediately with exit 1.
+        let err = run(&argv(&[
+            "query",
+            "--connect",
+            &addr,
+            "--weights",
+            "0.5,0.5",
+            "--connect-retries",
+            "0",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 1, "{}", err.message);
+
+        // Start the server late; the retrying client waits it out.
+        let serve_args = argv(&[
+            "serve",
+            "--index",
+            index.to_str().unwrap(),
+            "--addr",
+            &addr,
+            "--workers",
+            "1",
+        ]);
+        let server = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(300));
+            run(&serve_args)
+        });
+        let out = run(&argv(&[
+            "query",
+            "--connect",
+            &addr,
+            "--weights",
+            "0.5,0.5",
+            "--k",
+            "5",
+            "--connect-retries",
+            "10",
+            "--connect-backoff-ms",
+            "50",
+        ]))
+        .unwrap();
+        assert!(out.contains("rank  tuple"), "{out}");
+        run(&argv(&["drain", "--connect", &addr])).unwrap();
+        server.join().unwrap().unwrap();
     }
 }

@@ -19,7 +19,7 @@
 use crate::cache::{CacheLookup, ResultCache};
 use crate::index::DualLayerIndex;
 use crate::options::DlOptions;
-use crate::query::TopkResult;
+use crate::query::{QueryBudget, TopkResult, TruncateReason};
 use crate::snapshot::IndexSnapshot;
 use drtopk_common::{Cost, Error, Relation, Weights};
 use std::collections::HashSet;
@@ -90,6 +90,21 @@ pub struct DynamicState {
     pub next_handle: Handle,
 }
 
+/// Result of one budget-guarded top-k query over a [`DynamicIndex`]:
+/// the same true-prefix contract as [`crate::query::GuardedTopk`], with
+/// stable handles for ids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicGuardedTopk {
+    /// Answer prefix, ascending by `(score, handle)`. When `truncated` is
+    /// `None` this is the full top-k; otherwise it is the exact top-m for
+    /// some m ≤ k.
+    pub ids: Vec<Handle>,
+    /// Tuples scored before the query stopped (Definition 9).
+    pub cost: Cost,
+    /// `None` when the query completed; otherwise the tripped limit.
+    pub truncated: Option<TruncateReason>,
+}
+
 impl DynamicIndex {
     /// Builds over an initial relation. `rebuild_fraction` is the pending-
     /// update fraction that triggers a rebuild (e.g. 0.2).
@@ -106,6 +121,53 @@ impl DynamicIndex {
             rebuilds: 0,
             cache: None,
         }
+    }
+
+    /// Builds over a relation whose tuples carry *caller-assigned* handles
+    /// (strictly ascending, one per tuple). This is how a shard of a
+    /// partitioned relation keeps global tuple ids: shard `s` of `P` holds
+    /// the tuples whose global handle `h` satisfies `h % P == s`, and its
+    /// answers come back as global handles — so a k-way merge across
+    /// shards is directly comparable to the unsharded index's answers.
+    ///
+    /// `next_handle` starts one past the largest given handle, so replayed
+    /// inserts (which also carry global handles) keep their discipline.
+    pub fn with_handles(
+        rel: &Relation,
+        handles: Vec<Handle>,
+        opts: DlOptions,
+        rebuild_fraction: f64,
+    ) -> Result<Self, Error> {
+        if handles.len() != rel.len() {
+            return Err(Error::Invalid(format!(
+                "{} handles for {} tuples",
+                handles.len(),
+                rel.len()
+            )));
+        }
+        if handles.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(Error::Invalid(
+                "shard handles must be strictly ascending".into(),
+            ));
+        }
+        let next_handle = handles.last().map_or(0, |&h| h + 1);
+        let index = DualLayerIndex::build(rel, opts.clone());
+        Ok(DynamicIndex {
+            opts,
+            indexed_handles: handles,
+            next_handle,
+            index,
+            buffer: Vec::new(),
+            tombstones: HashSet::new(),
+            rebuild_fraction: rebuild_fraction.clamp(0.01, 10.0),
+            rebuilds: 0,
+            cache: None,
+        })
+    }
+
+    /// Attribute dimensionality of the indexed relation.
+    pub fn dims(&self) -> usize {
+        self.index.dims()
     }
 
     /// Attaches a weight-space result cache to the query path. The cache
@@ -323,6 +385,121 @@ impl DynamicIndex {
         }
         merged.truncate(k_eff);
         (merged.into_iter().map(|(_, h)| h).collect(), cost)
+    }
+
+    /// Budget-guarded top-k over the live tuples, with the true-prefix
+    /// partial-result contract of [`DualLayerIndex::topk_guarded`].
+    ///
+    /// When the static traversal trips the budget after fetching its exact
+    /// top-m, the last fetched static entry `(S, h_m)` is a sound barrier:
+    /// the traversal's prefix property guarantees every *unfetched* indexed
+    /// tuple orders strictly after `(S, h_m)` under `(score, handle)`, so
+    /// merged entries at or below that threshold are exactly the true
+    /// combined prefix over index + buffer. Entries past the barrier are
+    /// discarded rather than returned speculatively.
+    ///
+    /// With a cache attached the guarded path probes it (hits bypass the
+    /// traversal entirely) but never fills it: a truncated answer must not
+    /// poison the cache, and the fill's k+1 over-fetch is a cost the
+    /// budgeted path should not pay.
+    pub fn topk_guarded(&self, w: &Weights, k: usize, budget: &QueryBudget) -> DynamicGuardedTopk {
+        if budget.is_unlimited() {
+            let (ids, cost) = self.topk(w, k);
+            return DynamicGuardedTopk {
+                ids,
+                cost,
+                truncated: None,
+            };
+        }
+        let k_eff = k.min(self.len());
+        let mut cost = Cost::new();
+        if k_eff == 0 {
+            return DynamicGuardedTopk {
+                ids: Vec::new(),
+                cost,
+                truncated: None,
+            };
+        }
+        if let Some(c) = self.cache.as_deref().filter(|c| k_eff <= c.config().max_k) {
+            let key = c.key_for_parts(self.index.dims(), self.index.zero2d(), w, k_eff as u32);
+            let generation = c.generation();
+            match c.lookup_raw(&key, w, self.index.dims(), generation) {
+                CacheLookup::Hit2d(ids) => {
+                    return DynamicGuardedTopk {
+                        ids,
+                        cost: Cost::new(),
+                        truncated: None,
+                    }
+                }
+                CacheLookup::HitCertified(ids, evals) => {
+                    return DynamicGuardedTopk {
+                        ids,
+                        cost: Cost {
+                            evaluated: evals,
+                            pseudo_evaluated: 0,
+                        },
+                        truncated: None,
+                    }
+                }
+                CacheLookup::Miss => {}
+            }
+        }
+        let fetch = k_eff + self.tombstones.len();
+        let guarded = self.index.topk_guarded(w, fetch, budget);
+        cost.merge(&guarded.cost);
+        let truncated_static = guarded.truncated;
+        // Barrier: the last *raw* fetched static entry (tombstoned or not)
+        // bounds everything the traversal did not fetch.
+        let barrier = if truncated_static.is_some() {
+            guarded.ids.last().map(|&t| {
+                (
+                    w.score(self.index.relation().tuple(t)),
+                    self.indexed_handles[t as usize],
+                )
+            })
+        } else {
+            None
+        };
+        if truncated_static.is_some() && barrier.is_none() && !self.indexed_handles.is_empty() {
+            // Truncated before fetching anything: no sound prefix exists.
+            return DynamicGuardedTopk {
+                ids: Vec::new(),
+                cost,
+                truncated: truncated_static,
+            };
+        }
+        let mut merged: Vec<(f64, Handle)> =
+            Vec::with_capacity(guarded.ids.len() + self.buffer.len());
+        for t in guarded.ids {
+            let h = self.indexed_handles[t as usize];
+            if !self.tombstones.contains(&h) {
+                merged.push((w.score(self.index.relation().tuple(t)), h));
+            }
+        }
+        drtopk_obs::metrics().dynamic_buffer_scan(self.buffer.len() as u64);
+        for (h, row) in &self.buffer {
+            if !self.tombstones.contains(h) {
+                cost.tick();
+                merged.push((w.score(row), *h));
+            }
+        }
+        merged.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        if let Some((bs, bh)) = barrier {
+            merged.retain(|&(s, h)| s < bs || (s == bs && h <= bh));
+        }
+        merged.truncate(k_eff);
+        // A truncated traversal can still leave a complete answer when the
+        // sound prefix reaches k: report it as complete.
+        let truncated = if merged.len() == k_eff {
+            None
+        } else {
+            truncated_static
+        };
+        DynamicGuardedTopk {
+            ids: merged.into_iter().map(|(_, h)| h).collect(),
+            cost,
+            truncated,
+        }
     }
 
     /// Forces a rebuild now (compacts buffer and tombstones).

@@ -41,13 +41,14 @@ pub mod options;
 mod par;
 pub mod profile;
 pub mod query;
+pub mod shard;
 pub mod snapshot;
 pub mod verify;
 pub mod zero;
 
 pub use batch::{BatchExecutor, RequestError};
 pub use cache::{CacheConfig, CacheOutcome, CacheStats, CachedTopk, ResultCache};
-pub use dynamic::{DynamicIndex, DynamicState, Handle};
+pub use dynamic::{DynamicGuardedTopk, DynamicIndex, DynamicState, Handle};
 pub use explain::QueryExplain;
 pub use index::{DualLayerIndex, IndexStats, NodeId};
 pub use monotone::{LogSum, MonotoneScore, WeightedChebyshev, WeightedPower};
@@ -56,5 +57,9 @@ pub use profile::{BuildProfile, PhaseProfile};
 pub use query::{
     GuardedTopk, QueryBudget, QueryScratch, QueryTrace, TopkCursor, TopkResult, TraceStep,
     TruncateReason,
+};
+pub use shard::{
+    partition_relation, shard_of, RetryPolicy, RouterConfig, ShardCoverage, ShardError,
+    ShardHealth, ShardProbe, ShardRouter, ShardedTopk, MAX_SHARDS,
 };
 pub use snapshot::IndexSnapshot;

@@ -79,6 +79,24 @@ impl QueryBudget {
         self.deadline.is_none() && self.max_cost.is_none() && self.cancel.is_none()
     }
 
+    /// The configured wall-clock deadline, if any. A router carving
+    /// per-shard budgets reads this to tighten — never loosen — the
+    /// request's own deadline for each sub-probe.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// The configured Definition-9 cost cap, if any.
+    pub fn max_cost(&self) -> Option<u64> {
+        self.max_cost
+    }
+
+    /// The shared cancellation flag, if any. Cloning the `Arc` lets a
+    /// derived (carved) budget trip together with its parent request.
+    pub fn cancel_flag(&self) -> Option<Arc<AtomicBool>> {
+        self.cancel.clone()
+    }
+
     /// Checks every configured limit; `pops` is the number of pops
     /// completed so far (used to pace the clock reads).
     fn tripped(&self, cost: &Cost, pops: u64) -> Option<TruncateReason> {

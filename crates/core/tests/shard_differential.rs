@@ -1,0 +1,117 @@
+//! Differential oracle gate for sharded routing: across dimensionality,
+//! shard count, and workload shape, the routed answer must be
+//! bit-identical to the unsharded dynamic index — and with shards forced
+//! down, bit-identical to the unsharded index over the surviving
+//! partitions. This is the merge tie-break contract under randomized
+//! load; any drift here is a correctness bug, not noise.
+
+use drtopk_common::{Distribution, Relation, Weights, WorkloadSpec};
+use drtopk_core::shard::shard_of;
+use drtopk_core::{DlOptions, DynamicIndex, Handle, QueryBudget, RouterConfig, ShardRouter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn build_shards(rel: &Relation, p: usize) -> Vec<DynamicIndex> {
+    drtopk_core::partition_relation(rel, p)
+        .unwrap()
+        .into_iter()
+        .map(|(part, handles)| {
+            DynamicIndex::with_handles(&part, handles, DlOptions::default(), 0.5).unwrap()
+        })
+        .collect()
+}
+
+fn survivor_oracle(rel: &Relation, p: usize, dead: &[usize]) -> DynamicIndex {
+    let dims = rel.dims();
+    let mut flat = Vec::new();
+    let mut handles = Vec::new();
+    for (t, row) in rel.iter() {
+        if !dead.contains(&shard_of(t as Handle, p)) {
+            flat.extend_from_slice(row);
+            handles.push(t as Handle);
+        }
+    }
+    DynamicIndex::with_handles(
+        &Relation::from_flat_unchecked(dims, flat),
+        handles,
+        DlOptions::default(),
+        0.5,
+    )
+    .unwrap()
+}
+
+#[test]
+fn sharded_matches_unsharded_across_configurations() {
+    let configs: [(usize, usize, usize, Distribution); 4] = [
+        (2, 300, 2, Distribution::Independent),
+        (3, 400, 3, Distribution::Correlated),
+        (4, 257, 7, Distribution::AntiCorrelated),
+        (2, 64, 5, Distribution::Independent),
+    ];
+    for (d, n, p, dist) in configs {
+        let rel = WorkloadSpec::new(dist, d, n, (d * n + p) as u64).generate();
+        let router = ShardRouter::new(build_shards(&rel, p), RouterConfig::default()).unwrap();
+        let oracle = DynamicIndex::new(&rel, DlOptions::default(), 0.5);
+        let mut rng = StdRng::seed_from_u64(0xD1FF ^ (d as u64) << 8 ^ n as u64);
+        for _ in 0..25 {
+            let w = Weights::random(d, &mut rng);
+            let k = rng.gen_range(1..=40);
+            let routed = router.topk(&w, k, &QueryBudget::unlimited());
+            assert!(routed.coverage.is_full());
+            assert_eq!(
+                routed.ids,
+                oracle.topk(&w, k).0,
+                "d={d} n={n} p={p} k={k}: routed answer drifted from the oracle"
+            );
+        }
+    }
+}
+
+#[test]
+fn degraded_matches_survivor_oracle_for_every_dead_shard() {
+    let (d, n, p) = (3, 360, 4);
+    let rel = WorkloadSpec::new(Distribution::Independent, d, n, 77).generate();
+    let oracle_full = DynamicIndex::new(&rel, DlOptions::default(), 0.5);
+    let mut rng = StdRng::seed_from_u64(0xDEAD);
+    for dead in 0..p {
+        let router = ShardRouter::new(build_shards(&rel, p), RouterConfig::default()).unwrap();
+        router.cordon(dead);
+        let survivors = survivor_oracle(&rel, p, &[dead]);
+        for _ in 0..15 {
+            let w = Weights::random(d, &mut rng);
+            let k = rng.gen_range(1..=30);
+            let routed = router.topk(&w, k, &QueryBudget::unlimited());
+            assert!(routed.coverage.degraded());
+            assert_eq!(routed.coverage.skipped(), vec![dead]);
+            assert_eq!(
+                routed.ids,
+                survivors.topk(&w, k).0,
+                "dead={dead} k={k}: degraded answer is not the survivor-partition top-k"
+            );
+        }
+        // Rejoin: full bit-identity returns.
+        router.mark_up(dead);
+        let w = Weights::random(d, &mut rng);
+        let routed = router.topk(&w, 20, &QueryBudget::unlimited());
+        assert!(routed.coverage.is_full());
+        assert_eq!(routed.ids, oracle_full.topk(&w, 20).0);
+    }
+}
+
+#[test]
+fn two_dead_shards_still_merge_exactly() {
+    let (d, n, p) = (2, 300, 5);
+    let rel = WorkloadSpec::new(Distribution::Independent, d, n, 31).generate();
+    let router = ShardRouter::new(build_shards(&rel, p), RouterConfig::default()).unwrap();
+    router.cordon(0);
+    router.cordon(3);
+    let survivors = survivor_oracle(&rel, p, &[0, 3]);
+    let mut rng = StdRng::seed_from_u64(9);
+    for _ in 0..10 {
+        let w = Weights::random(d, &mut rng);
+        let k = rng.gen_range(1..=25);
+        let routed = router.topk(&w, k, &QueryBudget::unlimited());
+        assert_eq!(routed.coverage.skipped(), vec![0, 3]);
+        assert_eq!(routed.ids, survivors.topk(&w, k).0);
+    }
+}

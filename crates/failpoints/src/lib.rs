@@ -71,6 +71,26 @@ pub enum FailAction {
         /// Non-zero XOR mask.
         mask: u8,
     },
+    /// Stall for this many milliseconds, then *succeed* (return `Ok`,
+    /// leave data untouched). Models a slow disk or a scheduling hiccup
+    /// rather than a hard fault: the caller proceeds, late — which is how
+    /// chaos tests drive a per-shard probe past its carved deadline.
+    Sleep(u64),
+}
+
+/// Sites usable per shard of a sharded deployment: `shard_site(s)` names
+/// the probe boundary of shard `s` (`"shard::probe::<s>"`), so a chaos
+/// test can fail, panic, or stall exactly one shard while its peers stay
+/// healthy. Names are interned (leaked once per distinct shard id) so
+/// they satisfy the registry's `&'static str` contract.
+pub fn shard_site(shard: usize) -> &'static str {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static SITES: OnceLock<Mutex<HashMap<usize, &'static str>>> = OnceLock::new();
+    let sites = SITES.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = sites.lock().unwrap_or_else(|e| e.into_inner());
+    map.entry(shard)
+        .or_insert_with(|| Box::leak(format!("shard::probe::{shard}").into_boxed_str()))
 }
 
 #[cfg(feature = "enabled")]
@@ -141,12 +161,17 @@ mod active {
     }
 
     /// Control-flow site: counts a visit; an armed action returns an error
-    /// or panics. Data actions degrade to [`FailAction::Error`].
+    /// or panics. Data actions degrade to [`FailAction::Error`];
+    /// [`FailAction::Sleep`] stalls and then succeeds.
     #[inline]
     pub fn hit(site: &'static str) -> Result<(), Injected> {
         match fire(site) {
             None => Ok(()),
             Some(FailAction::Panic) => panic!("failpoint panic at {site:?}"),
+            Some(FailAction::Sleep(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
+            }
             Some(_) => Err(Injected { site }),
         }
     }
@@ -170,6 +195,10 @@ mod active {
                     data[pos] ^= mask;
                 }
                 Err(Injected { site })
+            }
+            Some(FailAction::Sleep(ms)) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Ok(())
             }
         }
     }
@@ -273,6 +302,34 @@ mod tests {
         arm("t::panic", 0, FailAction::Panic);
         let r = std::panic::catch_unwind(|| hit("t::panic"));
         assert!(r.is_err());
+        reset();
+    }
+
+    #[test]
+    fn sleep_action_stalls_then_succeeds() {
+        let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        arm("t::sleep", 0, FailAction::Sleep(30));
+        let t0 = std::time::Instant::now();
+        assert!(hit("t::sleep").is_ok(), "a stall is not a failure");
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(30));
+        assert!(hit("t::sleep").is_ok(), "one-shot: disarmed after firing");
+
+        let mut data = vec![7u8; 4];
+        arm("t::sleep2", 0, FailAction::Sleep(1));
+        assert!(mangle("t::sleep2", &mut data).is_ok());
+        assert_eq!(data, vec![7u8; 4], "sleep leaves data untouched");
+        reset();
+    }
+
+    #[test]
+    fn shard_sites_are_stable_and_distinct() {
+        let a = shard_site(3);
+        let b = shard_site(3);
+        let c = shard_site(4);
+        assert_eq!(a, "shard::probe::3");
+        assert!(std::ptr::eq(a, b), "interned: same allocation");
+        assert_eq!(c, "shard::probe::4");
         reset();
     }
 

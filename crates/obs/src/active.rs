@@ -171,6 +171,15 @@ pub struct MetricsRegistry {
     server_protocol_errors: ShardedCounter,
     server_enqueued: ShardedCounter,
     server_dequeued: ShardedCounter,
+    shard_probes: ShardedCounter,
+    shard_probe_failures: ShardedCounter,
+    shard_retries: ShardedCounter,
+    shard_degraded_answers: ShardedCounter,
+    /// Router health gauges (instantaneous, not monotone): shard counts by
+    /// state, published atomically by the router on every transition.
+    shards_up: AtomicU64,
+    shards_degraded: AtomicU64,
+    shards_down: AtomicU64,
     query_latency_ns: LogHistogram,
     query_cost: LogHistogram,
     scratch_touched: LogHistogram,
@@ -214,6 +223,13 @@ impl MetricsRegistry {
             server_protocol_errors: ShardedCounter::new(),
             server_enqueued: ShardedCounter::new(),
             server_dequeued: ShardedCounter::new(),
+            shard_probes: ShardedCounter::new(),
+            shard_probe_failures: ShardedCounter::new(),
+            shard_retries: ShardedCounter::new(),
+            shard_degraded_answers: ShardedCounter::new(),
+            shards_up: AtomicU64::new(0),
+            shards_degraded: AtomicU64::new(0),
+            shards_down: AtomicU64::new(0),
             query_latency_ns: LogHistogram::new(),
             query_cost: LogHistogram::new(),
             scratch_touched: LogHistogram::new(),
@@ -383,6 +399,49 @@ impl MetricsRegistry {
         }
     }
 
+    /// One shard probe attempted by the shard router (retries count too).
+    #[inline]
+    pub fn shard_probe(&self) {
+        if self.recording() {
+            self.shard_probes.add(1);
+        }
+    }
+
+    /// One shard probe that failed (error, panic, or timeout).
+    #[inline]
+    pub fn shard_probe_failure(&self) {
+        if self.recording() {
+            self.shard_probe_failures.add(1);
+        }
+    }
+
+    /// One shard probe retried after a transient failure.
+    #[inline]
+    pub fn shard_retry(&self) {
+        if self.recording() {
+            self.shard_retries.add(1);
+        }
+    }
+
+    /// One routed answer returned with degraded (partial) shard coverage.
+    #[inline]
+    pub fn shard_degraded_answer(&self) {
+        if self.recording() {
+            self.shard_degraded_answers.add(1);
+        }
+    }
+
+    /// Publishes the router's current shard-health tally (counts of shards
+    /// Up / Degraded / Down). A gauge, not a counter: each call overwrites.
+    #[inline]
+    pub fn set_shard_health(&self, up: u64, degraded: u64, down: u64) {
+        if self.recording() {
+            self.shards_up.store(up, Relaxed);
+            self.shards_degraded.store(degraded, Relaxed);
+            self.shards_down.store(down, Relaxed);
+        }
+    }
+
     /// Copies every counter and histogram out. Each value is read with a
     /// relaxed load, so a snapshot taken while queries run is a coherent
     /// *approximation* — fine for monitoring, exact once writers quiesce.
@@ -411,6 +470,13 @@ impl MetricsRegistry {
             server_protocol_errors: self.server_protocol_errors.get(),
             server_enqueued: self.server_enqueued.get(),
             server_dequeued: self.server_dequeued.get(),
+            shard_probes: self.shard_probes.get(),
+            shard_probe_failures: self.shard_probe_failures.get(),
+            shard_retries: self.shard_retries.get(),
+            shard_degraded_answers: self.shard_degraded_answers.get(),
+            shards_up: self.shards_up.load(Relaxed),
+            shards_degraded: self.shards_degraded.load(Relaxed),
+            shards_down: self.shards_down.load(Relaxed),
             query_latency_ns: self.query_latency_ns.snapshot(),
             query_cost: self.query_cost.snapshot(),
             scratch_touched: self.scratch_touched.snapshot(),
@@ -447,6 +513,13 @@ impl MetricsRegistry {
         self.server_protocol_errors.reset();
         self.server_enqueued.reset();
         self.server_dequeued.reset();
+        self.shard_probes.reset();
+        self.shard_probe_failures.reset();
+        self.shard_retries.reset();
+        self.shard_degraded_answers.reset();
+        self.shards_up.store(0, Relaxed);
+        self.shards_degraded.store(0, Relaxed);
+        self.shards_down.store(0, Relaxed);
         self.query_latency_ns.reset();
         self.query_cost.reset();
         self.scratch_touched.reset();

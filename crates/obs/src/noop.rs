@@ -99,6 +99,26 @@ impl MetricsRegistry {
     #[inline]
     pub fn server_queue_wait(&self, _ns: u64) {}
 
+    /// No-op.
+    #[inline]
+    pub fn shard_probe(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn shard_probe_failure(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn shard_retry(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn shard_degraded_answer(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn set_shard_health(&self, _up: u64, _degraded: u64, _down: u64) {}
+
     /// All zeros.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot::default()

@@ -207,6 +207,20 @@ pub struct MetricsSnapshot {
     pub server_enqueued: u64,
     /// Requests pulled from the server queue into micro-batches.
     pub server_dequeued: u64,
+    /// Shard probes attempted by the shard router (retries included).
+    pub shard_probes: u64,
+    /// Shard probes that failed (error, panic, or timeout).
+    pub shard_probe_failures: u64,
+    /// Shard probes retried after a transient failure.
+    pub shard_retries: u64,
+    /// Routed answers returned with degraded (partial) shard coverage.
+    pub shard_degraded_answers: u64,
+    /// Shards currently healthy (router gauge).
+    pub shards_up: u64,
+    /// Shards currently degraded — failing but below the Down threshold.
+    pub shards_degraded: u64,
+    /// Shards currently down (skipped by the router).
+    pub shards_down: u64,
     /// Per-query wall-clock latency, recorded in nanoseconds.
     pub query_latency_ns: HistogramSnapshot,
     /// Per-query paper cost (Definition 9 total, real + pseudo).
@@ -354,6 +368,45 @@ impl MetricsSnapshot {
                 "Requests pulled from the server queue into micro-batches",
                 self.server_dequeued,
             ),
+            (
+                "shard_probes",
+                "Shard probes attempted by the shard router",
+                self.shard_probes,
+            ),
+            (
+                "shard_probe_failures",
+                "Shard probes that failed (error, panic, or timeout)",
+                self.shard_probe_failures,
+            ),
+            (
+                "shard_retries",
+                "Shard probes retried after a transient failure",
+                self.shard_retries,
+            ),
+            (
+                "shard_degraded_answers",
+                "Routed answers returned with degraded shard coverage",
+                self.shard_degraded_answers,
+            ),
+        ]
+    }
+
+    /// The shard-health gauge fields as `(name, help, value)` rows —
+    /// shared by the JSON and Prometheus renderers like
+    /// [`MetricsSnapshot::counter_rows`].
+    pub fn shard_gauge_rows(&self) -> Vec<(&'static str, &'static str, u64)> {
+        vec![
+            ("shards_up", "Shards currently healthy", self.shards_up),
+            (
+                "shards_degraded",
+                "Shards failing but below the Down threshold",
+                self.shards_degraded,
+            ),
+            (
+                "shards_down",
+                "Shards currently down (skipped by the router)",
+                self.shards_down,
+            ),
         ]
     }
 
@@ -377,6 +430,9 @@ impl MetricsSnapshot {
             "{pad}  \"server_queue_depth\": {},",
             self.server_queue_depth()
         );
+        for (name, _help, value) in self.shard_gauge_rows() {
+            let _ = writeln!(out, "{pad}  \"{name}\": {value},");
+        }
         let _ = write!(out, "{pad}  \"query_latency_ns\": ");
         self.query_latency_ns.to_json(&mut out, &format!("{pad}  "));
         out.push_str(",\n");
@@ -428,6 +484,9 @@ impl MetricsSnapshot {
             "Requests waiting in the server admission queue",
             self.server_queue_depth() as f64,
         );
+        for (name, help, value) in self.shard_gauge_rows() {
+            prom_gauge(&mut out, &format!("drtopk_{name}"), help, value as f64);
+        }
         self.query_latency_ns.to_prometheus(
             &mut out,
             "drtopk_query_latency_seconds",

@@ -7,9 +7,10 @@
 //! replies paired back up by `request_id` (§2.3), which the open-loop
 //! load generator uses.
 
-use crate::protocol::{read_frame, write_frame, ErrorCode, Message, WireError, HELLO};
+use crate::protocol::{read_frame, write_frame, Coverage, ErrorCode, Message, WireError, HELLO};
 use std::io::{self, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A decoded TOPK reply (`PROTOCOL.md` §4.1).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -24,12 +25,21 @@ pub struct TopkReply {
     /// Truncation reason: `0` complete, `1` deadline, `2` cost cap, `3`
     /// cancelled.
     pub truncated: u8,
+    /// Degraded shard coverage (§4.1 flags bit 2): `Some` exactly when
+    /// the server skipped one or more shards, in which case `ids` is the
+    /// exact answer over the shards named in the mask.
+    pub coverage: Option<Coverage>,
 }
 
 impl TopkReply {
     /// Whether the answer ran to completion (no budget tripped).
     pub fn is_complete(&self) -> bool {
         self.truncated == 0
+    }
+
+    /// Whether the answer covers every shard of the deployment.
+    pub fn is_full_coverage(&self) -> bool {
+        self.coverage.is_none()
     }
 }
 
@@ -81,6 +91,23 @@ impl From<WireError> for ClientError {
     }
 }
 
+/// Whether a connect-time failure is worth retrying: the kinds a server
+/// restart or a not-yet-listening socket produce, not spec violations.
+fn is_transient(e: &ClientError) -> bool {
+    match e {
+        ClientError::Io(e) => matches!(
+            e.kind(),
+            io::ErrorKind::ConnectionRefused
+                | io::ErrorKind::ConnectionReset
+                | io::ErrorKind::ConnectionAborted
+                | io::ErrorKind::TimedOut
+                | io::ErrorKind::UnexpectedEof
+                | io::ErrorKind::BrokenPipe
+        ),
+        _ => false,
+    }
+}
+
 /// A blocking connection to a `drtopk serve` process.
 ///
 /// One `Client` is one TCP connection; it is not `Sync` — use one per
@@ -106,6 +133,40 @@ impl Client {
             )));
         }
         Ok(Client { stream, next_id: 1 })
+    }
+
+    /// [`connect`](Self::connect) with bounded retry: up to `retries`
+    /// re-attempts after *transient* failures (refused/reset/timed-out
+    /// connections, or an interrupted hello), sleeping a jittered
+    /// exponential backoff between attempts (base `backoff`, doubling,
+    /// capped at 32× base). Non-transient failures — a listener that
+    /// answers with a bad hello, an unresolvable address — surface
+    /// immediately: retrying cannot fix those.
+    pub fn connect_with_retry(
+        addr: impl ToSocketAddrs + Clone,
+        retries: u32,
+        backoff: Duration,
+    ) -> Result<Self, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            match Self::connect(addr.clone()) {
+                Ok(c) => return Ok(c),
+                Err(e) if attempt < retries && is_transient(&e) => {
+                    let exp = backoff.saturating_mul(1u32 << attempt.min(5));
+                    // Deterministic ±50% jitter keyed off the attempt so
+                    // concurrent reconnectors don't stampede in lockstep.
+                    let salt = std::process::id() as u64 ^ ((attempt as u64) << 32);
+                    let mut x = salt.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+                    x ^= x >> 12;
+                    x ^= x << 25;
+                    x ^= x >> 27;
+                    let frac = 0.5 + (x >> 11) as f64 / (1u64 << 53) as f64;
+                    std::thread::sleep(exp.mul_f64(frac));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Sends one QUERY frame (§3.1) without waiting, returning its
@@ -149,6 +210,7 @@ impl Client {
                     evaluated,
                     pseudo_evaluated,
                     ids,
+                    coverage,
                 },
             ) => Ok((
                 id,
@@ -157,6 +219,7 @@ impl Client {
                     evaluated,
                     pseudo_evaluated,
                     truncated,
+                    coverage,
                 },
             )),
             (_, Message::Error { code, message }) => Err(ClientError::Server { code, message }),

@@ -19,6 +19,11 @@
 //! * [`client`] — a blocking client with pipelining support, used by the
 //!   CLI (`drtopk query --connect`), the tests, and the serving load
 //!   generator.
+//! * [`shard`] — the served form of one shard for
+//!   [`Server::start_sharded`]: a durable per-shard store probed through
+//!   the core [`ShardRouter`](drtopk_core::ShardRouter), with failpoint
+//!   injection on every probe so chaos tests can prove single-shard
+//!   failures degrade coverage instead of availability.
 //!
 //! ```no_run
 //! use drtopk_common::{Distribution, WorkloadSpec};
@@ -39,7 +44,9 @@
 pub mod client;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 
 pub use client::{Client, ClientError, TopkReply};
-pub use protocol::{ErrorCode, Message, WireError, HELLO, MAX_PAYLOAD};
+pub use protocol::{Coverage, ErrorCode, Message, WireError, HELLO, MAX_PAYLOAD};
 pub use server::{Server, ServerConfig, ServerHandle, ACCEPT_FAILPOINT};
+pub use shard::ServedShard;

@@ -79,6 +79,29 @@ impl std::fmt::Display for ErrorCode {
     }
 }
 
+/// Degraded shard coverage attached to a TOPK response (§4.1, flags
+/// bit 2): which shards of a sharded backend answered this request. Only
+/// present when coverage is *partial* — a full-coverage (or unsharded)
+/// answer keeps bit 2 clear and carries no extra bytes, so the v1 TOPK
+/// encoding is unchanged for the healthy path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// Total shard count of the deployment (1..=64).
+    pub shards: u16,
+    /// Bit `s` set ⇔ shard `s` contributed its partition to the answer.
+    pub answered: u64,
+}
+
+impl Coverage {
+    /// Shard ids that did **not** contribute (their partitions are
+    /// missing from the answer).
+    pub fn skipped(&self) -> Vec<usize> {
+        (0..self.shards as usize)
+            .filter(|s| self.answered & (1u64 << s) == 0)
+            .collect()
+    }
+}
+
 /// One decoded protocol message (the payload past the request id, §2.3).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -111,6 +134,10 @@ pub enum Message {
         /// Answer ids, ascending `(score, id)`; a true prefix when
         /// `truncated != 0`.
         ids: Vec<u64>,
+        /// Degraded shard coverage (§4.1 flags bit 2): `Some` exactly
+        /// when one or more shards were skipped, in which case the ids
+        /// are the exact top-k over the answering shards' partitions.
+        coverage: Option<Coverage>,
     },
     /// METRICS response (§4.2): Prometheus text exposition.
     MetricsReply(
@@ -222,13 +249,20 @@ fn encode_body(msg: &Message, out: &mut Vec<u8>) {
             evaluated,
             pseudo_evaluated,
             ids,
+            coverage,
         } => {
-            out.push(*truncated);
+            debug_assert!(*truncated <= 3, "truncated reason outside flag bits 0-1");
+            let flags = truncated | if coverage.is_some() { 0x04 } else { 0 };
+            out.push(flags);
             out.extend_from_slice(&evaluated.to_le_bytes());
             out.extend_from_slice(&pseudo_evaluated.to_le_bytes());
             out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
             for id in ids {
                 out.extend_from_slice(&id.to_le_bytes());
+            }
+            if let Some(cov) = coverage {
+                out.extend_from_slice(&cov.shards.to_le_bytes());
+                out.extend_from_slice(&cov.answered.to_le_bytes());
             }
         }
         Message::MetricsReply(text) => out.extend_from_slice(text.as_bytes()),
@@ -331,7 +365,13 @@ pub fn decode_payload(payload: &[u8]) -> Result<(u64, Message), WireError> {
         ty::PING => Message::Ping,
         ty::DRAIN => Message::Drain,
         ty::TOPK => {
-            let truncated = c.u8()?;
+            let flags = c.u8()?;
+            if flags & !0x07 != 0 {
+                return Err(corrupt(format!(
+                    "reserved TOPK flag bits set: {flags:#04x}"
+                )));
+            }
+            let truncated = flags & 0x03;
             let evaluated = c.u64()?;
             let pseudo_evaluated = c.u64()?;
             let count = c.u32()? as usize;
@@ -343,11 +383,37 @@ pub fn decode_payload(payload: &[u8]) -> Result<(u64, Message), WireError> {
             for _ in 0..count {
                 ids.push(c.u64()?);
             }
+            let coverage = if flags & 0x04 != 0 {
+                let shards = c.u16()?;
+                let answered = c.u64()?;
+                if shards == 0 || shards > 64 {
+                    return Err(corrupt(format!("shard count {shards} outside 1..=64")));
+                }
+                let valid = if shards == 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << shards) - 1
+                };
+                if answered & !valid != 0 {
+                    return Err(corrupt(format!(
+                        "answered mask {answered:#x} has bits past shard count {shards}"
+                    )));
+                }
+                if answered == valid {
+                    return Err(corrupt(
+                        "full coverage must be encoded without the coverage extension",
+                    ));
+                }
+                Some(Coverage { shards, answered })
+            } else {
+                None
+            };
             Message::Topk {
                 truncated,
                 evaluated,
                 pseudo_evaluated,
                 ids,
+                coverage,
             }
         }
         ty::METRICS_REP => {
@@ -441,6 +507,20 @@ mod tests {
                 evaluated: 5,
                 pseudo_evaluated: 1,
                 ids: vec![12, 4, 9],
+                coverage: None,
+            },
+        );
+        roundtrip(
+            8,
+            Message::Topk {
+                truncated: 1,
+                evaluated: 5,
+                pseudo_evaluated: 0,
+                ids: vec![3],
+                coverage: Some(Coverage {
+                    shards: 4,
+                    answered: 0b1011,
+                }),
             },
         );
         roundtrip(4, Message::MetricsReply("# HELP x\nx 1\n".into()));
@@ -505,12 +585,74 @@ mod tests {
     }
 
     #[test]
+    fn coverage_flags_and_mask_are_validated() {
+        let base = Message::Topk {
+            truncated: 0,
+            evaluated: 1,
+            pseudo_evaluated: 0,
+            ids: vec![7],
+            coverage: Some(Coverage {
+                shards: 3,
+                answered: 0b101,
+            }),
+        };
+        // Mutating the flags byte (payload offset 9 → frame offset 17)
+        // or the coverage tail must be caught by the decoder.
+        let recrc = |frame: &mut Vec<u8>| {
+            let payload = frame[8..].to_vec();
+            frame[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
+        };
+
+        // Reserved flag bits 3-7 are rejected.
+        let mut frame = encode_frame(1, &base);
+        frame[17] |= 0x08;
+        recrc(&mut frame);
+        assert!(matches!(
+            read_frame(&mut &frame[..]),
+            Err(WireError::Corrupt(_))
+        ));
+
+        // A mask with bits past the shard count is rejected. The
+        // answered mask is the last 8 bytes of the frame.
+        let mut frame = encode_frame(1, &base);
+        let n = frame.len();
+        frame[n - 8..].copy_from_slice(&0b1101u64.to_le_bytes());
+        recrc(&mut frame);
+        assert!(matches!(
+            read_frame(&mut &frame[..]),
+            Err(WireError::Corrupt(_))
+        ));
+
+        // Full coverage spelled through the extension is rejected: the
+        // canonical encoding of a full answer is flag bit 2 clear.
+        let mut frame = encode_frame(1, &base);
+        let n = frame.len();
+        frame[n - 8..].copy_from_slice(&0b111u64.to_le_bytes());
+        recrc(&mut frame);
+        assert!(matches!(
+            read_frame(&mut &frame[..]),
+            Err(WireError::Corrupt(_))
+        ));
+
+        // And the happy path still decodes with skipped() naming shard 1.
+        let frame = encode_frame(1, &base);
+        let (_, msg) = read_frame(&mut &frame[..]).unwrap();
+        match msg {
+            Message::Topk { coverage, .. } => {
+                assert_eq!(coverage.unwrap().skipped(), vec![1]);
+            }
+            other => panic!("want Topk, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn topk_count_cannot_outrun_the_body() {
         let msg = Message::Topk {
             truncated: 0,
             evaluated: 1,
             pseudo_evaluated: 0,
             ids: vec![1, 2],
+            coverage: None,
         };
         let mut frame = encode_frame(1, &msg);
         // count lives at payload offset 26 → frame offset 34.

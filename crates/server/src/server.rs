@@ -12,9 +12,15 @@
 //! latency collapse; when a batch fills to `batch_max` or ages past
 //! `batch_window` — whichever comes first — it flushes.
 
-use crate::protocol::{read_frame, write_frame, ErrorCode, Message, WireError, HELLO, MAX_PAYLOAD};
+use crate::protocol::{
+    read_frame, write_frame, Coverage, ErrorCode, Message, WireError, HELLO, MAX_PAYLOAD,
+};
+use crate::shard::ServedShard;
 use drtopk_common::Weights;
-use drtopk_core::{BatchExecutor, DualLayerIndex, QueryBudget, ResultCache, TruncateReason};
+use drtopk_core::{
+    BatchExecutor, DualLayerIndex, QueryBudget, ResultCache, ShardHealth, ShardRouter,
+    TruncateReason,
+};
 use drtopk_obs::metrics;
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -191,10 +197,33 @@ impl ConnWriter {
     }
 }
 
+/// What answers the queries: one monolithic index, or a fault-tolerant
+/// router over per-shard indexes (DESIGN.md §9).
+enum Backend {
+    /// A single static [`DualLayerIndex`], optionally cache-fronted.
+    Single {
+        index: Arc<DualLayerIndex>,
+        cache: Option<ResultCache>,
+    },
+    /// A [`ShardRouter`] over served shards; degraded coverage travels
+    /// to clients via the TOPK coverage extension (`PROTOCOL.md` §4.1).
+    Sharded {
+        router: Arc<ShardRouter<ServedShard>>,
+    },
+}
+
+impl Backend {
+    fn dims(&self) -> usize {
+        match self {
+            Backend::Single { index, .. } => index.dims(),
+            Backend::Sharded { router } => router.dims(),
+        }
+    }
+}
+
 /// State shared by the accept loop, connection readers, and workers.
 struct Shared {
-    index: Arc<DualLayerIndex>,
-    cache: Option<ResultCache>,
+    backend: Backend,
     cfg: ServerConfig,
     queue: Mutex<VecDeque<Pending>>,
     work_ready: Condvar,
@@ -219,20 +248,61 @@ impl Shared {
 
     fn prometheus_text(&self) -> String {
         let mut out = String::new();
-        let s = self.index.stats();
-        let gauges: [(&str, &str, u64); 4] = [
-            ("tuples", "Tuples in the indexed relation", s.n as u64),
-            ("dims", "Attribute dimensionality", s.dims as u64),
-            ("coarse_layers", "Coarse layers", s.coarse_layers as u64),
-            ("fine_sublayers", "Fine sublayers", s.fine_layers as u64),
-        ];
-        for (name, help, value) in gauges {
-            drtopk_obs::snapshot::prom_gauge(
-                &mut out,
-                &format!("drtopk_index_{name}"),
-                help,
-                value as f64,
-            );
+        match &self.backend {
+            Backend::Single { index, .. } => {
+                let s = index.stats();
+                let gauges: [(&str, &str, u64); 4] = [
+                    ("tuples", "Tuples in the indexed relation", s.n as u64),
+                    ("dims", "Attribute dimensionality", s.dims as u64),
+                    ("coarse_layers", "Coarse layers", s.coarse_layers as u64),
+                    ("fine_sublayers", "Fine sublayers", s.fine_layers as u64),
+                ];
+                for (name, help, value) in gauges {
+                    drtopk_obs::snapshot::prom_gauge(
+                        &mut out,
+                        &format!("drtopk_index_{name}"),
+                        help,
+                        value as f64,
+                    );
+                }
+            }
+            Backend::Sharded { router } => {
+                let tuples: usize = (0..router.shards())
+                    .filter_map(|s| router.shard(s).with_store(|st| st.len()))
+                    .sum();
+                drtopk_obs::snapshot::prom_gauge(
+                    &mut out,
+                    "drtopk_index_tuples",
+                    "Live tuples across all shards",
+                    tuples as f64,
+                );
+                drtopk_obs::snapshot::prom_gauge(
+                    &mut out,
+                    "drtopk_index_dims",
+                    "Attribute dimensionality",
+                    router.dims() as f64,
+                );
+                drtopk_obs::snapshot::prom_gauge(
+                    &mut out,
+                    "drtopk_shards",
+                    "Shard count of the deployment",
+                    router.shards() as f64,
+                );
+                // Per-shard health: 0 = up, 1 = degraded, 2 = down. The
+                // runbook's alerting keys off this series (OPERATIONS.md).
+                out.push_str(
+                    "# HELP drtopk_shard_health Shard health (0 up, 1 degraded, 2 down)\n",
+                );
+                out.push_str("# TYPE drtopk_shard_health gauge\n");
+                for (s, h) in router.health().into_iter().enumerate() {
+                    let v = match h {
+                        ShardHealth::Up => 0,
+                        ShardHealth::Degraded => 1,
+                        ShardHealth::Down => 2,
+                    };
+                    out.push_str(&format!("drtopk_shard_health{{shard=\"{s}\"}} {v}\n"));
+                }
+            }
         }
         out.push_str(&metrics().snapshot().to_prometheus());
         out
@@ -263,6 +333,16 @@ impl ServerHandle {
     /// for port `0`).
     pub fn addr(&self) -> SocketAddr {
         self.shared.local_addr
+    }
+
+    /// The shard router behind this server, when it was started with
+    /// [`Server::start_sharded`] — the hook for admin paths (cordon,
+    /// rejoin after recovery) and for tests to reach shard state.
+    pub fn router(&self) -> Option<&Arc<ShardRouter<ServedShard>>> {
+        match &self.shared.backend {
+            Backend::Sharded { router } => Some(router),
+            Backend::Single { .. } => None,
+        }
     }
 
     /// Graceful drain: stop accepting, answer everything already
@@ -306,11 +386,29 @@ impl Server {
     /// Starts serving `index` per `cfg`. Fails only if the listen socket
     /// cannot be bound.
     pub fn start(index: Arc<DualLayerIndex>, cfg: ServerConfig) -> io::Result<ServerHandle> {
+        let backend = Backend::Single {
+            cache: cfg.cache.then(ResultCache::default),
+            index,
+        };
+        Self::start_backend(backend, cfg)
+    }
+
+    /// Starts serving a sharded deployment: queries fan out through the
+    /// router, shard failures degrade coverage instead of failing the
+    /// request, and replies carry the coverage extension (`PROTOCOL.md`
+    /// §4.1 flags bit 2) whenever a shard was skipped.
+    pub fn start_sharded(
+        router: Arc<ShardRouter<ServedShard>>,
+        cfg: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        Self::start_backend(Backend::Sharded { router }, cfg)
+    }
+
+    fn start_backend(backend: Backend, cfg: ServerConfig) -> io::Result<ServerHandle> {
         let listener = TcpListener::bind(cfg.get_addr())?;
         let local_addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            cache: cfg.cache.then(ResultCache::default),
-            index,
+            backend,
             cfg,
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
@@ -594,7 +692,7 @@ fn admit_query(
     if shared.shutting_down() {
         return reject(ErrorCode::ShuttingDown, "server is draining".to_string());
     }
-    let dims = shared.index.dims();
+    let dims = shared.backend.dims();
     if weights.len() != dims {
         return reject(
             ErrorCode::BadRequest,
@@ -609,8 +707,12 @@ fn admit_query(
 
     // Hot weight cells never touch the queue: a cache hit is a complete
     // answer served on the reader thread.
-    if let Some(cache) = &shared.cache {
-        if let Some(hit) = cache.probe(&shared.index, &w, k) {
+    if let Backend::Single {
+        index,
+        cache: Some(cache),
+    } = &shared.backend
+    {
+        if let Some(hit) = cache.probe(index, &w, k) {
             writer.send(
                 request_id,
                 &Message::Topk {
@@ -618,6 +720,7 @@ fn admit_query(
                     evaluated: hit.cost.evaluated,
                     pseudo_evaluated: hit.cost.pseudo_evaluated,
                     ids: hit.ids.iter().map(|&id| u64::from(id)).collect(),
+                    coverage: None,
                 },
             );
             return;
@@ -714,29 +817,32 @@ fn run_batch(batch: Vec<Pending>, shared: &Arc<Shared>) {
     for p in &batch {
         m.server_queue_wait(p.admitted.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
     }
+    match &shared.backend {
+        Backend::Single { index, cache } => run_batch_single(batch, index, cache.as_ref()),
+        Backend::Sharded { router } => run_batch_sharded(batch, router),
+    }
+}
+
+fn run_batch_single(batch: Vec<Pending>, index: &Arc<DualLayerIndex>, cache: Option<&ResultCache>) {
     let requests: Vec<(Weights, usize, QueryBudget)> = batch
         .iter()
         .map(|p| (p.weights.clone(), p.k, p.budget.clone()))
         .collect();
     // Parallelism comes from the worker pool; each micro-batch runs on
     // its worker's thread so concurrent batches never oversubscribe.
-    let mut exec = BatchExecutor::with_threads(&shared.index, 1);
-    if let Some(cache) = &shared.cache {
+    let mut exec = BatchExecutor::with_threads(index, 1);
+    if let Some(cache) = cache {
         exec = exec.with_cache(cache);
     }
     let results = exec.run_guarded_each(&requests);
     for (p, r) in batch.into_iter().zip(results) {
         let msg = match r {
             Ok(g) => Message::Topk {
-                truncated: match g.truncated {
-                    None => 0,
-                    Some(TruncateReason::Deadline) => 1,
-                    Some(TruncateReason::CostExceeded) => 2,
-                    Some(TruncateReason::Cancelled) => 3,
-                },
+                truncated: truncate_flag(g.truncated),
                 evaluated: g.cost.evaluated,
                 pseudo_evaluated: g.cost.pseudo_evaluated,
                 ids: g.ids.iter().map(|&id| u64::from(id)).collect(),
+                coverage: None,
             },
             Err(e) => Message::Error {
                 code: ErrorCode::Internal,
@@ -745,6 +851,36 @@ fn run_batch(batch: Vec<Pending>, shared: &Arc<Shared>) {
         };
         p.writer.send(p.request_id, &msg);
         p.writer.outstanding.fetch_sub(1, SeqCst);
+    }
+}
+
+fn run_batch_sharded(batch: Vec<Pending>, router: &Arc<ShardRouter<ServedShard>>) {
+    // The router fans each request across all shards itself, so requests
+    // run one at a time on this worker — cross-request parallelism still
+    // comes from the worker pool.
+    for p in batch {
+        let r = router.topk(&p.weights, p.k, &p.budget);
+        let msg = Message::Topk {
+            truncated: truncate_flag(r.truncated),
+            evaluated: r.cost.evaluated,
+            pseudo_evaluated: r.cost.pseudo_evaluated,
+            ids: r.ids,
+            coverage: r.coverage.degraded().then(|| Coverage {
+                shards: r.coverage.total() as u16,
+                answered: r.coverage.mask(),
+            }),
+        };
+        p.writer.send(p.request_id, &msg);
+        p.writer.outstanding.fetch_sub(1, SeqCst);
+    }
+}
+
+fn truncate_flag(reason: Option<TruncateReason>) -> u8 {
+    match reason {
+        None => 0,
+        Some(TruncateReason::Deadline) => 1,
+        Some(TruncateReason::CostExceeded) => 2,
+        Some(TruncateReason::Cancelled) => 3,
     }
 }
 

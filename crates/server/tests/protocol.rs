@@ -3,7 +3,7 @@
 //! byte, a bit flip at every position) mirroring the storage crate's
 //! torn-tail/bit-rot tests.
 
-use drtopk_server::protocol::{encode_frame, read_frame, ErrorCode, Message, WireError};
+use drtopk_server::protocol::{encode_frame, read_frame, Coverage, ErrorCode, Message, WireError};
 use drtopk_server::HELLO;
 
 fn hex(s: &str) -> Vec<u8> {
@@ -44,6 +44,7 @@ fn spec_hex_examples_match_the_encoder() {
             evaluated: 5,
             pseudo_evaluated: 1,
             ids: vec![12, 4, 9],
+            coverage: None,
         },
     );
     assert_eq!(
@@ -53,6 +54,29 @@ fn spec_hex_examples_match_the_encoder() {
              00 00 03 00 00 00 0c 00 00 00 00 00 00 00 04 00 \
              00 00 00 00 00 00 09 00 00 00 00 00 00 00"),
         "§7.2 TOPK example"
+    );
+
+    // §7.5 TOPK with degraded coverage (flags bit 2: shard 2 of 4 down)
+    let degraded = encode_frame(
+        7,
+        &Message::Topk {
+            truncated: 1,
+            evaluated: 4,
+            pseudo_evaluated: 0,
+            ids: vec![12, 4],
+            coverage: Some(Coverage {
+                shards: 4,
+                answered: 0b1011,
+            }),
+        },
+    );
+    assert_eq!(
+        degraded,
+        hex("38 00 00 00 83 28 b8 5a 81 07 00 00 00 00 00 00 \
+             00 05 04 00 00 00 00 00 00 00 00 00 00 00 00 00 \
+             00 00 02 00 00 00 0c 00 00 00 00 00 00 00 04 00 \
+             00 00 00 00 00 00 04 00 0b 00 00 00 00 00 00 00"),
+        "§7.5 degraded TOPK example"
     );
 
     // §7.3 ERROR
@@ -92,6 +116,20 @@ fn sample_frames() -> Vec<Vec<u8>> {
                 evaluated: 123_456,
                 pseudo_evaluated: 78,
                 ids: vec![0, u64::from(u32::MAX), 17],
+                coverage: None,
+            },
+        ),
+        encode_frame(
+            5,
+            &Message::Topk {
+                truncated: 0,
+                evaluated: 9,
+                pseudo_evaluated: 0,
+                ids: vec![2, 5],
+                coverage: Some(Coverage {
+                    shards: 4,
+                    answered: 0b1011,
+                }),
             },
         ),
         encode_frame(3, &Message::Ping),

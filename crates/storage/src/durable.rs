@@ -30,9 +30,10 @@
 use crate::format::{self, FormatError};
 use crate::wal::{self, WalRecord, WalWriter};
 use drtopk_common::{Cost, Error, Relation, Weights};
-use drtopk_core::{DlOptions, DynamicIndex, Handle};
+use drtopk_core::{DlOptions, DynamicGuardedTopk, DynamicIndex, Handle, QueryBudget, ResultCache};
 use std::fs;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Every failpoint site the durable store and its storage layer visit,
 /// for chaos suites to enumerate.
@@ -145,6 +146,47 @@ impl DurableDynamicIndex {
         let inner = DynamicIndex::new(rel, options.opts.clone(), options.rebuild_fraction);
         // WAL first, snapshot second: the snapshot's appearance is the
         // commit point, and a committed snapshot must have its WAL ready.
+        let wal = WalWriter::create(&wal_path(dir, 0), 0).map_err(Error::from)?;
+        format::save_dynamic_state(&inner.to_state(), 0, &snapshot_path(dir, 0))
+            .map_err(Error::from)?;
+        Ok(DurableDynamicIndex {
+            dir: dir.to_path_buf(),
+            inner,
+            wal,
+            generation: 0,
+            appends_since_checkpoint: 0,
+            poisoned: None,
+            options,
+        })
+    }
+
+    /// Creates a fresh store whose tuples carry *caller-assigned* global
+    /// handles (see [`DynamicIndex::with_handles`]) — the shard-deployment
+    /// entry point: each shard persists its partition under the global ids
+    /// the router merges on, and WAL records (which carry handles) replay
+    /// into the same global id space on recovery.
+    pub fn create_with_handles(
+        dir: &Path,
+        rel: &Relation,
+        handles: Vec<Handle>,
+        options: DurableOptions,
+    ) -> Result<Self, Error> {
+        fs::create_dir_all(dir).map_err(|e| Error::Io(e.to_string()))?;
+        if !list_generations(dir, "snapshot.", ".drt")
+            .map_err(Error::from)?
+            .is_empty()
+        {
+            return Err(Error::Invalid(format!(
+                "directory {} already holds a durable index; use open()",
+                dir.display()
+            )));
+        }
+        let inner = DynamicIndex::with_handles(
+            rel,
+            handles,
+            options.opts.clone(),
+            options.rebuild_fraction,
+        )?;
         let wal = WalWriter::create(&wal_path(dir, 0), 0).map_err(Error::from)?;
         format::save_dynamic_state(&inner.to_state(), 0, &snapshot_path(dir, 0))
             .map_err(Error::from)?;
@@ -287,6 +329,15 @@ impl DurableDynamicIndex {
         &self.inner
     }
 
+    /// Attaches a weight-space result cache to the query path (invalidated
+    /// on attachment and by every mutation — see
+    /// [`DynamicIndex::attach_cache`]). In a sharded deployment each shard
+    /// owns its own cache, so one shard's churn or recovery invalidates
+    /// only that shard's entries.
+    pub fn attach_cache(&mut self, cache: Arc<ResultCache>) {
+        self.inner.attach_cache(cache);
+    }
+
     /// Number of live tuples.
     pub fn len(&self) -> usize {
         self.inner.len()
@@ -342,6 +393,30 @@ impl DurableDynamicIndex {
         Ok(())
     }
 
+    /// Inserts a tuple under a caller-assigned handle (shard discipline:
+    /// a shard only assigns handles congruent to its id). Same WAL-first
+    /// contract as [`DurableDynamicIndex::insert`]; `h` must be at or
+    /// above the next unassigned handle.
+    pub fn insert_with_handle(&mut self, h: Handle, row: &[f64]) -> Result<(), Error> {
+        self.check_usable()?;
+        self.inner.check_row(row)?;
+        if h < self.inner.next_handle() {
+            return Err(Error::Invalid(format!(
+                "handle {h} below next handle {}",
+                self.inner.next_handle()
+            )));
+        }
+        self.log(&WalRecord::Insert {
+            handle: h,
+            row: row.to_vec(),
+        })?;
+        self.inner
+            .replay_insert(h, row)
+            .expect("handle and row validated above");
+        self.maybe_checkpoint();
+        Ok(())
+    }
+
     /// Inserts a tuple: WAL append first, then the in-memory apply.
     pub fn insert(&mut self, row: &[f64]) -> Result<Handle, Error> {
         self.check_usable()?;
@@ -376,6 +451,12 @@ impl DurableDynamicIndex {
     /// when poisoned — reads never touch the log).
     pub fn topk(&self, w: &Weights, k: usize) -> (Vec<Handle>, Cost) {
         self.inner.topk(w, k)
+    }
+
+    /// Budget-guarded top-k (the serving path's shard probe; see
+    /// [`DynamicIndex::topk_guarded`]).
+    pub fn topk_guarded(&self, w: &Weights, k: usize, budget: &QueryBudget) -> DynamicGuardedTopk {
+        self.inner.topk_guarded(w, k, budget)
     }
 
     /// Forces buffered WAL appends to stable storage (no-op after

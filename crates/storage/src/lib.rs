@@ -13,7 +13,10 @@
 //! * [`durable`] — [`durable::DurableDynamicIndex`], a crash-safe
 //!   [`drtopk_core::DynamicIndex`]: append-before-apply WAL discipline,
 //!   generation-numbered atomic snapshots, and recovery that replays the
-//!   log over the newest loadable snapshot.
+//!   log over the newest loadable snapshot;
+//! * [`shards`] — the on-disk layout of a sharded deployment: one
+//!   independent durable store per shard directory, so failure and
+//!   recovery quarantine to a single shard.
 //!
 //! Fault injection: with the `failpoints` feature on, every I/O boundary
 //! in this crate visits a named failpoint (see
@@ -25,6 +28,7 @@ pub mod blocks;
 pub mod bufferpool;
 pub mod durable;
 pub mod format;
+pub mod shards;
 pub mod wal;
 
 pub use blocks::{BlockLayout, Placement};
@@ -34,4 +38,5 @@ pub use format::{
     load_dynamic_state, load_index, load_relation, save_dynamic_state, save_index, save_relation,
     FormatError,
 };
+pub use shards::{create_sharded, list_shard_dirs, open_shards, open_shards_tolerant, shard_dir};
 pub use wal::{read_wal, WalRecord, WalReplay, WalWriter, MAX_WAL_RECORD};

@@ -33,12 +33,25 @@
 //! `drtopk_shard_degraded_answers_total` counter — a mismatch is a
 //! protocol bug and fails the run.
 //!
+//! With `--topology P` a fifth phase measures the *multi-node* stack
+//! (OPERATIONS.md §10): the same relation served first by an in-process
+//! sharded router, then by a router node fanning out over TCP to P real
+//! shard-node servers — the QPS/p99 delta between the two rows is the
+//! price of the network hop. `--topology FILE` instead points the router
+//! at an externally managed cluster (no in-process comparison row).
+//! Adding `--kill-replica` replicates shard 0 and drains its primary
+//! mid-run: the run fails unless the drain cost zero errors and zero
+//! degraded answers, and the router's `drtopk_shard_failovers_total`
+//! counter confirms at least one failover actually happened — silence on
+//! both sides would mean the phase never exercised the failover path.
+//!
 //! ```text
 //! serving [--n 50000] [--d 3] [--k 10] [--clients 4] [--seconds 2.0]
 //!         [--rates 2000,8000] [--pool 64] [--skew 1.0] [--workers 2]
 //!         [--batch-max 32] [--batch-window-us 200] [--queue-depth 1024]
 //!         [--overload-clients 8] [--overload-queue 1] [--cache]
 //!         [--shards P] [--degrade-shard S]
+//!         [--topology P|FILE] [--kill-replica]
 //!         [--out BENCH_serving.json] [--min-qps F]
 //! ```
 
@@ -46,7 +59,9 @@ use drtopk_bench::dataset;
 use drtopk_bench::json::Value;
 use drtopk_common::{Distribution, ZipfWeightWorkload};
 use drtopk_core::{DlOptions, DualLayerIndex};
-use drtopk_server::{Client, ClientError, ErrorCode, Server, ServerConfig, ServerHandle};
+use drtopk_server::{
+    Client, ClientError, ErrorCode, ServedShard, Server, ServerConfig, ServerHandle, Topology,
+};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -70,6 +85,10 @@ struct Config {
     cache: bool,
     shards: usize,
     degrade_shard: usize,
+    /// Multi-node phase: a shard count (self-hosted loopback cluster) or
+    /// a topology file path (externally managed cluster).
+    topology: Option<String>,
+    kill_replica: bool,
     out: String,
     min_qps: Option<f64>,
 }
@@ -94,6 +113,8 @@ impl Config {
             cache: false,
             shards: 0,
             degrade_shard: 0,
+            topology: None,
+            kill_replica: false,
             out: "BENCH_serving.json".to_string(),
             min_qps: None,
         };
@@ -102,6 +123,11 @@ impl Config {
             let flag = args[i].as_str();
             if flag == "--cache" {
                 cfg.cache = true;
+                i += 1;
+                continue;
+            }
+            if flag == "--kill-replica" {
+                cfg.kill_replica = true;
                 i += 1;
                 continue;
             }
@@ -133,6 +159,7 @@ impl Config {
                 "--overload-queue" => cfg.overload_queue = num()?,
                 "--shards" => cfg.shards = num()?,
                 "--degrade-shard" => cfg.degrade_shard = num()?,
+                "--topology" => cfg.topology = Some(val.clone()),
                 "--out" => cfg.out = val.clone(),
                 "--min-qps" => cfg.min_qps = Some(fnum()?),
                 other => return Err(format!("unknown flag {other}")),
@@ -147,6 +174,22 @@ impl Config {
                 "--degrade-shard {} is out of range for --shards {}",
                 cfg.degrade_shard, cfg.shards
             ));
+        }
+        if matches!(cfg.topology.as_deref(), Some("0")) {
+            return Err("--topology needs at least one shard".to_string());
+        }
+        if cfg.kill_replica {
+            match &cfg.topology {
+                Some(t) if t.parse::<usize>().is_ok() => {}
+                Some(_) => {
+                    return Err(
+                        "--kill-replica drains a node this process owns; it needs a \
+                         self-hosted cluster (--topology P), not a topology file"
+                            .to_string(),
+                    )
+                }
+                None => return Err("--kill-replica requires --topology P".to_string()),
+            }
         }
         Ok(cfg)
     }
@@ -501,6 +544,228 @@ fn sharded_phase(
     (json, failed)
 }
 
+/// The answered-QPS a phase achieved (what the ratio rows divide).
+fn qps(stats: &WorkerStats, secs: f64) -> f64 {
+    stats.ok as f64 / secs
+}
+
+/// Phase 5 (`--topology`): the multi-node serving stack. A shard count
+/// self-hosts a loopback cluster (shard-node servers + a router node)
+/// and reports the in-process vs remote QPS/p99 comparison; a file path
+/// benches a router over an externally managed cluster.
+fn multinode_phase(
+    rel: &drtopk_common::Relation,
+    cfg: &Config,
+    base: &ServerConfig,
+) -> (Value, bool) {
+    let arg = cfg.topology.as_deref().expect("phase gated on --topology");
+    match arg.parse::<usize>() {
+        Ok(p) => selfhost_multinode(rel, cfg, base, p),
+        Err(_) => external_multinode(arg, cfg, base),
+    }
+}
+
+/// Router node over a cluster someone else runs: measure, don't manage.
+/// Degraded answers are reported but tolerated — the external cluster
+/// may legitimately be running with a shard down.
+fn external_multinode(file: &str, cfg: &Config, base: &ServerConfig) -> (Value, bool) {
+    let topo = Topology::load(file).expect("load topology file");
+    eprintln!(
+        "multinode: router over {file} ({} shard(s)), {} clients for {} s",
+        topo.shard_count(),
+        cfg.clients,
+        cfg.seconds
+    );
+    let router = Server::start_router(
+        topo.build_router().expect("build remote router"),
+        Some(topo.pinger_config()),
+        base.clone(),
+    )
+    .expect("start router node");
+    let (stats, secs) = closed_loop(router.addr(), cfg, cfg.clients, cfg.k);
+    let remote_json = phase_json("multinode/remote", &stats, secs);
+    router.shutdown();
+
+    let failed = stats.errors > 0;
+    if failed {
+        eprintln!(
+            "MULTINODE ERRORS: {} protocol or transport errors against {file}",
+            stats.errors
+        );
+    }
+    let json = Value::object([
+        ("mode", Value::str("file")),
+        ("topology", Value::str(file)),
+        ("shards", Value::uint(topo.shard_count())),
+        ("remote", remote_json),
+        ("degraded_answers", Value::uint(stats.degraded as usize)),
+    ]);
+    (json, failed)
+}
+
+/// Self-hosted loopback cluster: the same stores measured twice — once
+/// behind one in-process sharded server, once as real shard-node
+/// processes' worth of servers behind a router node — so the two rows
+/// isolate the cost of the wire hop. With `--kill-replica`, shard 0 is
+/// replicated and its primary drained mid-run; the phase fails unless
+/// the drain cost zero errors and zero degraded answers *and* the
+/// router's failover counter moved.
+fn selfhost_multinode(
+    rel: &drtopk_common::Relation,
+    cfg: &Config,
+    base: &ServerConfig,
+    p: usize,
+) -> (Value, bool) {
+    use drtopk_storage::{shards::shard_dir, DurableDynamicIndex, DurableOptions};
+    let dir = std::env::temp_dir().join(format!("drtopk_bench_multinode_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut failed = false;
+
+    // Row 1: in-process sharded baseline over the freshly created stores.
+    let stores = drtopk_storage::create_sharded(&dir, rel, p, &DurableOptions::default())
+        .expect("create sharded deployment");
+    let shards: Vec<ServedShard> = stores
+        .into_iter()
+        .enumerate()
+        .map(|(s, st)| ServedShard::new(s, st))
+        .collect();
+    let router = Arc::new(
+        drtopk_core::ShardRouter::new(shards, drtopk_core::RouterConfig::default())
+            .expect("shard router"),
+    );
+    let handle = Server::start_sharded(router, base.clone()).expect("start sharded server");
+    eprintln!(
+        "multinode: in-process {p}-shard baseline, {} clients for {} s",
+        cfg.clients, cfg.seconds
+    );
+    let (inproc, inproc_secs) = closed_loop(handle.addr(), cfg, cfg.clients, cfg.k);
+    let inproc_json = phase_json("multinode/in-process", &inproc, inproc_secs);
+    handle.shutdown();
+
+    // Row 2: the same directories reopened by real shard-node servers,
+    // fronted by a router node. With --kill-replica, shard 0's directory
+    // is copied byte-for-byte — exactly how an operator seeds a replica
+    // (OPERATIONS.md §10) — and both endpoints go into the topology.
+    let open_node = |node_dir: &std::path::Path, s: usize| -> ServerHandle {
+        let (store, _) =
+            DurableDynamicIndex::open(node_dir, DurableOptions::default()).expect("open shard dir");
+        Server::start_shard_node(Arc::new(ServedShard::new(s, store)), base.clone())
+            .expect("start shard node")
+    };
+    let mut nodes: Vec<ServerHandle> = (0..p).map(|s| open_node(&shard_dir(&dir, s), s)).collect();
+    let replica = cfg.kill_replica.then(|| {
+        let src = shard_dir(&dir, 0);
+        let dst = dir.join("replica.0000");
+        std::fs::create_dir_all(&dst).expect("create replica dir");
+        for e in std::fs::read_dir(&src).expect("read shard dir") {
+            let e = e.expect("read shard dir entry");
+            std::fs::copy(e.path(), dst.join(e.file_name())).expect("seed replica");
+        }
+        open_node(&dst, 0)
+    });
+    let mut topo_text = format!("dims {}\n", cfg.d);
+    for (s, node) in nodes.iter().enumerate() {
+        topo_text.push_str(&format!("shard {s} {}", node.addr()));
+        if s == 0 {
+            if let Some(r) = &replica {
+                topo_text.push_str(&format!(" {}", r.addr()));
+            }
+        }
+        topo_text.push('\n');
+    }
+    topo_text.push_str("probe-timeout-ms 1000\nping-interval-ms 100\nping-timeout-ms 100\n");
+    let topo = Topology::parse(&topo_text).expect("self-hosted topology");
+    let router = Server::start_router(
+        topo.build_router().expect("build remote router"),
+        Some(topo.pinger_config()),
+        base.clone(),
+    )
+    .expect("start router node");
+    let raddr = router.addr();
+    eprintln!("multinode: remote {p}-shard cluster behind a router node");
+    let (remote, remote_secs) = closed_loop(raddr, cfg, cfg.clients, cfg.k);
+    let remote_json = phase_json("multinode/remote", &remote, remote_secs);
+    if remote.errors > 0 || remote.degraded > 0 {
+        eprintln!(
+            "MULTINODE ERRORS: healthy remote cluster produced {} errors / {} degraded answers",
+            remote.errors, remote.degraded
+        );
+        failed = true;
+    }
+
+    // Kill-one-replica: drain shard 0's primary mid-loop. Clients must
+    // observe nothing (zero errors, zero degraded, answers keep coming)
+    // while the router's failover counter proves the path actually ran.
+    let kill_json = if let Some(replica) = replica {
+        let before = scrape_counter(raddr, "drtopk_shard_failovers_total");
+        let primary = nodes.remove(0);
+        let drain_after = Duration::from_secs_f64(cfg.seconds * 0.4);
+        eprintln!(
+            "multinode: draining shard 0's primary {:.1} s into the loop",
+            drain_after.as_secs_f64()
+        );
+        let (killed, killed_secs) = std::thread::scope(|scope| {
+            scope.spawn(move || {
+                std::thread::sleep(drain_after);
+                primary.shutdown();
+            });
+            closed_loop(raddr, cfg, cfg.clients, cfg.k)
+        });
+        let failovers = scrape_counter(raddr, "drtopk_shard_failovers_total") - before;
+        let mut row = phase_json("multinode/kill-replica", &killed, killed_secs);
+        if let Value::Object(fields) = &mut row {
+            fields.push((
+                "degraded_answers".to_string(),
+                Value::uint(killed.degraded as usize),
+            ));
+            fields.push((
+                "server_failovers".to_string(),
+                Value::uint(failovers as usize),
+            ));
+        }
+        if killed.errors > 0 || killed.degraded > 0 || killed.ok == 0 {
+            eprintln!(
+                "MULTINODE ERRORS: draining a replicated primary cost {} errors / {} degraded \
+                 answers ({} ok)",
+                killed.errors, killed.degraded, killed.ok
+            );
+            failed = true;
+        }
+        if failovers < 1.0 {
+            eprintln!(
+                "MULTINODE ERROR: the failover counter never moved — the drain was not \
+                 client-observed and the phase proved nothing"
+            );
+            failed = true;
+        }
+        replica.shutdown();
+        row
+    } else {
+        Value::Null
+    };
+
+    router.shutdown();
+    for n in nodes {
+        n.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let ratio = qps(&remote, remote_secs) / qps(&inproc, inproc_secs).max(f64::EPSILON);
+    eprintln!(
+        "multinode: remote serves at {:.0}% of in-process QPS",
+        ratio * 100.0
+    );
+    let json = Value::object([
+        ("mode", Value::str("self-host")),
+        ("shards", Value::uint(p)),
+        ("in_process", inproc_json),
+        ("remote", remote_json),
+        ("remote_over_in_process_qps", Value::float(ratio)),
+        ("kill_replica", kill_json),
+    ]);
+    (json, failed)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = match Config::parse(&args) {
@@ -512,7 +777,7 @@ fn main() {
                  [--rates R[,..]] [--pool P] [--skew Z] [--workers W] [--batch-max B] \
                  [--batch-window-us US] [--queue-depth Q] [--overload-clients C] \
                  [--overload-queue Q] [--cache] [--shards P] [--degrade-shard S] \
-                 [--out FILE] [--min-qps F]"
+                 [--topology P|FILE] [--kill-replica] [--out FILE] [--min-qps F]"
             );
             std::process::exit(2);
         }
@@ -589,6 +854,14 @@ fn main() {
         (Value::Null, false)
     };
 
+    // Phase 5 (opt-in): the multi-node stack — in-process vs remote rows,
+    // plus the kill-one-replica failover cross-check.
+    let (multinode_json, multinode_failed) = if cfg.topology.is_some() {
+        multinode_phase(&rel, &cfg, &base)
+    } else {
+        (Value::Null, false)
+    };
+
     let host_threads = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
@@ -617,6 +890,7 @@ fn main() {
         ("open_loop", Value::Array(open_rows)),
         ("overload", overload_json),
         ("sharded", sharded_json),
+        ("multinode", multinode_json),
         (
             "server_counters",
             Value::object([
@@ -650,7 +924,7 @@ fn main() {
         );
         std::process::exit(1);
     }
-    if sharded_failed {
+    if sharded_failed || multinode_failed {
         std::process::exit(1);
     }
 }

@@ -14,6 +14,10 @@
 //! drtopk recover  --dir store/ [--variant dl+|dl|dg|dg+] [--checkpoint]
 //! drtopk wal      --dir store/
 //! drtopk serve    --index index.drt [--addr HOST:PORT] [--workers W] [--cache]
+//! drtopk serve    --shard-dir store/ --shard-id 0 --addr HOST:PORT
+//! drtopk serve    --topology cluster.topo --addr HOST:PORT
+//! drtopk topology check cluster.topo
+//! drtopk health   --connect HOST:PORT
 //! drtopk query    --connect HOST:PORT --weights 0.3,0.3,0.4 --k 10
 //! drtopk drain    --connect HOST:PORT
 //! ```
@@ -154,6 +158,8 @@ impl Flags {
                 "shards",
                 "shard-dir",
                 "shard",
+                "shard-id",
+                "topology",
                 "connect-retries",
                 "connect-backoff-ms",
             ];
@@ -198,6 +204,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     let Some(cmd) = args.first() else {
         return Ok(usage());
     };
+    if cmd == "topology" {
+        // `topology check FILE` takes a positional file, unlike every
+        // other command — validate before the flag parser rejects it.
+        return cmd_topology(&args[1..]);
+    }
     let flags = Flags::parse(&args[1..])?;
     match cmd.as_str() {
         "generate" => cmd_generate(&flags),
@@ -210,6 +221,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "wal" => cmd_wal(&flags),
         "serve" => cmd_serve(&flags),
         "drain" => cmd_drain(&flags),
+        "health" => cmd_health(&flags),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::usage(format!(
             "unknown command {other:?}\n{}",
@@ -244,6 +256,10 @@ commands:
   serve     --shard-dir DIR [--shards P --data FILE] [--addr HOST:PORT]
             [--workers W] [--batch-max B] [--batch-window-us US]
             [--queue-depth Q] [--duration-s S]
+  serve     --shard-dir DIR --shard-id N [--addr HOST:PORT] [...]
+  serve     --topology FILE [--addr HOST:PORT] [...]
+  topology  check FILE
+  health    --connect HOST:PORT
   drain     --connect HOST:PORT
   help
 
@@ -252,7 +268,12 @@ port) and answers the wire protocol in PROTOCOL.md plus HTTP GET
 /metrics on the same port. With --shard-dir it serves a sharded durable
 deployment (creating it from --data when the directory is empty); a
 shard that fails recovery is served *around* with degraded coverage —
-see OPERATIONS.md for the shard runbook.
+see OPERATIONS.md for the shard runbook. With --shard-dir --shard-id N
+it serves exactly one shard's directory as a *shard node*; with
+--topology FILE it is the *router node* of a multi-node deployment,
+fanning out to the shard nodes the file names (OPERATIONS.md §10).
+health summarizes a node's shard/endpoint health from its metrics and
+exits non-zero when any shard is Down.
 
 exit codes: 0 ok, 1 runtime error, 2 usage, 3 corrupt data,
             4 budget tripped or coverage degraded without --partial
@@ -784,8 +805,14 @@ fn cmd_serve(f: &Flags) -> Result<String, CliError> {
         .batch_window(std::time::Duration::from_micros(window_us))
         .queue_depth(queue_depth)
         .cache(f.has("cache"));
-    let handle = if let Some(root) = f.get("shard-dir") {
-        serve_sharded(f, PathBuf::from(root), cfg)?
+    let handle = if let Some(topo) = f.get("topology") {
+        serve_router(Path::new(topo), cfg)?
+    } else if let Some(root) = f.get("shard-dir") {
+        if f.get("shard-id").is_some() {
+            serve_shard_node(f, PathBuf::from(root), cfg)?
+        } else {
+            serve_sharded(f, PathBuf::from(root), cfg)?
+        }
     } else {
         let path = PathBuf::from(f.require("index")?);
         let idx = std::sync::Arc::new(load_index(&path).map_err(CliError::from)?);
@@ -906,6 +933,152 @@ fn serve_sharded(
     );
     drtopk_server::Server::start_sharded(router, cfg)
         .map_err(|e| CliError::runtime(format!("serve: {e}")))
+}
+
+/// The `serve --topology FILE` path: this process is the *router node*
+/// of a multi-node deployment. Client QUERY frames fan out as
+/// SHARD_QUERY probes to the shard-node endpoints the file names, with
+/// replica failover per shard and a background health pinger feeding
+/// the router's Up/Degraded/Down slots (OPERATIONS.md §10).
+fn serve_router(
+    path: &Path,
+    cfg: drtopk_server::ServerConfig,
+) -> Result<drtopk_server::ServerHandle, CliError> {
+    let topo = drtopk_server::Topology::load(path).map_err(CliError::from)?;
+    eprintln!("router node: {}", topo.summary().trim_end());
+    let router = topo.build_router().map_err(CliError::from)?;
+    drtopk_server::Server::start_router(router, Some(topo.pinger_config()), cfg)
+        .map_err(|e| CliError::runtime(format!("serve: {e}")))
+}
+
+/// The `serve --shard-dir DIR --shard-id N` path: this process is one
+/// *shard node* — it opens exactly `DIR/shard.NNNN` and answers
+/// SHARD_QUERY probes (scores attached) from a router node, plus plain
+/// QUERY for debugging. Unlike the in-process sharded path there is no
+/// serving *around* a bad shard here: a directory that fails recovery
+/// refuses to start (exit 3) so the operator repairs it with
+/// `drtopk recover` while replicas carry the traffic.
+fn serve_shard_node(
+    f: &Flags,
+    root: PathBuf,
+    cfg: drtopk_server::ServerConfig,
+) -> Result<drtopk_server::ServerHandle, CliError> {
+    let s: usize = f.parse_num("shard-id", 0)?;
+    let dir = drtopk_storage::shards::shard_dir(&root, s);
+    let (store, report) =
+        DurableDynamicIndex::open(&dir, DurableOptions::default()).map_err(|e| {
+            let base = CliError::from(e);
+            CliError {
+                message: format!(
+                    "shard {s} at {}: {}; repair with `drtopk recover --dir {} --shard {s}` \
+                     and restart this node",
+                    dir.display(),
+                    base.message,
+                    root.display()
+                ),
+                code: base.code,
+            }
+        })?;
+    if report.replayed > 0 || report.snapshots_skipped > 0 {
+        eprintln!(
+            "shard {s}: recovered (replayed {}, snapshots skipped {})",
+            report.replayed, report.snapshots_skipped
+        );
+    }
+    eprintln!(
+        "shard node {s}: {} tuples from {}",
+        store.len(),
+        dir.display()
+    );
+    let shard = std::sync::Arc::new(drtopk_server::ServedShard::new(s, store));
+    drtopk_server::Server::start_shard_node(shard, cfg)
+        .map_err(|e| CliError::runtime(format!("serve: {e}")))
+}
+
+/// `topology check FILE`: parse and validate a topology file without
+/// serving anything; prints the parsed summary on success. The one
+/// command with a positional argument, so it bypasses [`Flags::parse`].
+fn cmd_topology(args: &[String]) -> Result<String, CliError> {
+    match args {
+        [sub, path] if sub == "check" => {
+            let t = drtopk_server::Topology::load(path).map_err(CliError::from)?;
+            Ok(format!("{path}: OK\n{}", t.summary()))
+        }
+        _ => Err(CliError::usage("usage: drtopk topology check FILE")),
+    }
+}
+
+/// Value of label `key` inside a Prometheus label block
+/// (`k1="v1",k2="v2",...`).
+fn prom_label<'a>(labels: &'a str, key: &str) -> Option<&'a str> {
+    labels.split(',').find_map(|kv| {
+        let (k, v) = kv.split_once("=\"")?;
+        (k == key).then(|| v.trim_end_matches('"'))
+    })
+}
+
+/// `health --connect HOST:PORT`: fetch the node's metrics and print a
+/// human-readable shard/endpoint health summary. Exits non-zero (code 1,
+/// summary on stderr) when any shard is Down, so scripts and runbooks
+/// can branch on it; a single-node server with no shard series is
+/// healthy by definition.
+fn cmd_health(f: &Flags) -> Result<String, CliError> {
+    let addr = f.require("connect")?;
+    let mut client = connect_with_policy(f, addr)?;
+    let text = client.metrics_text().map_err(client_error)?;
+    let mut out = String::new();
+    let mut shards = 0usize;
+    let mut down: Vec<String> = Vec::new();
+    let mut endpoints = String::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("drtopk_shard_health{shard=\"") {
+            let Some((id, v)) = rest.split_once("\"} ") else {
+                continue;
+            };
+            shards += 1;
+            let state = match v.trim() {
+                "0" => "up",
+                "1" => "DEGRADED",
+                _ => "DOWN",
+            };
+            if state == "DOWN" {
+                down.push(id.to_string());
+            }
+            let _ = writeln!(out, "  shard {id}: {state}");
+        } else if let Some(rest) = line.strip_prefix("drtopk_endpoint_up{") {
+            let Some((labels, v)) = rest.split_once("} ") else {
+                continue;
+            };
+            let (Some(s), Some(r), Some(a)) = (
+                prom_label(labels, "shard"),
+                prom_label(labels, "replica"),
+                prom_label(labels, "addr"),
+            ) else {
+                continue;
+            };
+            let state = if v.trim() == "1" { "up" } else { "down" };
+            let _ = writeln!(endpoints, "  shard {s} replica {r} {a}: {state}");
+        }
+    }
+    if shards == 0 {
+        return Ok(format!("{addr}: single-node server, reachable\n"));
+    }
+    let mut report = format!(
+        "{addr}: {} of {shards} shard(s) up\n{out}",
+        shards - down.len()
+    );
+    if !endpoints.is_empty() {
+        report.push_str("endpoints:\n");
+        report.push_str(&endpoints);
+    }
+    if down.is_empty() {
+        Ok(report)
+    } else {
+        Err(CliError::runtime(format!(
+            "{report}shard(s) [{}] are DOWN",
+            down.join(", ")
+        )))
+    }
 }
 
 /// `drain --connect HOST:PORT`: ask a running server to stop accepting

@@ -59,7 +59,7 @@ pub use query::{
     TruncateReason,
 };
 pub use shard::{
-    partition_relation, shard_of, RetryPolicy, RouterConfig, ShardCoverage, ShardError,
-    ShardHealth, ShardProbe, ShardRouter, ShardedTopk, MAX_SHARDS,
+    partition_relation, shard_of, ReplicaConfig, ReplicaSet, RetryPolicy, RouterConfig,
+    ShardCoverage, ShardError, ShardHealth, ShardProbe, ShardRouter, ShardedTopk, MAX_SHARDS,
 };
 pub use snapshot::IndexSnapshot;

@@ -41,7 +41,8 @@ use drtopk_common::{Cost, Error, Relation, Weights};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Hard cap on shard count: coverage travels as a 64-bit answered mask.
@@ -732,6 +733,212 @@ impl<S: ShardProbe> ShardRouter<S> {
     }
 }
 
+/// Tunables for a [`ReplicaSet`].
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaConfig {
+    /// Launch a hedged probe on the next candidate replica when the one
+    /// in flight has not answered after this long — a slow-but-alive
+    /// replica then races a fresh one and whichever answers first wins
+    /// (answers are bit-identical, so the race is safe). `None` disables
+    /// hedging: replicas are only tried after a hard failure.
+    pub hedge_after: Option<Duration>,
+}
+
+/// N interchangeable replicas of one logical shard, presented to the
+/// router as a single [`ShardProbe`].
+///
+/// Every replica holds the same id-partition, so any replica's answer is
+/// bit-identical to any other's — which is what makes primary-first
+/// failover and hedged probes invisible to the merge. A probe walks the
+/// replicas in preference order (endpoints believed up first), failing
+/// over on transport-class errors ([`ShardError::Panic`] / [`Io`](ShardError::Io) /
+/// [`Timeout`](ShardError::Timeout) / [`Unavailable`](ShardError::Unavailable));
+/// a [`ShardError::Truncated`] answer surfaces immediately — the budget
+/// that tripped is request-scoped, so a different replica would only
+/// repeat it.
+///
+/// Up/down beliefs are per-endpoint [`AtomicBool`]s, updated by probe
+/// outcomes and (in the server) by the background health pinger via
+/// [`ReplicaSet::set_up`]. A believed-down endpoint is still tried as a
+/// last resort when everything else failed — beliefs order the walk,
+/// they never amputate it.
+pub struct ReplicaSet<P: ShardProbe + 'static> {
+    replicas: Vec<Arc<P>>,
+    up: Vec<AtomicBool>,
+    cfg: ReplicaConfig,
+    dims: usize,
+}
+
+impl<P: ShardProbe> std::fmt::Debug for ReplicaSet<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplicaSet")
+            .field("replicas", &self.replicas.len())
+            .field(
+                "up",
+                &(0..self.replicas.len())
+                    .map(|i| self.is_up(i))
+                    .collect::<Vec<_>>(),
+            )
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+impl<P: ShardProbe> ReplicaSet<P> {
+    /// Builds a replica set (1..=N endpoints, agreeing dimensionalities,
+    /// preference order = vector order). All endpoints start up.
+    pub fn new(replicas: Vec<Arc<P>>, cfg: ReplicaConfig) -> Result<Self, Error> {
+        if replicas.is_empty() {
+            return Err(Error::Invalid("replica set cannot be empty".to_string()));
+        }
+        let dims = replicas[0].dims();
+        for (i, r) in replicas.iter().enumerate() {
+            if r.dims() != dims {
+                return Err(Error::Invalid(format!(
+                    "replica {i} has {} dims, replica 0 has {dims}",
+                    r.dims()
+                )));
+            }
+        }
+        let up = (0..replicas.len()).map(|_| AtomicBool::new(true)).collect();
+        Ok(ReplicaSet {
+            replicas,
+            up,
+            cfg,
+            dims,
+        })
+    }
+
+    /// Number of replicas.
+    pub fn len(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Always false: construction rejects empty sets.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Direct access to replica `i` (pinger, metrics labels).
+    pub fn replica(&self, i: usize) -> &Arc<P> {
+        &self.replicas[i]
+    }
+
+    /// Current belief about endpoint `i`.
+    pub fn is_up(&self, i: usize) -> bool {
+        self.up[i].load(SeqCst)
+    }
+
+    /// Sets the belief about endpoint `i` (probe outcomes and the health
+    /// pinger both feed this).
+    pub fn set_up(&self, i: usize, up: bool) {
+        self.up[i].store(up, SeqCst);
+    }
+
+    /// The walk order for one probe: endpoints believed up first, then
+    /// believed-down ones as a last resort, preference order within each
+    /// class.
+    fn candidate_order(&self) -> Vec<usize> {
+        let n = self.replicas.len();
+        (0..n)
+            .filter(|&i| self.is_up(i))
+            .chain((0..n).filter(|&i| !self.is_up(i)))
+            .collect()
+    }
+
+    /// Launches replica `idx` on a detached thread reporting into `tx`.
+    /// Detached (not scoped) on purpose: a hedged winner must be able to
+    /// return while the loser is still stalled in its probe.
+    fn launch(
+        &self,
+        idx: usize,
+        w: &Weights,
+        k: usize,
+        budget: &QueryBudget,
+        tx: &mpsc::Sender<(usize, Result<ShardAnswer, ShardError>)>,
+    ) {
+        let replica = Arc::clone(&self.replicas[idx]);
+        let w = w.clone();
+        let budget = budget.clone();
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            let out = catch_unwind(AssertUnwindSafe(|| replica.probe(&w, k, &budget)))
+                .unwrap_or_else(|p| Err(ShardError::Panic(panic_message(p.as_ref()))));
+            // The receiver is gone once a winner returned; losers drop out.
+            let _ = tx.send((idx, out));
+        });
+    }
+}
+
+impl<P: ShardProbe> ShardProbe for ReplicaSet<P> {
+    fn probe(
+        &self,
+        w: &Weights,
+        k: usize,
+        budget: &QueryBudget,
+    ) -> Result<ShardAnswer, ShardError> {
+        let m = drtopk_obs::metrics();
+        let order = self.candidate_order();
+        let (tx, rx) = mpsc::channel();
+        let mut next = 0usize; // next candidate in `order` to launch
+        let mut outstanding = 0usize;
+        self.launch(order[next], w, k, budget, &tx);
+        next += 1;
+        outstanding += 1;
+        loop {
+            // Hedge only while an unlaunched candidate remains.
+            let msg = match self.cfg.hedge_after {
+                Some(t) if next < order.len() => match rx.recv_timeout(t) {
+                    Ok(msg) => Some(msg),
+                    Err(mpsc::RecvTimeoutError::Timeout) => None,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        unreachable!("probe() holds a sender")
+                    }
+                },
+                _ => Some(rx.recv().expect("probe() holds a sender")),
+            };
+            match msg {
+                None => {
+                    // Latency threshold tripped: race a fresh replica.
+                    m.shard_hedge();
+                    self.launch(order[next], w, k, budget, &tx);
+                    next += 1;
+                    outstanding += 1;
+                }
+                Some((idx, Ok(answer))) => {
+                    self.set_up(idx, true);
+                    return Ok(answer);
+                }
+                Some((_, Err(ShardError::Truncated(r)))) => {
+                    // Request-scoped budget trip: retrying elsewhere can
+                    // only repeat it. Surface for the router to classify.
+                    return Err(ShardError::Truncated(r));
+                }
+                Some((idx, Err(e))) => {
+                    // Transport-class fault: this endpoint is suspect.
+                    self.set_up(idx, false);
+                    outstanding -= 1;
+                    if next < order.len() {
+                        m.shard_failover();
+                        self.launch(order[next], w, k, budget, &tx);
+                        next += 1;
+                        outstanding += 1;
+                    } else if outstanding == 0 {
+                        // Every replica walked, every probe failed: the
+                        // freshest error describes the set best.
+                        return Err(e);
+                    }
+                    // Otherwise a hedged probe is still in flight — wait.
+                }
+            }
+        }
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+}
+
 /// Best-effort extraction of a panic payload's message.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -1058,6 +1265,279 @@ mod tests {
             p.backoff(0, 1),
             "different shards de-synchronize"
         );
+    }
+
+    #[test]
+    fn backoff_jitter_stays_in_half_open_band() {
+        // The jitter factor is specified as [0.5, 1.5) of the capped
+        // exponential. Sweep a dense grid of (attempt, salt) pairs and
+        // check the band from the pre-jitter schedule.
+        let p = RetryPolicy {
+            max_retries: 8,
+            base_backoff: Duration::from_micros(800),
+            max_backoff: Duration::from_millis(40),
+            jitter_seed: 0xA5A5,
+        };
+        for attempt in 0..10u32 {
+            let exp = p.base_backoff.saturating_mul(1u32 << attempt.min(16));
+            let capped = exp.min(p.max_backoff);
+            for salt in 0..64u64 {
+                let b = p.backoff(attempt, salt);
+                assert!(b >= capped.mul_f64(0.5), "attempt {attempt} salt {salt}");
+                assert!(b < capped.mul_f64(1.5), "attempt {attempt} salt {salt}");
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_caps_at_max_backoff() {
+        let p = RetryPolicy {
+            max_retries: 32,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(8),
+            jitter_seed: 7,
+        };
+        // Past the cap, the pre-jitter schedule is flat at max_backoff.
+        for attempt in 4..12u32 {
+            for salt in 0..8u64 {
+                let b = p.backoff(attempt, salt);
+                assert!(b < p.max_backoff.mul_f64(1.5));
+                assert!(b >= p.max_backoff.mul_f64(0.5));
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_survives_huge_attempt_numbers() {
+        // The exponent is clamped and the multiply saturates: attempt
+        // numbers near u32::MAX must neither overflow nor panic.
+        let p = RetryPolicy::default();
+        for attempt in [17, 31, 64, 1 << 20, u32::MAX - 1, u32::MAX] {
+            let b = p.backoff(attempt, 3);
+            assert!(b <= p.max_backoff.mul_f64(1.5));
+        }
+        // Degenerate policies stay finite too.
+        let huge = RetryPolicy {
+            base_backoff: Duration::from_secs(u64::MAX / 4),
+            max_backoff: Duration::from_secs(u64::MAX / 2),
+            ..RetryPolicy::default()
+        };
+        let _ = huge.backoff(u32::MAX, u64::MAX);
+    }
+
+    #[test]
+    fn backoff_salts_desynchronize_schedules() {
+        // Two probes retrying in lockstep must not sleep identical
+        // schedules: across the first few attempts, distinct salts have
+        // to disagree somewhere.
+        let p = RetryPolicy::default();
+        for (a, b) in [(0u64, 1u64), (1, 2), (0, 63), (7, 8)] {
+            let differs = (0..4u32).any(|att| p.backoff(att, a) != p.backoff(att, b));
+            assert!(differs, "salts {a} and {b} sleep in lockstep");
+        }
+    }
+
+    /// A replica double: serves a fixed shard index, optionally failing
+    /// or stalling first.
+    struct Replica {
+        inner: Arc<DynamicIndex>,
+        fail: Option<ShardError>,
+        delay: Duration,
+        calls: AtomicU32,
+    }
+
+    impl Replica {
+        fn healthy(inner: &Arc<DynamicIndex>) -> Arc<Self> {
+            Arc::new(Replica {
+                inner: Arc::clone(inner),
+                fail: None,
+                delay: Duration::ZERO,
+                calls: AtomicU32::new(0),
+            })
+        }
+
+        fn failing(inner: &Arc<DynamicIndex>, e: ShardError) -> Arc<Self> {
+            Arc::new(Replica {
+                inner: Arc::clone(inner),
+                fail: Some(e),
+                delay: Duration::ZERO,
+                calls: AtomicU32::new(0),
+            })
+        }
+
+        fn slow(inner: &Arc<DynamicIndex>, delay: Duration) -> Arc<Self> {
+            Arc::new(Replica {
+                inner: Arc::clone(inner),
+                fail: None,
+                delay,
+                calls: AtomicU32::new(0),
+            })
+        }
+    }
+
+    impl ShardProbe for Replica {
+        fn probe(
+            &self,
+            w: &Weights,
+            k: usize,
+            budget: &QueryBudget,
+        ) -> Result<ShardAnswer, ShardError> {
+            self.calls.fetch_add(1, SeqCst);
+            if self.delay > Duration::ZERO {
+                std::thread::sleep(self.delay);
+            }
+            if let Some(e) = &self.fail {
+                return Err(e.clone());
+            }
+            self.inner.probe(w, k, budget)
+        }
+
+        fn dims(&self) -> usize {
+            ShardProbe::dims(&*self.inner)
+        }
+    }
+
+    fn replica_fixture() -> (Arc<DynamicIndex>, Weights) {
+        let rel = WorkloadSpec::new(Distribution::Independent, 3, 120, 41).generate();
+        let idx = Arc::new(DynamicIndex::new(&rel, DlOptions::dl_plus(), 0.3));
+        (idx, Weights::uniform(3))
+    }
+
+    #[test]
+    fn replica_set_fails_over_to_secondary() {
+        let (idx, w) = replica_fixture();
+        let primary = Replica::failing(&idx, ShardError::Io("dead".into()));
+        let secondary = Replica::healthy(&idx);
+        let set = ReplicaSet::new(
+            vec![Arc::clone(&primary), Arc::clone(&secondary)],
+            ReplicaConfig::default(),
+        )
+        .unwrap();
+        let (hits, _) = set.probe(&w, 7, &QueryBudget::unlimited()).unwrap();
+        let ids: Vec<Handle> = hits.iter().map(|&(_, h)| h).collect();
+        assert_eq!(ids, idx.topk(&w, 7).0, "secondary answer is the answer");
+        assert!(!set.is_up(0), "failed endpoint marked down");
+        assert!(set.is_up(1));
+        // The next probe prefers the surviving endpoint: the dead primary
+        // is not retried while believed down.
+        let calls_before = primary.calls.load(SeqCst);
+        set.probe(&w, 7, &QueryBudget::unlimited()).unwrap();
+        assert_eq!(primary.calls.load(SeqCst), calls_before);
+    }
+
+    #[test]
+    fn replica_set_exhausts_then_surfaces_the_last_error() {
+        let (idx, w) = replica_fixture();
+        let set = ReplicaSet::new(
+            vec![
+                Replica::failing(&idx, ShardError::Io("a".into())),
+                Replica::failing(&idx, ShardError::Unavailable("b".into())),
+            ],
+            ReplicaConfig::default(),
+        )
+        .unwrap();
+        let err = set.probe(&w, 5, &QueryBudget::unlimited()).unwrap_err();
+        assert_eq!(err, ShardError::Unavailable("b".into()));
+        assert!(!set.is_up(0) && !set.is_up(1));
+        // A believed-down endpoint is still walked as a last resort —
+        // beliefs order the walk, they never amputate it.
+        assert!(set.probe(&w, 5, &QueryBudget::unlimited()).is_err());
+    }
+
+    #[test]
+    fn replica_set_truncation_is_not_failed_over() {
+        let (idx, w) = replica_fixture();
+        let secondary = Replica::healthy(&idx);
+        let set = ReplicaSet::new(
+            vec![
+                Replica::failing(&idx, ShardError::Truncated(TruncateReason::CostExceeded)),
+                Arc::clone(&secondary),
+            ],
+            ReplicaConfig::default(),
+        )
+        .unwrap();
+        let err = set.probe(&w, 5, &QueryBudget::unlimited()).unwrap_err();
+        assert_eq!(err, ShardError::Truncated(TruncateReason::CostExceeded));
+        assert_eq!(
+            secondary.calls.load(SeqCst),
+            0,
+            "a request-budget trip must not burn a replica probe"
+        );
+        assert!(set.is_up(0), "truncation is not an endpoint fault");
+    }
+
+    #[test]
+    fn replica_set_hedges_past_a_stalled_primary() {
+        let (idx, w) = replica_fixture();
+        let slow = Replica::slow(&idx, Duration::from_millis(400));
+        let fast = Replica::healthy(&idx);
+        let set = ReplicaSet::new(
+            vec![Arc::clone(&slow), Arc::clone(&fast)],
+            ReplicaConfig {
+                hedge_after: Some(Duration::from_millis(20)),
+            },
+        )
+        .unwrap();
+        let start = Instant::now();
+        let (hits, _) = set.probe(&w, 9, &QueryBudget::unlimited()).unwrap();
+        assert!(
+            start.elapsed() < Duration::from_millis(300),
+            "the hedged replica must win before the stalled primary"
+        );
+        let ids: Vec<Handle> = hits.iter().map(|&(_, h)| h).collect();
+        assert_eq!(ids, idx.topk(&w, 9).0, "hedged answer is bit-identical");
+        assert_eq!(fast.calls.load(SeqCst), 1, "exactly one hedge launched");
+    }
+
+    #[test]
+    fn replica_set_rejects_bad_inputs() {
+        let (idx, _) = replica_fixture();
+        let empty: Vec<Arc<Replica>> = Vec::new();
+        assert!(ReplicaSet::new(empty, ReplicaConfig::default()).is_err());
+        let rel2 = WorkloadSpec::new(Distribution::Independent, 2, 50, 3).generate();
+        let idx2 = Arc::new(DynamicIndex::new(&rel2, DlOptions::dl_plus(), 0.3));
+        assert!(ReplicaSet::new(
+            vec![Replica::healthy(&idx), Replica::healthy(&idx2)],
+            ReplicaConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn router_over_replica_sets_is_bit_identical_to_unsharded() {
+        // The integration the server relies on: ShardRouter<ReplicaSet<_>>
+        // with a dead primary per shard still merges the unsharded answer.
+        let d = 3;
+        let p = 3;
+        let rel = WorkloadSpec::new(Distribution::AntiCorrelated, d, 300, 13).generate();
+        let oracle = DynamicIndex::new(&rel, DlOptions::dl_plus(), 0.3);
+        let sets: Vec<ReplicaSet<Replica>> = build_shards(&rel, p)
+            .into_iter()
+            .enumerate()
+            .map(|(s, shard)| {
+                let shard = Arc::new(shard);
+                let primary = if s == 1 {
+                    Replica::failing(&shard, ShardError::Io("dead".into()))
+                } else {
+                    Replica::healthy(&shard)
+                };
+                ReplicaSet::new(
+                    vec![primary, Replica::healthy(&shard)],
+                    ReplicaConfig::default(),
+                )
+                .unwrap()
+            })
+            .collect();
+        let router = ShardRouter::new(sets, RouterConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(0xFA11);
+        for _ in 0..10 {
+            let w = Weights::random(d, &mut rng);
+            let k = rng.gen_range(1..=30);
+            let routed = router.topk(&w, k, &QueryBudget::unlimited());
+            assert_eq!(routed.ids, oracle.topk(&w, k).0);
+            assert!(routed.coverage.is_full(), "failover hides the dead primary");
+            assert!(routed.truncated.is_none());
+        }
     }
 
     #[test]

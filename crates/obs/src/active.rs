@@ -175,6 +175,10 @@ pub struct MetricsRegistry {
     shard_probe_failures: ShardedCounter,
     shard_retries: ShardedCounter,
     shard_degraded_answers: ShardedCounter,
+    shard_failovers: ShardedCounter,
+    shard_hedges: ShardedCounter,
+    endpoint_pings: ShardedCounter,
+    endpoint_ping_failures: ShardedCounter,
     /// Router health gauges (instantaneous, not monotone): shard counts by
     /// state, published atomically by the router on every transition.
     shards_up: AtomicU64,
@@ -227,6 +231,10 @@ impl MetricsRegistry {
             shard_probe_failures: ShardedCounter::new(),
             shard_retries: ShardedCounter::new(),
             shard_degraded_answers: ShardedCounter::new(),
+            shard_failovers: ShardedCounter::new(),
+            shard_hedges: ShardedCounter::new(),
+            endpoint_pings: ShardedCounter::new(),
+            endpoint_ping_failures: ShardedCounter::new(),
             shards_up: AtomicU64::new(0),
             shards_degraded: AtomicU64::new(0),
             shards_down: AtomicU64::new(0),
@@ -431,6 +439,39 @@ impl MetricsRegistry {
         }
     }
 
+    /// One probe failed over from a replica-set endpoint to the next
+    /// replica (Down, timed out, or refused mid-request).
+    #[inline]
+    pub fn shard_failover(&self) {
+        if self.recording() {
+            self.shard_failovers.add(1);
+        }
+    }
+
+    /// One hedged second probe launched after the hedge latency threshold.
+    #[inline]
+    pub fn shard_hedge(&self) {
+        if self.recording() {
+            self.shard_hedges.add(1);
+        }
+    }
+
+    /// One health-pinger PING issued to a remote endpoint.
+    #[inline]
+    pub fn endpoint_ping(&self) {
+        if self.recording() {
+            self.endpoint_pings.add(1);
+        }
+    }
+
+    /// One health-pinger PING that failed (connect, timeout, or bad reply).
+    #[inline]
+    pub fn endpoint_ping_failure(&self) {
+        if self.recording() {
+            self.endpoint_ping_failures.add(1);
+        }
+    }
+
     /// Publishes the router's current shard-health tally (counts of shards
     /// Up / Degraded / Down). A gauge, not a counter: each call overwrites.
     #[inline]
@@ -474,6 +515,10 @@ impl MetricsRegistry {
             shard_probe_failures: self.shard_probe_failures.get(),
             shard_retries: self.shard_retries.get(),
             shard_degraded_answers: self.shard_degraded_answers.get(),
+            shard_failovers: self.shard_failovers.get(),
+            shard_hedges: self.shard_hedges.get(),
+            endpoint_pings: self.endpoint_pings.get(),
+            endpoint_ping_failures: self.endpoint_ping_failures.get(),
             shards_up: self.shards_up.load(Relaxed),
             shards_degraded: self.shards_degraded.load(Relaxed),
             shards_down: self.shards_down.load(Relaxed),
@@ -517,6 +562,10 @@ impl MetricsRegistry {
         self.shard_probe_failures.reset();
         self.shard_retries.reset();
         self.shard_degraded_answers.reset();
+        self.shard_failovers.reset();
+        self.shard_hedges.reset();
+        self.endpoint_pings.reset();
+        self.endpoint_ping_failures.reset();
         self.shards_up.store(0, Relaxed);
         self.shards_degraded.store(0, Relaxed);
         self.shards_down.store(0, Relaxed);

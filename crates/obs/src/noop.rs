@@ -117,6 +117,22 @@ impl MetricsRegistry {
 
     /// No-op.
     #[inline]
+    pub fn shard_failover(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn shard_hedge(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn endpoint_ping(&self) {}
+
+    /// No-op.
+    #[inline]
+    pub fn endpoint_ping_failure(&self) {}
+
+    /// No-op.
+    #[inline]
     pub fn set_shard_health(&self, _up: u64, _degraded: u64, _down: u64) {}
 
     /// All zeros.

@@ -215,6 +215,14 @@ pub struct MetricsSnapshot {
     pub shard_retries: u64,
     /// Routed answers returned with degraded (partial) shard coverage.
     pub shard_degraded_answers: u64,
+    /// Probes failed over from one replica-set endpoint to the next.
+    pub shard_failovers: u64,
+    /// Hedged second probes launched after the hedge latency threshold.
+    pub shard_hedges: u64,
+    /// Health-pinger PINGs issued to remote endpoints.
+    pub endpoint_pings: u64,
+    /// Health-pinger PINGs that failed (connect, timeout, or bad reply).
+    pub endpoint_ping_failures: u64,
     /// Shards currently healthy (router gauge).
     pub shards_up: u64,
     /// Shards currently degraded — failing but below the Down threshold.
@@ -387,6 +395,26 @@ impl MetricsSnapshot {
                 "shard_degraded_answers",
                 "Routed answers returned with degraded shard coverage",
                 self.shard_degraded_answers,
+            ),
+            (
+                "shard_failovers",
+                "Probes failed over from one replica-set endpoint to the next",
+                self.shard_failovers,
+            ),
+            (
+                "shard_hedges",
+                "Hedged second probes launched after the latency threshold",
+                self.shard_hedges,
+            ),
+            (
+                "endpoint_pings",
+                "Health-pinger PINGs issued to remote endpoints",
+                self.endpoint_pings,
+            ),
+            (
+                "endpoint_ping_failures",
+                "Health-pinger PINGs that failed",
+                self.endpoint_ping_failures,
             ),
         ]
     }

@@ -13,7 +13,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// A decoded TOPK reply (`PROTOCOL.md` §4.1).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TopkReply {
     /// Answer ids, ascending `(score, id)`; a true prefix of the exact
     /// answer when `truncated != 0`.
@@ -29,6 +29,11 @@ pub struct TopkReply {
     /// the server skipped one or more shards, in which case `ids` is the
     /// exact answer over the shards named in the mask.
     pub coverage: Option<Coverage>,
+    /// Per-id scores (§4.1 flags bit 3): `Some` exactly when the server
+    /// attached them, which replies to SHARD_QUERY always do — the
+    /// router's k-way merge orders on `(score, id)` and cannot re-derive
+    /// scores from ids alone.
+    pub scores: Option<Vec<f64>>,
 }
 
 impl TopkReply {
@@ -121,8 +126,30 @@ pub struct Client {
 impl Client {
     /// Connects and performs the hello exchange (`PROTOCOL.md` §1.1).
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_inner(addr, None)
+    }
+
+    /// [`connect`](Self::connect) with a read timeout applied *before*
+    /// the hello exchange — a stalled listener (one that accepts the TCP
+    /// connection but never answers, e.g. a SIGSTOP'd process) then
+    /// surfaces as a timed-out hello instead of hanging the caller. The
+    /// timeout stays on the socket for subsequent reads.
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Self, ClientError> {
+        Self::connect_inner(addr, Some(timeout))
+    }
+
+    fn connect_inner(
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+    ) -> Result<Self, ClientError> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
+        if let Some(t) = timeout {
+            stream.set_read_timeout(Some(t))?;
+        }
         stream.write_all(&HELLO)?;
         stream.flush()?;
         let mut echo = [0u8; 8];
@@ -169,6 +196,40 @@ impl Client {
         }
     }
 
+    /// Sets (or clears) the read timeout on the underlying socket. The
+    /// remote shard probe bounds each reply read by the carved per-shard
+    /// budget plus slack, so a stalled node surfaces as
+    /// `io::ErrorKind::TimedOut`/`WouldBlock` instead of eating the whole
+    /// request deadline.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        Ok(self.stream.set_read_timeout(timeout)?)
+    }
+
+    /// Sends one SHARD_QUERY frame (§3.5) without waiting, returning its
+    /// request id. `deadline_ms` is the *carved per-shard* budget, not
+    /// the client request's; the reply carries scores (§4.1 bit 3).
+    pub fn send_shard_query(
+        &mut self,
+        weights: &[f64],
+        k: u32,
+        deadline_ms: u32,
+        max_cost: u64,
+    ) -> Result<u64, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        write_frame(
+            &mut self.stream,
+            id,
+            &Message::ShardQuery {
+                deadline_ms,
+                max_cost,
+                k,
+                weights: weights.to_vec(),
+            },
+        )?;
+        Ok(id)
+    }
+
     /// Sends one QUERY frame (§3.1) without waiting, returning its
     /// request id for pairing with a later [`recv`](Self::recv).
     pub fn send_query(
@@ -211,6 +272,7 @@ impl Client {
                     pseudo_evaluated,
                     ids,
                     coverage,
+                    scores,
                 },
             ) => Ok((
                 id,
@@ -220,6 +282,7 @@ impl Client {
                     pseudo_evaluated,
                     truncated,
                     coverage,
+                    scores,
                 },
             )),
             (_, Message::Error { code, message }) => Err(ClientError::Server { code, message }),

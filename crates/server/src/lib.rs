@@ -42,11 +42,17 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod pinger;
 pub mod protocol;
+pub mod remote;
 pub mod server;
 pub mod shard;
+pub mod topology;
 
 pub use client::{Client, ClientError, TopkReply};
+pub use pinger::{HealthPinger, PingerConfig};
 pub use protocol::{Coverage, ErrorCode, Message, WireError, HELLO, MAX_PAYLOAD};
+pub use remote::{RemoteProbeConfig, RemoteRouter, RemoteShardProbe};
 pub use server::{Server, ServerConfig, ServerHandle, ACCEPT_FAILPOINT};
 pub use shard::ServedShard;
+pub use topology::Topology;

@@ -30,6 +30,7 @@ mod ty {
     pub const METRICS_REQ: u8 = 0x02;
     pub const PING: u8 = 0x03;
     pub const DRAIN: u8 = 0x04;
+    pub const SHARD_QUERY: u8 = 0x05;
     pub const TOPK: u8 = 0x81;
     pub const METRICS_REP: u8 = 0x82;
     pub const PONG: u8 = 0x83;
@@ -116,6 +117,21 @@ pub enum Message {
         /// Query weight vector (`dims` is implied by the length).
         weights: Vec<f64>,
     },
+    /// SHARD_QUERY (§3.5): a router-to-shard-node top-k request. Body is
+    /// identical to QUERY; the reply is a TOPK frame carrying the scores
+    /// extension (§4.1 flags bit 3) so the router can k-way merge
+    /// per-shard answers bit-identically. `deadline_ms` here is the
+    /// *carved per-shard* budget, not the client's request deadline.
+    ShardQuery {
+        /// Remaining carved per-shard deadline in milliseconds; `0` = none.
+        deadline_ms: u32,
+        /// Budget cap on Definition-9 cost; `0` = none.
+        max_cost: u64,
+        /// Number of results requested.
+        k: u32,
+        /// Query weight vector (`dims` is implied by the length).
+        weights: Vec<f64>,
+    },
     /// METRICS request (§3.2): empty body.
     MetricsRequest,
     /// PING (§3.3): empty body.
@@ -138,6 +154,11 @@ pub enum Message {
         /// when one or more shards were skipped, in which case the ids
         /// are the exact top-k over the answering shards' partitions.
         coverage: Option<Coverage>,
+        /// Per-id scores (§4.1 flags bit 3): `Some` only in replies to
+        /// SHARD_QUERY, one `f64` per id in the same order, so a remote
+        /// router can merge on `(score, id)` exactly like the in-process
+        /// merge. Must be the same length as `ids` when present.
+        scores: Option<Vec<f64>>,
     },
     /// METRICS response (§4.2): Prometheus text exposition.
     MetricsReply(
@@ -217,6 +238,7 @@ pub fn encode_frame(request_id: u64, msg: &Message) -> Vec<u8> {
 fn type_byte(msg: &Message) -> u8 {
     match msg {
         Message::Query { .. } => ty::QUERY,
+        Message::ShardQuery { .. } => ty::SHARD_QUERY,
         Message::MetricsRequest => ty::METRICS_REQ,
         Message::Ping => ty::PING,
         Message::Drain => ty::DRAIN,
@@ -231,6 +253,12 @@ fn type_byte(msg: &Message) -> u8 {
 fn encode_body(msg: &Message, out: &mut Vec<u8>) {
     match msg {
         Message::Query {
+            deadline_ms,
+            max_cost,
+            k,
+            weights,
+        }
+        | Message::ShardQuery {
             deadline_ms,
             max_cost,
             k,
@@ -250,15 +278,27 @@ fn encode_body(msg: &Message, out: &mut Vec<u8>) {
             pseudo_evaluated,
             ids,
             coverage,
+            scores,
         } => {
             debug_assert!(*truncated <= 3, "truncated reason outside flag bits 0-1");
-            let flags = truncated | if coverage.is_some() { 0x04 } else { 0 };
+            debug_assert!(
+                scores.as_ref().is_none_or(|s| s.len() == ids.len()),
+                "scores must pair with ids one-to-one"
+            );
+            let flags = truncated
+                | if coverage.is_some() { 0x04 } else { 0 }
+                | if scores.is_some() { 0x08 } else { 0 };
             out.push(flags);
             out.extend_from_slice(&evaluated.to_le_bytes());
             out.extend_from_slice(&pseudo_evaluated.to_le_bytes());
             out.extend_from_slice(&(ids.len() as u32).to_le_bytes());
             for id in ids {
                 out.extend_from_slice(&id.to_le_bytes());
+            }
+            if let Some(scores) = scores {
+                for s in scores {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
             }
             if let Some(cov) = coverage {
                 out.extend_from_slice(&cov.shards.to_le_bytes());
@@ -345,7 +385,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<(u64, Message), WireError> {
     let type_byte = c.u8()?;
     let request_id = c.u64()?;
     let msg = match type_byte {
-        ty::QUERY => {
+        ty::QUERY | ty::SHARD_QUERY => {
             let deadline_ms = c.u32()?;
             let max_cost = c.u64()?;
             let k = c.u32()?;
@@ -354,11 +394,20 @@ pub fn decode_payload(payload: &[u8]) -> Result<(u64, Message), WireError> {
             for _ in 0..dims {
                 weights.push(c.f64()?);
             }
-            Message::Query {
-                deadline_ms,
-                max_cost,
-                k,
-                weights,
+            if type_byte == ty::SHARD_QUERY {
+                Message::ShardQuery {
+                    deadline_ms,
+                    max_cost,
+                    k,
+                    weights,
+                }
+            } else {
+                Message::Query {
+                    deadline_ms,
+                    max_cost,
+                    k,
+                    weights,
+                }
             }
         }
         ty::METRICS_REQ => Message::MetricsRequest,
@@ -366,7 +415,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<(u64, Message), WireError> {
         ty::DRAIN => Message::Drain,
         ty::TOPK => {
             let flags = c.u8()?;
-            if flags & !0x07 != 0 {
+            if flags & !0x0F != 0 {
                 return Err(corrupt(format!(
                     "reserved TOPK flag bits set: {flags:#04x}"
                 )));
@@ -383,6 +432,20 @@ pub fn decode_payload(payload: &[u8]) -> Result<(u64, Message), WireError> {
             for _ in 0..count {
                 ids.push(c.u64()?);
             }
+            let scores = if flags & 0x08 != 0 {
+                // One f64 per id (§4.1 bit 3): the count is shared, so
+                // the same outrun check bounds it.
+                if count > (payload.len() - c.pos) / 8 {
+                    return Err(corrupt(format!("score count {count} exceeds the body")));
+                }
+                let mut scores = Vec::with_capacity(count);
+                for _ in 0..count {
+                    scores.push(c.f64()?);
+                }
+                Some(scores)
+            } else {
+                None
+            };
             let coverage = if flags & 0x04 != 0 {
                 let shards = c.u16()?;
                 let answered = c.u64()?;
@@ -414,6 +477,7 @@ pub fn decode_payload(payload: &[u8]) -> Result<(u64, Message), WireError> {
                 pseudo_evaluated,
                 ids,
                 coverage,
+                scores,
             }
         }
         ty::METRICS_REP => {
@@ -497,6 +561,15 @@ mod tests {
                 weights: vec![0.25, 0.75],
             },
         );
+        roundtrip(
+            17,
+            Message::ShardQuery {
+                deadline_ms: 40,
+                max_cost: 900,
+                k: 5,
+                weights: vec![1.0, 0.0, 0.5],
+            },
+        );
         roundtrip(1, Message::MetricsRequest);
         roundtrip(2, Message::Ping);
         roundtrip(3, Message::Drain);
@@ -508,6 +581,7 @@ mod tests {
                 pseudo_evaluated: 1,
                 ids: vec![12, 4, 9],
                 coverage: None,
+                scores: None,
             },
         );
         roundtrip(
@@ -521,6 +595,32 @@ mod tests {
                     shards: 4,
                     answered: 0b1011,
                 }),
+                scores: None,
+            },
+        );
+        roundtrip(
+            10,
+            Message::Topk {
+                truncated: 0,
+                evaluated: 9,
+                pseudo_evaluated: 2,
+                ids: vec![12, 4],
+                coverage: None,
+                scores: Some(vec![3.5, -0.25]),
+            },
+        );
+        roundtrip(
+            11,
+            Message::Topk {
+                truncated: 2,
+                evaluated: 9,
+                pseudo_evaluated: 2,
+                ids: vec![12],
+                coverage: Some(Coverage {
+                    shards: 2,
+                    answered: 0b01,
+                }),
+                scores: Some(vec![3.5]),
             },
         );
         roundtrip(4, Message::MetricsReply("# HELP x\nx 1\n".into()));
@@ -595,6 +695,7 @@ mod tests {
                 shards: 3,
                 answered: 0b101,
             }),
+            scores: None,
         };
         // Mutating the flags byte (payload offset 9 → frame offset 17)
         // or the coverage tail must be caught by the decoder.
@@ -603,9 +704,9 @@ mod tests {
             frame[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
         };
 
-        // Reserved flag bits 3-7 are rejected.
+        // Reserved flag bits 4-7 are rejected.
         let mut frame = encode_frame(1, &base);
-        frame[17] |= 0x08;
+        frame[17] |= 0x10;
         recrc(&mut frame);
         assert!(matches!(
             read_frame(&mut &frame[..]),
@@ -653,10 +754,33 @@ mod tests {
             pseudo_evaluated: 0,
             ids: vec![1, 2],
             coverage: None,
+            scores: None,
         };
         let mut frame = encode_frame(1, &msg);
         // count lives at payload offset 26 → frame offset 34.
         frame[34..38].copy_from_slice(&u32::MAX.to_le_bytes());
+        let payload = frame[8..].to_vec();
+        frame[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
+        assert!(matches!(
+            read_frame(&mut &frame[..]),
+            Err(WireError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn score_extension_cannot_outrun_the_body() {
+        // A frame whose scores flag is set but whose body holds ids only:
+        // the shared count then exceeds what remains for scores.
+        let msg = Message::Topk {
+            truncated: 0,
+            evaluated: 1,
+            pseudo_evaluated: 0,
+            ids: vec![1, 2],
+            coverage: None,
+            scores: None,
+        };
+        let mut frame = encode_frame(1, &msg);
+        frame[17] |= 0x08;
         let payload = frame[8..].to_vec();
         frame[4..8].copy_from_slice(&crc32(&payload).to_le_bytes());
         assert!(matches!(

@@ -1,0 +1,278 @@
+//! Remote shard probes: [`ShardProbe`] over the v1 wire protocol.
+//!
+//! One [`RemoteShardProbe`] is one shard-node endpoint. The router's
+//! carved per-shard [`QueryBudget`] travels on the wire as the
+//! SHARD_QUERY budget header (`PROTOCOL.md` §3.5), and the socket read
+//! timeout is pinned to that remaining budget plus a small slack — so a
+//! stalled node surfaces as [`ShardError::Timeout`] inside the carved
+//! window instead of eating the whole request deadline. Wire failures
+//! map onto the same [`ShardError`] fault classes the in-process router
+//! already distinguishes, which is what lets the existing
+//! retry/backoff/health machinery drive remote nodes unchanged:
+//!
+//! | wire outcome                        | fault class                   |
+//! |-------------------------------------|-------------------------------|
+//! | connect failure                     | `Io` (retryable)              |
+//! | read timed out                      | `Timeout` (shard stalled)     |
+//! | TOPK with truncation flag           | `Truncated` (router classifies: carved → `Timeout`, request → stop) |
+//! | ERROR `ShuttingDown` (draining)     | `Unavailable` (try a replica) |
+//! | ERROR `Overloaded`                  | `Unavailable` (try a replica) |
+//! | ERROR `Internal` / `BadRequest`     | `Io`                          |
+//! | protocol violation / bad frame      | `Io` (connection dropped)     |
+
+use crate::client::{Client, ClientError};
+use drtopk_common::{Cost, Weights};
+use drtopk_core::shard::{ReplicaSet, ScoredHit, ShardAnswer, ShardError, ShardProbe, ShardRouter};
+use drtopk_core::{QueryBudget, TruncateReason};
+use std::io;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The router type a multi-node deployment serves through: every logical
+/// shard is a replica set of remote endpoints.
+pub type RemoteRouter = ShardRouter<ReplicaSet<RemoteShardProbe>>;
+
+/// Tunables for one remote endpoint.
+#[derive(Debug, Clone)]
+pub struct RemoteProbeConfig {
+    /// Re-attempts after transient connect failures (refused / reset —
+    /// a node mid-restart); hello timeouts are never retried.
+    pub connect_retries: u32,
+    /// Base backoff between connect attempts.
+    pub connect_backoff: Duration,
+    /// Slack added to the carved budget's remaining time when pinning
+    /// the socket read timeout, covering the reply's own wire time.
+    pub read_slack: Duration,
+}
+
+impl Default for RemoteProbeConfig {
+    fn default() -> Self {
+        RemoteProbeConfig {
+            connect_retries: 2,
+            connect_backoff: Duration::from_millis(5),
+            read_slack: Duration::from_millis(20),
+        }
+    }
+}
+
+/// One shard-node endpoint, probed over TCP with a small connection
+/// pool (checked-out per probe, checked back in after clean replies, so
+/// concurrent probes of the same endpoint each get their own stream).
+pub struct RemoteShardProbe {
+    addr: String,
+    dims: usize,
+    cfg: RemoteProbeConfig,
+    pool: Mutex<Vec<Client>>,
+}
+
+impl std::fmt::Debug for RemoteShardProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteShardProbe")
+            .field("addr", &self.addr)
+            .field("dims", &self.dims)
+            .finish()
+    }
+}
+
+impl RemoteShardProbe {
+    /// A probe for the shard node at `addr` serving `dims`-dimensional
+    /// tuples (declared by the topology file — dimensionality must be
+    /// known without a network round trip because [`ShardProbe::dims`]
+    /// is synchronous and infallible).
+    pub fn new(addr: impl Into<String>, dims: usize, cfg: RemoteProbeConfig) -> Self {
+        RemoteShardProbe {
+            addr: addr.into(),
+            dims,
+            cfg,
+            pool: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The endpoint address (metrics labels, pinger targets).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Pops a pooled connection or dials a fresh one. `read_timeout` is
+    /// applied *before* the hello exchange on fresh dials — a node that
+    /// accepts TCP but never answers (SIGSTOP'd, wedged) must cost this
+    /// probe its carved window, not hang its thread forever. Transient
+    /// connect failures (refused/reset — a node mid-restart) are retried
+    /// on a short fixed backoff; a hello timeout is not, because the
+    /// budget that set it is already burning.
+    fn checkout(&self, read_timeout: Option<Duration>) -> Result<Client, ShardError> {
+        if let Some(c) = self.pool.lock().unwrap_or_else(|e| e.into_inner()).pop() {
+            return Ok(c);
+        }
+        let mut attempt = 0u32;
+        loop {
+            let res = match read_timeout {
+                Some(t) => Client::connect_timeout(self.addr.as_str(), t),
+                None => Client::connect(self.addr.as_str()),
+            };
+            return match res {
+                Ok(c) => Ok(c),
+                Err(ClientError::Io(e))
+                    if attempt < self.cfg.connect_retries && is_retryable_connect(&e) =>
+                {
+                    attempt += 1;
+                    std::thread::sleep(self.cfg.connect_backoff);
+                    continue;
+                }
+                Err(ClientError::Io(e)) if is_timeout(&e) => Err(ShardError::Timeout),
+                Err(other) => Err(ShardError::Io(format!("connect {}: {other}", self.addr))),
+            };
+        }
+    }
+
+    fn checkin(&self, client: Client) {
+        // Clear any probe-scoped read timeout before pooling the stream.
+        if client.set_read_timeout(None).is_ok() {
+            self.pool
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(client);
+        }
+    }
+}
+
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+    )
+}
+
+/// Connect failures a node restart produces — worth a short retry.
+/// Timeouts are excluded: they already spent the carved window.
+fn is_retryable_connect(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::BrokenPipe
+    )
+}
+
+fn truncate_reason(flag: u8) -> TruncateReason {
+    match flag {
+        1 => TruncateReason::Deadline,
+        3 => TruncateReason::Cancelled,
+        _ => TruncateReason::CostExceeded,
+    }
+}
+
+impl ShardProbe for RemoteShardProbe {
+    fn probe(
+        &self,
+        w: &Weights,
+        k: usize,
+        budget: &QueryBudget,
+    ) -> Result<ShardAnswer, ShardError> {
+        // Pre-flight the carved budget: an already-spent deadline or a
+        // tripped cancel flag needs no network round trip to report.
+        if let Some(f) = budget.cancel_flag() {
+            if f.load(std::sync::atomic::Ordering::Relaxed) {
+                return Err(ShardError::Truncated(TruncateReason::Cancelled));
+            }
+        }
+        let remaining = match budget.deadline() {
+            Some(d) => {
+                let now = Instant::now();
+                if now >= d {
+                    return Err(ShardError::Truncated(TruncateReason::Deadline));
+                }
+                Some(d - now)
+            }
+            None => None,
+        };
+
+        // Budget propagation (PROTOCOL.md §3.5): the wire deadline is the
+        // *remaining* carved per-shard time, floored at 1 ms because 0
+        // means unbounded on the wire. The read timeout mirrors it plus
+        // slack: a node that stalls past its carved window is a Timeout
+        // fault here, not a whole-request stall.
+        let deadline_ms =
+            remaining.map_or(0, |r| r.as_millis().clamp(1, u128::from(u32::MAX)) as u32);
+        let read_timeout = remaining.map(|r| r + self.cfg.read_slack);
+        let mut client = self.checkout(read_timeout)?;
+        if client.set_read_timeout(read_timeout).is_err() {
+            return Err(ShardError::Io(format!(
+                "{}: socket configuration",
+                self.addr
+            )));
+        }
+        let max_cost = budget.max_cost().unwrap_or(0);
+        let sent = client.send_shard_query(w.as_slice(), k as u32, deadline_ms, max_cost);
+        if let Err(e) = sent {
+            return Err(match e {
+                ClientError::Io(e) if is_timeout(&e) => ShardError::Timeout,
+                other => ShardError::Io(format!("{}: {other}", self.addr)),
+            });
+        }
+        match client.recv_topk() {
+            Ok((_, reply)) => {
+                if reply.truncated != 0 {
+                    // The shard node's answer was cut by the budget we
+                    // sent. The connection is healthy; the router
+                    // classifies the trip (carved → Timeout fault,
+                    // request-scoped → stop the request).
+                    self.checkin(client);
+                    return Err(ShardError::Truncated(truncate_reason(reply.truncated)));
+                }
+                let Some(scores) = reply.scores else {
+                    // A complete SHARD_QUERY reply must carry scores —
+                    // the merge orders on (score, handle).
+                    return Err(ShardError::Io(format!(
+                        "{}: complete shard reply missing scores",
+                        self.addr
+                    )));
+                };
+                if scores.len() != reply.ids.len() {
+                    return Err(ShardError::Io(format!(
+                        "{}: {} scores for {} ids",
+                        self.addr,
+                        scores.len(),
+                        reply.ids.len()
+                    )));
+                }
+                self.checkin(client);
+                let hits: Vec<ScoredHit> = scores.into_iter().zip(reply.ids).collect();
+                let cost = Cost {
+                    evaluated: reply.evaluated,
+                    pseudo_evaluated: reply.pseudo_evaluated,
+                };
+                Ok((hits, cost))
+            }
+            Err(ClientError::Io(e)) if is_timeout(&e) => Err(ShardError::Timeout),
+            Err(ClientError::Io(e)) => Err(ShardError::Io(format!("{}: {e}", self.addr))),
+            Err(ClientError::Server { code, message }) => {
+                use crate::protocol::ErrorCode;
+                match code {
+                    // A draining or overloaded node is a reason to try a
+                    // replica, not to distrust the data.
+                    ErrorCode::ShuttingDown => {
+                        Err(ShardError::Unavailable(format!("{}: draining", self.addr)))
+                    }
+                    ErrorCode::Overloaded => Err(ShardError::Unavailable(format!(
+                        "{}: overloaded",
+                        self.addr
+                    ))),
+                    _ => {
+                        // The ERROR frame leaves the stream in a sound
+                        // state; pool it for the next probe.
+                        self.checkin(client);
+                        Err(ShardError::Io(format!("{}: {code}: {message}", self.addr)))
+                    }
+                }
+            }
+            Err(other) => Err(ShardError::Io(format!("{}: {other}", self.addr))),
+        }
+    }
+
+    fn dims(&self) -> usize {
+        self.dims
+    }
+}

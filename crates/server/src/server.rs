@@ -12,13 +12,15 @@
 //! latency collapse; when a batch fills to `batch_max` or ages past
 //! `batch_window` — whichever comes first — it flushes.
 
+use crate::pinger::{HealthPinger, PingerConfig};
 use crate::protocol::{
     read_frame, write_frame, Coverage, ErrorCode, Message, WireError, HELLO, MAX_PAYLOAD,
 };
+use crate::remote::RemoteRouter;
 use crate::shard::ServedShard;
 use drtopk_common::Weights;
 use drtopk_core::{
-    BatchExecutor, DualLayerIndex, QueryBudget, ResultCache, ShardHealth, ShardRouter,
+    BatchExecutor, DualLayerIndex, QueryBudget, ResultCache, ShardHealth, ShardProbe, ShardRouter,
     TruncateReason,
 };
 use drtopk_obs::metrics;
@@ -175,6 +177,9 @@ struct Pending {
     budget: QueryBudget,
     admitted: Instant,
     writer: Arc<ConnWriter>,
+    /// The request was a SHARD_QUERY (`PROTOCOL.md` §3.5): the reply
+    /// must carry per-id scores for the router's k-way merge.
+    want_scores: bool,
 }
 
 /// The reply side of one connection: workers answering a micro-batch
@@ -210,6 +215,13 @@ enum Backend {
     Sharded {
         router: Arc<ShardRouter<ServedShard>>,
     },
+    /// One shard of a multi-node deployment, answering SHARD_QUERY
+    /// frames (scores attached) from a remote router node.
+    ShardNode { shard: Arc<ServedShard> },
+    /// The router node of a multi-node deployment: fan-out over replica
+    /// sets of remote shard endpoints, health driven by probe outcomes
+    /// and the background pinger.
+    Remote { router: Arc<RemoteRouter> },
 }
 
 impl Backend {
@@ -217,6 +229,8 @@ impl Backend {
         match self {
             Backend::Single { index, .. } => index.dims(),
             Backend::Sharded { router } => router.dims(),
+            Backend::ShardNode { shard } => shard.dims(),
+            Backend::Remote { router } => router.dims(),
         }
     }
 }
@@ -288,24 +302,77 @@ impl Shared {
                     "Shard count of the deployment",
                     router.shards() as f64,
                 );
-                // Per-shard health: 0 = up, 1 = degraded, 2 = down. The
-                // runbook's alerting keys off this series (OPERATIONS.md).
-                out.push_str(
-                    "# HELP drtopk_shard_health Shard health (0 up, 1 degraded, 2 down)\n",
+                shard_health_series(&mut out, &router.health());
+            }
+            Backend::ShardNode { shard } => {
+                let tuples = shard.with_store(|st| st.len()).unwrap_or(0);
+                drtopk_obs::snapshot::prom_gauge(
+                    &mut out,
+                    "drtopk_index_tuples",
+                    "Live tuples on this shard node",
+                    tuples as f64,
                 );
-                out.push_str("# TYPE drtopk_shard_health gauge\n");
-                for (s, h) in router.health().into_iter().enumerate() {
-                    let v = match h {
-                        ShardHealth::Up => 0,
-                        ShardHealth::Degraded => 1,
-                        ShardHealth::Down => 2,
-                    };
-                    out.push_str(&format!("drtopk_shard_health{{shard=\"{s}\"}} {v}\n"));
+                drtopk_obs::snapshot::prom_gauge(
+                    &mut out,
+                    "drtopk_index_dims",
+                    "Attribute dimensionality",
+                    shard.dims() as f64,
+                );
+                drtopk_obs::snapshot::prom_gauge(
+                    &mut out,
+                    "drtopk_shard_id",
+                    "Logical shard this node serves",
+                    shard.id() as f64,
+                );
+            }
+            Backend::Remote { router } => {
+                drtopk_obs::snapshot::prom_gauge(
+                    &mut out,
+                    "drtopk_index_dims",
+                    "Attribute dimensionality",
+                    router.dims() as f64,
+                );
+                drtopk_obs::snapshot::prom_gauge(
+                    &mut out,
+                    "drtopk_shards",
+                    "Shard count of the deployment",
+                    router.shards() as f64,
+                );
+                shard_health_series(&mut out, &router.health());
+                // Per-endpoint liveness as the pinger/prober believes it.
+                // The health CLI and the runbook's endpoint table key off
+                // this series (OPERATIONS.md §10).
+                out.push_str("# HELP drtopk_endpoint_up Endpoint believed up (1) or down (0)\n");
+                out.push_str("# TYPE drtopk_endpoint_up gauge\n");
+                for s in 0..router.shards() {
+                    let set = router.shard(s);
+                    for i in 0..set.len() {
+                        out.push_str(&format!(
+                            "drtopk_endpoint_up{{shard=\"{s}\",replica=\"{i}\",addr=\"{}\"}} {}\n",
+                            set.replica(i).addr(),
+                            u8::from(set.is_up(i)),
+                        ));
+                    }
                 }
             }
         }
         out.push_str(&metrics().snapshot().to_prometheus());
         out
+    }
+}
+
+/// Per-shard health as labeled gauges: 0 = up, 1 = degraded, 2 = down.
+/// The runbook's alerting keys off this series (OPERATIONS.md).
+fn shard_health_series(out: &mut String, health: &[ShardHealth]) {
+    out.push_str("# HELP drtopk_shard_health Shard health (0 up, 1 degraded, 2 down)\n");
+    out.push_str("# TYPE drtopk_shard_health gauge\n");
+    for (s, h) in health.iter().enumerate() {
+        let v = match h {
+            ShardHealth::Up => 0,
+            ShardHealth::Degraded => 1,
+            ShardHealth::Down => 2,
+        };
+        out.push_str(&format!("drtopk_shard_health{{shard=\"{s}\"}} {v}\n"));
     }
 }
 
@@ -317,6 +384,8 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// Background health pinger of a router node (stopped on shutdown).
+    pinger: Option<HealthPinger>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -341,7 +410,17 @@ impl ServerHandle {
     pub fn router(&self) -> Option<&Arc<ShardRouter<ServedShard>>> {
         match &self.shared.backend {
             Backend::Sharded { router } => Some(router),
-            Backend::Single { .. } => None,
+            _ => None,
+        }
+    }
+
+    /// The remote router behind this server, when it was started with
+    /// [`Server::start_router`] — the hook for admin paths and for tests
+    /// to reach endpoint beliefs and shard health.
+    pub fn remote_router(&self) -> Option<&Arc<RemoteRouter>> {
+        match &self.shared.backend {
+            Backend::Remote { router } => Some(router),
+            _ => None,
         }
     }
 
@@ -371,6 +450,13 @@ impl ServerHandle {
         // so letting the OS reap them after the listener is gone is safe.
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+        // The pinger outlives the serving threads: `wait()` routes
+        // through here while the server is still live, and stopping the
+        // pinger before the accept loop exits would silently disable
+        // health tracking for the whole run.
+        if let Some(p) = self.pinger.take() {
+            p.stop();
         }
     }
 }
@@ -402,6 +488,32 @@ impl Server {
         cfg: ServerConfig,
     ) -> io::Result<ServerHandle> {
         Self::start_backend(Backend::Sharded { router }, cfg)
+    }
+
+    /// Starts one shard node of a multi-node deployment: this process
+    /// serves exactly one shard's partition and answers SHARD_QUERY
+    /// frames (`PROTOCOL.md` §3.5) with scores attached, for a router
+    /// node to merge.
+    pub fn start_shard_node(
+        shard: Arc<ServedShard>,
+        cfg: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        Self::start_backend(Backend::ShardNode { shard }, cfg)
+    }
+
+    /// Starts the router node of a multi-node deployment: client QUERY
+    /// frames fan out over the wire to the topology's shard endpoints,
+    /// with replica failover and (when `pinger` is set) background
+    /// health pings feeding the router's Up/Degraded/Down slots.
+    pub fn start_router(
+        router: Arc<RemoteRouter>,
+        pinger: Option<PingerConfig>,
+        cfg: ServerConfig,
+    ) -> io::Result<ServerHandle> {
+        let pinger = pinger.map(|p| HealthPinger::start(Arc::clone(&router), p));
+        let mut handle = Self::start_backend(Backend::Remote { router }, cfg)?;
+        handle.pinger = pinger;
+        Ok(handle)
     }
 
     fn start_backend(backend: Backend, cfg: ServerConfig) -> io::Result<ServerHandle> {
@@ -438,6 +550,7 @@ impl Server {
             shared,
             accept: Some(accept),
             workers,
+            pinger: None,
         })
     }
 }
@@ -646,6 +759,22 @@ fn dispatch(request_id: u64, msg: Message, writer: &Arc<ConnWriter>, shared: &Ar
             max_cost,
             k,
             weights,
+            false,
+            writer,
+            shared,
+        ),
+        Message::ShardQuery {
+            deadline_ms,
+            max_cost,
+            k,
+            weights,
+        } => admit_query(
+            request_id,
+            deadline_ms,
+            max_cost,
+            k,
+            weights,
+            true,
             writer,
             shared,
         ),
@@ -676,12 +805,14 @@ fn dispatch(request_id: u64, msg: Message, writer: &Arc<ConnWriter>, shared: &Ar
 
 /// Admission control (PROTOCOL.md §3.1, §5.1): validate, try the cache,
 /// then either enqueue under the depth bound or shed with `Overloaded`.
+#[allow(clippy::too_many_arguments)]
 fn admit_query(
     request_id: u64,
     deadline_ms: u32,
     max_cost: u64,
     k: u32,
     weights: Vec<f64>,
+    want_scores: bool,
     writer: &Arc<ConnWriter>,
     shared: &Arc<Shared>,
 ) {
@@ -691,6 +822,14 @@ fn admit_query(
     };
     if shared.shutting_down() {
         return reject(ErrorCode::ShuttingDown, "server is draining".to_string());
+    }
+    if want_scores && !matches!(shared.backend, Backend::ShardNode { .. }) {
+        // SHARD_QUERY is node-to-node traffic (§3.5); only a shard node
+        // answers it.
+        return reject(
+            ErrorCode::Unsupported,
+            "SHARD_QUERY requires a shard node".to_string(),
+        );
     }
     let dims = shared.backend.dims();
     if weights.len() != dims {
@@ -721,6 +860,7 @@ fn admit_query(
                     pseudo_evaluated: hit.cost.pseudo_evaluated,
                     ids: hit.ids.iter().map(|&id| u64::from(id)).collect(),
                     coverage: None,
+                    scores: None,
                 },
             );
             return;
@@ -751,6 +891,7 @@ fn admit_query(
         budget,
         admitted: Instant::now(),
         writer: Arc::clone(writer),
+        want_scores,
     });
     metrics().server_enqueue();
     drop(queue);
@@ -820,6 +961,8 @@ fn run_batch(batch: Vec<Pending>, shared: &Arc<Shared>) {
     match &shared.backend {
         Backend::Single { index, cache } => run_batch_single(batch, index, cache.as_ref()),
         Backend::Sharded { router } => run_batch_sharded(batch, router),
+        Backend::ShardNode { shard } => run_batch_shard_node(batch, shard),
+        Backend::Remote { router } => run_batch_sharded(batch, router),
     }
 }
 
@@ -843,6 +986,7 @@ fn run_batch_single(batch: Vec<Pending>, index: &Arc<DualLayerIndex>, cache: Opt
                 pseudo_evaluated: g.cost.pseudo_evaluated,
                 ids: g.ids.iter().map(|&id| u64::from(id)).collect(),
                 coverage: None,
+                scores: None,
             },
             Err(e) => Message::Error {
                 code: ErrorCode::Internal,
@@ -854,10 +998,11 @@ fn run_batch_single(batch: Vec<Pending>, index: &Arc<DualLayerIndex>, cache: Opt
     }
 }
 
-fn run_batch_sharded(batch: Vec<Pending>, router: &Arc<ShardRouter<ServedShard>>) {
+fn run_batch_sharded<S: ShardProbe>(batch: Vec<Pending>, router: &Arc<ShardRouter<S>>) {
     // The router fans each request across all shards itself, so requests
     // run one at a time on this worker — cross-request parallelism still
-    // comes from the worker pool.
+    // comes from the worker pool. Generic over the probe: the same code
+    // serves in-process shards and remote replica sets.
     for p in batch {
         let r = router.topk(&p.weights, p.k, &p.budget);
         let msg = Message::Topk {
@@ -869,6 +1014,51 @@ fn run_batch_sharded(batch: Vec<Pending>, router: &Arc<ShardRouter<ServedShard>>
                 shards: r.coverage.total() as u16,
                 answered: r.coverage.mask(),
             }),
+            scores: None,
+        };
+        p.writer.send(p.request_id, &msg);
+        p.writer.outstanding.fetch_sub(1, SeqCst);
+    }
+}
+
+/// Answers a batch on a shard node: every request probes this node's one
+/// shard directly. A SHARD_QUERY reply attaches scores (the router's
+/// merge orders on `(score, handle)`); a truncated probe reports the
+/// truncation flag with an empty id list — the router never merges a
+/// partial shard answer, so shipping the prefix would only waste wire.
+fn run_batch_shard_node(batch: Vec<Pending>, shard: &Arc<ServedShard>) {
+    use drtopk_core::shard::ShardError;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    for p in batch {
+        // The same per-request panic isolation the batch executor gives
+        // the single backend: a poisoned probe answers Internal, the
+        // worker (and the node) live on.
+        let outcome = catch_unwind(AssertUnwindSafe(|| shard.probe(&p.weights, p.k, &p.budget)))
+            .unwrap_or_else(|_| Err(ShardError::Panic("shard probe panicked".to_string())));
+        let msg = match outcome {
+            Ok((hits, cost)) => {
+                let (scores, ids): (Vec<f64>, Vec<u64>) = hits.into_iter().unzip();
+                Message::Topk {
+                    truncated: 0,
+                    evaluated: cost.evaluated,
+                    pseudo_evaluated: cost.pseudo_evaluated,
+                    ids,
+                    coverage: None,
+                    scores: p.want_scores.then_some(scores),
+                }
+            }
+            Err(ShardError::Truncated(r)) => Message::Topk {
+                truncated: truncate_flag(Some(r)),
+                evaluated: 0,
+                pseudo_evaluated: 0,
+                ids: Vec::new(),
+                coverage: None,
+                scores: None,
+            },
+            Err(e) => Message::Error {
+                code: ErrorCode::Internal,
+                message: e.to_string(),
+            },
         };
         p.writer.send(p.request_id, &msg);
         p.writer.outstanding.fetch_sub(1, SeqCst);

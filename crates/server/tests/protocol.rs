@@ -45,6 +45,7 @@ fn spec_hex_examples_match_the_encoder() {
             pseudo_evaluated: 1,
             ids: vec![12, 4, 9],
             coverage: None,
+            scores: None,
         },
     );
     assert_eq!(
@@ -68,6 +69,7 @@ fn spec_hex_examples_match_the_encoder() {
                 shards: 4,
                 answered: 0b1011,
             }),
+            scores: None,
         },
     );
     assert_eq!(
@@ -117,6 +119,7 @@ fn sample_frames() -> Vec<Vec<u8>> {
                 pseudo_evaluated: 78,
                 ids: vec![0, u64::from(u32::MAX), 17],
                 coverage: None,
+                scores: None,
             },
         ),
         encode_frame(
@@ -130,6 +133,27 @@ fn sample_frames() -> Vec<Vec<u8>> {
                     shards: 4,
                     answered: 0b1011,
                 }),
+                scores: None,
+            },
+        ),
+        encode_frame(
+            13,
+            &Message::ShardQuery {
+                deadline_ms: 40,
+                max_cost: 900,
+                k: 5,
+                weights: vec![1.0, 0.5],
+            },
+        ),
+        encode_frame(
+            14,
+            &Message::Topk {
+                truncated: 0,
+                evaluated: 9,
+                pseudo_evaluated: 0,
+                ids: vec![2, 5],
+                coverage: None,
+                scores: Some(vec![3.5, -0.25]),
             },
         ),
         encode_frame(3, &Message::Ping),
